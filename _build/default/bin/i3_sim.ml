@@ -1,0 +1,264 @@
+(* i3_sim: command-line driver for full-scale experiment runs.
+
+   Subcommands:
+     fig8   latency stretch vs. trigger samples (paper Fig. 8)
+     fig9   proximity routing stretch vs. system size (paper Fig. 9)
+     micro  trigger insertion / forwarding / routing / throughput (Sec. V-D)
+     scale  the Sec. VII scalability arithmetic
+
+   Every run is deterministic under --seed and can dump CSV for plotting. *)
+
+open Cmdliner
+
+let kind_conv =
+  let parse s =
+    try Ok (Topology.Model.kind_of_string s)
+    with Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf k -> Fmt.string ppf (Topology.Model.kind_to_string k))
+
+let kind_arg =
+  Arg.(
+    value
+    & opt (some kind_conv) None
+    & info [ "t"; "topology" ] ~docv:"KIND"
+        ~doc:"Topology kind: plrg or transit-stub. Default: both in sequence.")
+
+let nodes_arg =
+  Arg.(
+    value & opt int 5000
+    & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Topology size (paper: 5000).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the series as CSV.")
+
+let progress msg = Printf.eprintf "# %s\n%!" msg
+
+let kinds = function
+  | Some k -> [ k ]
+  | None -> [ Topology.Model.Plrg; Topology.Model.Transit_stub ]
+
+(* --- fig8 --- *)
+
+let run_fig8 kind nodes servers measurements samples seed csv =
+  let all_rows = ref [] in
+  List.iter
+    (fun kind ->
+      let p =
+        {
+          Eval.Latency_stretch.kind;
+          topo_nodes = nodes;
+          n_servers = servers;
+          measurements;
+          sample_counts = samples;
+          seed;
+        }
+      in
+      let pts = Eval.Latency_stretch.run ~progress p in
+      let rows =
+        List.map
+          (fun pt ->
+            [
+              Topology.Model.kind_to_string kind;
+              string_of_int pt.Eval.Latency_stretch.samples;
+              Printf.sprintf "%.4f" pt.Eval.Latency_stretch.p90;
+              Printf.sprintf "%.4f" pt.Eval.Latency_stretch.p50;
+              Printf.sprintf "%.4f" pt.Eval.Latency_stretch.mean;
+            ])
+          pts
+      in
+      all_rows := !all_rows @ rows;
+      Eval.Report.table
+        ~title:(Printf.sprintf "fig8 %s" (Topology.Model.kind_to_string kind))
+        ~header:[ "topology"; "samples"; "p90"; "p50"; "mean" ]
+        rows)
+    kind;
+  Option.iter
+    (fun path ->
+      Eval.Report.csv ~path
+        ~header:[ "topology"; "samples"; "p90"; "p50"; "mean" ]
+        !all_rows;
+      progress (Printf.sprintf "wrote %s" path))
+    csv
+
+let fig8_cmd =
+  let servers =
+    Arg.(
+      value & opt int (1 lsl 14)
+      & info [ "servers" ] ~docv:"N" ~doc:"Number of i3 servers (paper: 2^14).")
+  in
+  let measurements =
+    Arg.(
+      value & opt int 1000
+      & info [ "measurements" ] ~docv:"N"
+          ~doc:"Sender/receiver pairs per point (paper: 1000).")
+  in
+  let samples =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8; 16; 32; 64 ]
+      & info [ "samples" ] ~docv:"LIST" ~doc:"Sample counts to evaluate.")
+  in
+  let doc = "Latency stretch vs. number of trigger samples (Fig. 8)." in
+  Cmd.v (Cmd.info "fig8" ~doc)
+    Term.(
+      const (fun kind nodes servers measurements samples seed csv ->
+          run_fig8 (kinds kind) nodes servers measurements samples seed csv)
+      $ kind_arg $ nodes_arg $ servers $ measurements $ samples $ seed_arg
+      $ csv_arg)
+
+(* --- fig9 --- *)
+
+let run_fig9 kind nodes server_counts queries replicas seed csv =
+  let all_rows = ref [] in
+  List.iter
+    (fun kind ->
+      let p =
+        {
+          Eval.Proximity_routing.kind;
+          topo_nodes = nodes;
+          server_counts;
+          queries;
+          replicas;
+          seed;
+        }
+      in
+      let pts = Eval.Proximity_routing.run ~progress p in
+      let rows =
+        List.map
+          (fun pt ->
+            [
+              Topology.Model.kind_to_string kind;
+              string_of_int pt.Eval.Proximity_routing.n_servers;
+              Format.asprintf "%a" Chord.Routing.pp_policy
+                pt.Eval.Proximity_routing.policy;
+              Printf.sprintf "%.4f" pt.Eval.Proximity_routing.p90;
+              Printf.sprintf "%.4f" pt.Eval.Proximity_routing.p50;
+              Printf.sprintf "%.2f" pt.Eval.Proximity_routing.mean_hops;
+            ])
+          pts
+      in
+      all_rows := !all_rows @ rows;
+      Eval.Report.table
+        ~title:(Printf.sprintf "fig9 %s" (Topology.Model.kind_to_string kind))
+        ~header:[ "topology"; "N"; "policy"; "p90"; "p50"; "hops" ]
+        rows)
+    kind;
+  Option.iter
+    (fun path ->
+      Eval.Report.csv ~path
+        ~header:[ "topology"; "N"; "policy"; "p90"; "p50"; "hops" ]
+        !all_rows;
+      progress (Printf.sprintf "wrote %s" path))
+    csv
+
+let fig9_cmd =
+  let server_counts =
+    Arg.(
+      value
+      & opt (list int)
+          [ 1 lsl 10; 1 lsl 11; 1 lsl 12; 1 lsl 13; 1 lsl 14; 1 lsl 15 ]
+      & info [ "servers" ] ~docv:"LIST"
+          ~doc:"Server counts to evaluate (paper: 2^10..2^15).")
+  in
+  let queries =
+    Arg.(
+      value & opt int 1000
+      & info [ "queries" ] ~docv:"N" ~doc:"Routing queries per point.")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 10
+      & info [ "replicas" ] ~docv:"R" ~doc:"Replicas per finger (paper: 10).")
+  in
+  let doc = "Proximity-routing latency stretch vs. system size (Fig. 9)." in
+  Cmd.v (Cmd.info "fig9" ~doc)
+    Term.(
+      const (fun kind nodes server_counts queries replicas seed csv ->
+          run_fig9 (kinds kind) nodes server_counts queries replicas seed csv)
+      $ kind_arg $ nodes_arg $ server_counts $ queries $ replicas $ seed_arg
+      $ csv_arg)
+
+(* --- micro --- *)
+
+let run_micro seed csv =
+  let env = Eval.Microbench.insert_env ~seed () in
+  let mean_ns, stdev_ns = Eval.Microbench.time_per_iter_ns env () in
+  Printf.printf "trigger insertion: mean %.2f us, stdev %.2f us\n"
+    (mean_ns /. 1e3) (stdev_ns /. 1e3);
+  Printf.printf "max sustainable triggers @30s refresh: %.3g\n\n"
+    (Eval.Report.insertion_capacity ~insert_ns:mean_ns ~refresh_s:30.);
+  let payloads = [ 0; 64; 128; 256; 512; 1024 ] in
+  let fwd_rows =
+    List.map
+      (fun payload ->
+        let fenv = Eval.Microbench.forward_env ~payload ~seed () in
+        let m, _ = Eval.Microbench.time_per_iter_ns fenv () in
+        let t = Eval.Microbench.throughput ~payload ~seed () in
+        [
+          string_of_int payload;
+          Printf.sprintf "%.2f" (m /. 1e3);
+          Printf.sprintf "%.0f" t.Eval.Microbench.packets_per_sec;
+          Printf.sprintf "%.2f" t.Eval.Microbench.user_mbps;
+        ])
+      payloads
+  in
+  Eval.Report.table ~title:"forwarding (fig10) and throughput (fig12)"
+    ~header:[ "payload (B)"; "us/pkt"; "packets/s"; "user Mb/s" ]
+    fwd_rows;
+  let route_rows =
+    List.map
+      (fun n ->
+        let renv = Eval.Microbench.route_env ~n_nodes:n ~seed () in
+        let m, _ = Eval.Microbench.time_per_iter_ns renv () in
+        [ string_of_int n; Printf.sprintf "%.2f" (m /. 1e3) ])
+      [ 2; 4; 8; 16; 32 ]
+  in
+  Eval.Report.table ~title:"routing overhead (fig11)"
+    ~header:[ "i3 nodes"; "us/pkt" ] route_rows;
+  Option.iter
+    (fun path ->
+      Eval.Report.csv ~path
+        ~header:[ "payload"; "us_per_pkt"; "pps"; "mbps" ]
+        fwd_rows)
+    csv
+
+let micro_cmd =
+  let doc = "Prototype-style microbenchmarks (Sec. V-D)." in
+  Cmd.v (Cmd.info "micro" ~doc)
+    Term.(const (fun seed csv -> run_micro seed csv) $ seed_arg $ csv_arg)
+
+(* --- scale --- *)
+
+let run_scale hosts triggers servers refresh =
+  List.iter
+    (fun (k, v) -> Printf.printf "%-26s %s\n" k v)
+    (Eval.Report.scalability_rows ~hosts ~triggers_per_host:triggers ~servers
+       ~refresh_s:refresh)
+
+let scale_cmd =
+  let hosts =
+    Arg.(value & opt float 1e9 & info [ "hosts" ] ~doc:"End-host count.")
+  in
+  let triggers =
+    Arg.(value & opt float 10. & info [ "triggers" ] ~doc:"Triggers per host.")
+  in
+  let servers =
+    Arg.(value & opt float 1e5 & info [ "servers" ] ~doc:"i3 server count.")
+  in
+  let refresh =
+    Arg.(value & opt float 30. & info [ "refresh" ] ~doc:"Refresh period (s).")
+  in
+  let doc = "Scalability back-of-the-envelope (Sec. VII)." in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(const run_scale $ hosts $ triggers $ servers $ refresh)
+
+let () =
+  let doc = "Experiment driver for the i3 reproduction." in
+  exit (Cmd.eval (Cmd.group (Cmd.info "i3_sim" ~doc) [ fig8_cmd; fig9_cmd; micro_cmd; scale_cmd ]))

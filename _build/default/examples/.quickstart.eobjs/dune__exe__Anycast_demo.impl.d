@@ -1,0 +1,1 @@
+examples/anycast_demo.ml: I3 I3apps List Printf

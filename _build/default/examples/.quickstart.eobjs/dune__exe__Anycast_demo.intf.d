@@ -1,0 +1,1 @@
+examples/anycast_demo.mli:

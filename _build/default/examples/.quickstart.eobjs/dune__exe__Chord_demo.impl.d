@@ -1,0 +1,1 @@
+examples/chord_demo.ml: Array Chord Engine Id List Printf Rng

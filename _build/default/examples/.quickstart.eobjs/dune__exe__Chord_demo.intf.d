@@ -1,0 +1,1 @@
+examples/chord_demo.mli:

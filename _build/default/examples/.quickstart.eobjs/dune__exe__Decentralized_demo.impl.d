@@ -1,0 +1,1 @@
+examples/decentralized_demo.ml: Format I3 Id List Printf Rng

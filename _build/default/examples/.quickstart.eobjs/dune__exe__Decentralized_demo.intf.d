@@ -1,0 +1,1 @@
+examples/decentralized_demo.mli:

@@ -1,0 +1,1 @@
+examples/mobility_demo.ml: Array Engine I3 I3apps Printf Rng Topology

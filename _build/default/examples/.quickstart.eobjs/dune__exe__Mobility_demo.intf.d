@@ -1,0 +1,1 @@
+examples/mobility_demo.mli:

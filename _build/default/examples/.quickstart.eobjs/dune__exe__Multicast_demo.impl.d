@@ -1,0 +1,1 @@
+examples/multicast_demo.ml: Array I3 I3apps List Printf

@@ -1,0 +1,1 @@
+examples/multicast_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: I3 Printf

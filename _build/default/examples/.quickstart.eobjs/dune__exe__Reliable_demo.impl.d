@@ -1,0 +1,1 @@
+examples/reliable_demo.ml: I3 I3apps List Net Printf Rng

@@ -1,0 +1,1 @@
+examples/reliable_demo.mli:

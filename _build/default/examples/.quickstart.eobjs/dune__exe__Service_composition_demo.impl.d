@@ -1,0 +1,1 @@
+examples/service_composition_demo.ml: I3 I3apps Id List Printf String

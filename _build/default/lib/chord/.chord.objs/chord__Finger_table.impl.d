@@ -1,0 +1,1 @@
+lib/chord/finger_table.ml: Array Format Id List Ring Set

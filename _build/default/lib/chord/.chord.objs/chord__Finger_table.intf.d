@@ -1,0 +1,1 @@
+lib/chord/finger_table.mli: Format Id

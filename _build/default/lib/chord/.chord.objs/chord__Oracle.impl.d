@@ -1,0 +1,1 @@
+lib/chord/oracle.ml: Array Hashtbl Id Set

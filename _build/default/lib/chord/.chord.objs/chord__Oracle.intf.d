@@ -1,0 +1,1 @@
+lib/chord/oracle.mli: Id Rng

@@ -1,0 +1,1 @@
+lib/chord/protocol.ml: Array Engine Finger_table Hashtbl Id List Net Option Ring Rng

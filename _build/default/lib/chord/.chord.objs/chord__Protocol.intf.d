@@ -1,0 +1,1 @@
+lib/chord/protocol.mli: Engine Finger_table Id Rng

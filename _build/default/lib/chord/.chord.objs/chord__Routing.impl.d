@@ -1,0 +1,1 @@
+lib/chord/routing.ml: Array Float Format Hashtbl Id Int64 List Option Oracle

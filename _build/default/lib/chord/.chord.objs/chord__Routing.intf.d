@@ -1,0 +1,1 @@
+lib/chord/routing.mli: Format Id Oracle

@@ -1,0 +1,416 @@
+type peer = Finger_table.peer = { id : Id.t; addr : int }
+
+type config = {
+  stabilize_period : float;
+  fix_fingers_period : float;
+  fingers_per_round : int;
+  successor_list_length : int;
+  rpc_timeout : float;
+  max_lookup_hops : int;
+}
+
+let default_config =
+  {
+    stabilize_period = 30_000.;
+    fix_fingers_period = 10_000.;
+    fingers_per_round = 32;
+    successor_list_length = 8;
+    rpc_timeout = 1_000.;
+    max_lookup_hops = 64;
+  }
+
+type step_result = Done of peer | Next of peer
+
+type msg =
+  | Lookup_step of { key : Id.t; token : int; reply_to : int }
+  | Lookup_reply of { token : int; result : step_result }
+  | Get_state of { token : int; reply_to : int }
+  | State of { token : int; pred : peer option; succs : peer list }
+  | Notify of peer
+
+type pending =
+  | Plookup of {
+      key : Id.t;
+      mutable hops : int;
+      mutable asking : peer;
+      callback : peer option -> unit;
+    }
+  | Pstabilize of { asking : peer }
+
+type node = {
+  network : network;
+  id : Id.t;
+  addr : int;
+  fingers : Finger_table.t;
+  mutable pred : peer option;
+  mutable succs : peer list;
+  mutable alive : bool;
+  mutable next_fix : int;
+  mutable pred_heard : float;
+  pending : (int, pending) Hashtbl.t;
+  suspicion : (int, int) Hashtbl.t; (* peer addr -> consecutive timeouts *)
+  mutable timers : Engine.timer list;
+}
+
+and network = {
+  engine : Engine.t;
+  net : msg Net.t;
+  cfg : config;
+  rng : Rng.t;
+  mutable nodes : node list;
+  mutable tokens : int;
+}
+
+let create engine ~rng ~latency ?(config = default_config) () =
+  {
+    engine;
+    net = Net.create engine ~rng ~latency ();
+    cfg = config;
+    rng;
+    nodes = [];
+    tokens = 0;
+  }
+
+let engine nw = nw.engine
+let set_loss_rate nw p = Net.set_loss_rate nw.net p
+
+let node_id n = n.id
+let node_addr n = n.addr
+let is_alive n = n.alive
+
+let self_peer n = { id = n.id; addr = n.addr }
+
+let successor n = match n.succs with [] -> None | p :: _ -> Some p
+let predecessor n = n.pred
+let successor_list n = n.succs
+
+let fresh_token nw =
+  nw.tokens <- nw.tokens + 1;
+  nw.tokens
+
+let send n dst msg = Net.send n.network.net ~src:n.addr ~dst msg
+
+(* A single lost datagram must not evict a live peer: only forget after
+   several consecutive unanswered RPCs (any received message resets the
+   count). *)
+let suspicion_threshold = 3
+
+(* Remove a peer everywhere after a timeout marked it dead. *)
+let forget_peer n addr =
+  n.succs <- List.filter (fun (p : peer) -> p.addr <> addr) n.succs;
+  for i = 0 to Finger_table.slots n.fingers - 1 do
+    match Finger_table.get n.fingers i with
+    | Some p when p.addr = addr -> Finger_table.set n.fingers i None
+    | _ -> ()
+  done;
+  match n.pred with
+  | Some p when p.addr = addr -> n.pred <- None
+  | _ -> ()
+
+let suspect n addr =
+  let count = 1 + Option.value ~default:0 (Hashtbl.find_opt n.suspicion addr) in
+  if count >= suspicion_threshold then begin
+    Hashtbl.remove n.suspicion addr;
+    forget_peer n addr
+  end
+  else Hashtbl.replace n.suspicion addr count
+
+(* Best next node to interrogate for [key], from local state. *)
+let local_candidate n key =
+  let extra = n.succs in
+  match Finger_table.closest_preceding n.fingers ~extra key with
+  | Some p -> Some p
+  | None -> successor n
+
+let owns n key =
+  match n.pred with
+  | Some p -> Ring.between_oc ~low:p.id ~high:n.id key
+  | None -> n.succs = []
+
+let local_next_hop n key =
+  if owns n key then None
+  else
+    match Finger_table.closest_preceding n.fingers ~extra:n.succs key with
+    | Some p -> Some p
+    | None -> successor n
+
+let finish_lookup n token result =
+  match Hashtbl.find_opt n.pending token with
+  | Some (Plookup l) ->
+      Hashtbl.remove n.pending token;
+      l.callback result
+  | _ -> ()
+
+let rec lookup_ask n token =
+  match Hashtbl.find_opt n.pending token with
+  | Some (Plookup l) ->
+      if l.hops > n.network.cfg.max_lookup_hops then
+        finish_lookup n token None
+      else begin
+        let asked = l.asking in
+        send n asked.addr (Lookup_step { key = l.key; token; reply_to = n.addr });
+        Engine.schedule n.network.engine ~delay:n.network.cfg.rpc_timeout
+          (fun () -> lookup_timeout n token asked)
+      end
+  | _ -> ()
+
+and lookup_timeout n token asked =
+  match Hashtbl.find_opt n.pending token with
+  | Some (Plookup l) when l.asking.addr = asked.addr ->
+      (* Peer did not answer: raise suspicion and retry — possibly the same
+         peer, since the silence may just be loss. *)
+      suspect n asked.addr;
+      l.hops <- l.hops + 1;
+      (match local_candidate n l.key with
+      | Some p ->
+          l.asking <- p;
+          lookup_ask n token
+      | None -> finish_lookup n token None)
+  | _ -> ()
+
+let lookup n key callback =
+  let nw = n.network in
+  if not n.alive then
+    Engine.schedule nw.engine ~delay:0. (fun () -> callback None)
+  else
+    match successor n with
+    | None ->
+        (* Alone on the ring: every key is ours. *)
+        Engine.schedule nw.engine ~delay:0. (fun () ->
+            callback (Some (self_peer n)))
+    | Some succ ->
+        if Ring.between_oc ~low:n.id ~high:succ.id key then
+          Engine.schedule nw.engine ~delay:0. (fun () -> callback (Some succ))
+        else begin
+          let token = fresh_token nw in
+          let asking =
+            match Finger_table.closest_preceding n.fingers ~extra:n.succs key with
+            | Some p -> p
+            | None -> succ
+          in
+          Hashtbl.replace n.pending token
+            (Plookup { key; hops = 0; asking; callback });
+          lookup_ask n token
+        end
+
+(* ---- message handling ---- *)
+
+let handle_lookup_step n ~key ~token ~reply_to =
+  let result =
+    match successor n with
+    | None -> Done (self_peer n)
+    | Some succ ->
+        if Ring.between_oc ~low:n.id ~high:succ.id key then Done succ
+        else begin
+          match Finger_table.closest_preceding n.fingers ~extra:n.succs key with
+          | Some p -> Next p
+          | None -> Next succ
+        end
+  in
+  send n reply_to (Lookup_reply { token; result })
+
+let handle_lookup_reply n ~token ~result =
+  match Hashtbl.find_opt n.pending token with
+  | Some (Plookup l) -> (
+      match result with
+      | Done p -> finish_lookup n token (Some p)
+      | Next p ->
+          l.hops <- l.hops + 1;
+          if p.addr = n.addr || p.addr = l.asking.addr then
+            (* No progress: our interlocutor's best guess is us or itself. *)
+            finish_lookup n token (Some l.asking)
+          else begin
+            l.asking <- p;
+            lookup_ask n token
+          end)
+  | _ -> ()
+
+let truncate_succs cfg l =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  take cfg.successor_list_length l
+
+let handle_state n ~token ~(pred : peer option) ~(succs : peer list) =
+  match Hashtbl.find_opt n.pending token with
+  | Some (Pstabilize { asking }) ->
+      Hashtbl.remove n.pending token;
+      (* Adopt a closer successor if our successor's predecessor is between
+         us and it. *)
+      let new_succ =
+        match pred with
+        | Some p
+          when p.addr <> n.addr
+               && Ring.between_oo ~low:n.id ~high:asking.id p.id ->
+            p
+        | _ -> asking
+      in
+      let chain = List.filter (fun (p : peer) -> p.addr <> n.addr) succs in
+      n.succs <- truncate_succs n.network.cfg (new_succ :: chain);
+      send n new_succ.addr (Notify (self_peer n))
+  | _ -> ()
+
+let handle_notify n (candidate : peer) =
+  if candidate.addr <> n.addr then begin
+    (* A node alone on the ring adopts its first notifier as successor,
+       closing the two-node ring. *)
+    if n.succs = [] then n.succs <- [ candidate ];
+    (match n.pred with
+    | None -> n.pred <- Some candidate
+    | Some p ->
+        if Ring.between_oo ~low:p.id ~high:n.id candidate.id then
+          n.pred <- Some candidate);
+    match n.pred with
+    | Some p when p.addr = candidate.addr ->
+        n.pred_heard <- Engine.now n.network.engine
+    | _ -> ()
+  end
+
+let handle n ~src msg =
+  if n.alive then begin
+    Hashtbl.remove n.suspicion src;
+    match msg with
+    | Lookup_step { key; token; reply_to } ->
+        handle_lookup_step n ~key ~token ~reply_to
+    | Lookup_reply { token; result } -> handle_lookup_reply n ~token ~result
+    | Get_state { token; reply_to } ->
+        (match n.pred with
+        | Some p when p.addr = src ->
+            n.pred_heard <- Engine.now n.network.engine
+        | _ -> ());
+        send n reply_to (State { token; pred = n.pred; succs = n.succs })
+    | State { token; pred; succs } -> handle_state n ~token ~pred ~succs
+    | Notify candidate -> handle_notify n candidate
+  end
+
+(* ---- periodic maintenance ---- *)
+
+let stabilize n =
+  if n.alive then begin
+    (* Expire a silent predecessor so a replacement can be accepted. *)
+    let now = Engine.now n.network.engine in
+    (match n.pred with
+    | Some _
+      when now -. n.pred_heard > 3. *. n.network.cfg.stabilize_period +. 1. ->
+        n.pred <- None
+    | _ -> ());
+    match successor n with
+    | None -> (
+        (* Lost the whole successor list (e.g. repeated false suspicions):
+           reconnect through the predecessor if we still have one. *)
+        match n.pred with
+        | Some p ->
+            n.succs <- [ p ];
+            send n p.addr (Notify (self_peer n))
+        | None -> ())
+    | Some succ ->
+        let token = fresh_token n.network in
+        Hashtbl.replace n.pending token (Pstabilize { asking = succ });
+        send n succ.addr (Get_state { token; reply_to = n.addr });
+        Engine.schedule n.network.engine ~delay:n.network.cfg.rpc_timeout
+          (fun () ->
+            match Hashtbl.find_opt n.pending token with
+            | Some (Pstabilize { asking }) ->
+                Hashtbl.remove n.pending token;
+                suspect n asking.addr
+            | _ -> ())
+  end
+
+let fix_fingers n =
+  if n.alive then
+    for _ = 1 to n.network.cfg.fingers_per_round do
+      let i = n.next_fix in
+      n.next_fix <- (n.next_fix + 1) mod Finger_table.slots n.fingers;
+      let target = Finger_table.target n.fingers i in
+      lookup n target (function
+        | Some p when p.addr <> n.addr -> Finger_table.set n.fingers i (Some p)
+        | Some _ -> Finger_table.set n.fingers i None
+        | None -> ())
+    done
+
+let start_node nw ?id ~site () =
+  let id =
+    match id with Some i -> i | None -> Id.routing_key (Id.random nw.rng)
+  in
+  let addr = Net.register nw.net ~site (fun ~src:_ _ -> ()) in
+  let n =
+    {
+      network = nw;
+      id;
+      addr;
+      fingers = Finger_table.create ~self:id;
+      pred = None;
+      succs = [];
+      alive = true;
+      next_fix = 0;
+      pred_heard = Engine.now nw.engine;
+      pending = Hashtbl.create 16;
+      suspicion = Hashtbl.create 8;
+      timers = [];
+    }
+  in
+  Net.set_handler nw.net addr (fun ~src msg -> handle n ~src msg);
+  let jitter = Rng.float nw.rng nw.cfg.stabilize_period in
+  n.timers <-
+    [
+      Engine.every nw.engine ~phase:jitter ~period:nw.cfg.stabilize_period
+        (fun () -> stabilize n);
+      Engine.every nw.engine
+        ~phase:(Rng.float nw.rng nw.cfg.fix_fingers_period)
+        ~period:nw.cfg.fix_fingers_period
+        (fun () -> fix_fingers n);
+    ];
+  nw.nodes <- n :: nw.nodes;
+  n
+
+let bootstrap nw ?id ~site () = start_node nw ?id ~site ()
+
+let join nw ?id ~site ~via () =
+  let n = start_node nw ?id ~site () in
+  lookup via n.id (function
+    | Some p when p.addr <> n.addr ->
+        n.succs <- [ p ];
+        send n p.addr (Notify (self_peer n))
+    | _ ->
+        (* Bootstrap node alone: it becomes our successor directly. *)
+        if via.addr <> n.addr then begin
+          n.succs <- [ self_peer via ];
+          send n via.addr (Notify (self_peer n))
+        end);
+  n
+
+let kill n =
+  n.alive <- false;
+  Net.set_down n.network.net n.addr;
+  List.iter Engine.cancel n.timers;
+  n.timers <- []
+
+let alive_nodes nw =
+  List.filter (fun n -> n.alive) nw.nodes
+  |> List.sort (fun a b -> Id.compare a.id b.id)
+
+let ring_consistent nw =
+  match alive_nodes nw with
+  | [] -> true
+  | [ n ] -> ( match successor n with None -> true | Some p -> p.addr = n.addr)
+  | nodes ->
+      let arr = Array.of_list nodes in
+      let m = Array.length arr in
+      let ok = ref true in
+      for i = 0 to m - 1 do
+        let expected = arr.((i + 1) mod m) in
+        match successor arr.(i) with
+        | Some p when p.addr = expected.addr -> ()
+        | _ -> ok := false
+      done;
+      !ok
+
+let expected_successor nw key =
+  match alive_nodes nw with
+  | [] -> None
+  | nodes -> (
+      match List.find_opt (fun n -> Id.compare n.id key >= 0) nodes with
+      | Some n -> Some n
+      | None -> Some (List.hd nodes))

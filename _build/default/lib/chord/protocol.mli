@@ -1,0 +1,93 @@
+(** Asynchronous, message-passing Chord over the simulated network.
+
+    This is the self-organizing substrate the paper relies on for
+    robustness and incremental deployment (Secs. IV-C, IV-D, IV-H): nodes
+    join through any existing node, periodically stabilize and fix fingers,
+    keep successor lists to survive failures, and answer iterative lookups
+    (the implementation in Sec. V-C is "fully asynchronous and implemented
+    on top of UDP" with 30-second stabilization periods — reproduced here in
+    virtual time).
+
+    The static {!Oracle} is the converged view; tests check that a ring
+    built with this protocol converges to exactly the oracle's successor
+    relation and heals after failures. *)
+
+type peer = Finger_table.peer = { id : Id.t; addr : int }
+
+type config = {
+  stabilize_period : float;  (** ms of virtual time; paper: 30 000 *)
+  fix_fingers_period : float;
+  fingers_per_round : int;  (** fingers refreshed per fix-fingers tick *)
+  successor_list_length : int;
+  rpc_timeout : float;  (** ms before an unanswered step marks a peer dead *)
+  max_lookup_hops : int;
+}
+
+val default_config : config
+(** 30 s stabilize (as in the paper), 10 s fix-fingers with 32 fingers per
+    round, successor list of 8, 1 s RPC timeout, 64-hop budget. *)
+
+type network
+type node
+
+val create :
+  Engine.t ->
+  rng:Rng.t ->
+  latency:(int -> int -> float) ->
+  ?config:config ->
+  unit ->
+  network
+
+val engine : network -> Engine.t
+
+val set_loss_rate : network -> float -> unit
+(** Inject uniform message loss on the underlying network (robustness
+    tests). *)
+
+val bootstrap : network -> ?id:Id.t -> site:int -> unit -> node
+(** First node of a fresh ring (its own successor). Server ids default to
+    fresh random ids with the last k bits zeroed. *)
+
+val join : network -> ?id:Id.t -> site:int -> via:node -> unit -> node
+(** Start a node that joins through [via]. Stabilization makes it part of
+    the ring within a few periods. *)
+
+val node_id : node -> Id.t
+val node_addr : node -> int
+val is_alive : node -> bool
+
+val successor : node -> peer option
+(** Current successor pointer ([None] while the node is alone or has lost
+    its entire successor list). *)
+
+val predecessor : node -> peer option
+val successor_list : node -> peer list
+
+val owns : node -> Id.t -> bool
+(** Whether the node is responsible for the key {e according to its own
+    current state}: key in (predecessor, self].  During convergence two
+    nodes may transiently both claim (or both disclaim) a key; i3's soft
+    state absorbs this. *)
+
+val local_next_hop : node -> Id.t -> peer option
+(** One greedy routing step from local state (fingers + successor list);
+    [None] when the node believes it owns the key.  This is the primitive
+    a decentralized i3 server forwards packets with ({!I3.Dynamic}). *)
+
+val lookup : node -> Id.t -> (peer option -> unit) -> unit
+(** Iterative lookup originated at a node; the callback fires with the key's
+    successor, or [None] if the hop budget or retries are exhausted. *)
+
+val kill : node -> unit
+(** Fail-stop the node: it stops responding; others detect it via RPC
+    timeouts. *)
+
+val alive_nodes : network -> node list
+(** Alive nodes in ascending id order. *)
+
+val ring_consistent : network -> bool
+(** True iff every alive node's successor pointer is exactly the next alive
+    node clockwise — the converged Chord invariant. *)
+
+val expected_successor : network -> Id.t -> node option
+(** Ground truth from global knowledge (for tests). *)

@@ -1,0 +1,13 @@
+let between_oo ~low ~high x =
+  let c = Id.compare low high in
+  if c = 0 then not (Id.equal x low)
+  else if c < 0 then Id.compare low x < 0 && Id.compare x high < 0
+  else Id.compare low x < 0 || Id.compare x high < 0
+
+let between_oc ~low ~high x =
+  if Id.equal low high then true
+  else Id.equal x high || between_oo ~low ~high x
+
+let between_co ~low ~high x =
+  if Id.equal low high then true
+  else Id.equal x low || between_oo ~low ~high x

@@ -1,0 +1,18 @@
+(** Circular-interval predicates on the 2{^256} identifier space.
+
+    Chord's correctness hinges on these interval tests (Stoica et al.,
+    SIGCOMM 2001, cited as [28] by the i3 paper).  Degenerate intervals
+    follow the usual Chord convention: when [low = high] the open interval
+    is the whole circle minus the endpoint and the half-open intervals are
+    the whole circle — so a single-node ring is its own successor for
+    every key. *)
+
+val between_oo : low:Id.t -> high:Id.t -> Id.t -> bool
+(** [x] in the open interval (low, high) walking clockwise. *)
+
+val between_oc : low:Id.t -> high:Id.t -> Id.t -> bool
+(** [x] in (low, high]. This is the "does the successor own the key"
+    test. *)
+
+val between_co : low:Id.t -> high:Id.t -> Id.t -> bool
+(** [x] in [low, high). *)

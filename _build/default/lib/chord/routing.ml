@@ -1,0 +1,241 @@
+type policy =
+  | Default
+  | Closest_finger_replica of { replicas : int }
+  | Closest_finger_set of { gamma : int }
+  | Prefix_pns of { digit_bits : int; scan : int }
+
+let pp_policy ppf = function
+  | Default -> Format.pp_print_string ppf "default"
+  | Closest_finger_replica { replicas } ->
+      Format.fprintf ppf "closest-finger-replica(r=%d)" replicas
+  | Closest_finger_set { gamma } ->
+      Format.fprintf ppf "closest-finger-set(gamma=%d)" gamma
+  | Prefix_pns { digit_bits; scan } ->
+      Format.fprintf ppf "prefix-pns(b=%d,scan=%d)" digit_bits scan
+
+type t = {
+  oracle : Oracle.t;
+  latency : (int -> int -> float) option;
+  policy : policy;
+  (* node index -> candidate next-hop indexes (policy-dependent) *)
+  candidates : (int, int array) Hashtbl.t;
+}
+
+let create oracle ?latency policy =
+  (match (policy, latency) with
+  | (Closest_finger_replica _ | Closest_finger_set _ | Prefix_pns _), None ->
+      invalid_arg "Routing.create: heuristic policies need a latency function"
+  | _ -> ());
+  { oracle; latency; policy; candidates = Hashtbl.create 1024 }
+
+let oracle t = t.oracle
+
+(* Distinct finger node indexes of [node] under classic Chord, self
+   excluded. *)
+let default_fingers oracle node =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  for e = 0 to Id.bits - 1 do
+    let f = Oracle.finger oracle node e in
+    if f <> node && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      acc := f :: !acc
+    end
+  done;
+  Array.of_list !acc
+
+(* Offset ~ 2^f for fractional exponent f, as a 256-bit id. *)
+let offset_of_exponent f =
+  let e = int_of_float (floor f) in
+  let frac = f -. float_of_int e in
+  if e >= 52 then
+    let mant = Int64.of_float (Float.round (Float.pow 2. (frac +. 52.))) in
+    Id.of_int64_shift mant (e - 52)
+  else
+    let v = Int64.of_float (Float.round (Float.pow 2. f)) in
+    Id.of_int64_shift (Int64.max 1L v) 0
+
+(* Fingers sampled at base 2^(1/gamma) — gamma candidate targets per
+   octave — keeping, per octave, the candidate with the lowest network
+   latency (proximity neighbor selection). *)
+let proximity_fingers oracle node ~gamma ~lat =
+  let best_per_octave = Array.make Id.bits None in
+  for i = 0 to (gamma * Id.bits) - 1 do
+    let f = float_of_int i /. float_of_int gamma in
+    if f < float_of_int Id.bits then begin
+      let octave = int_of_float (floor f) in
+      let idx = Oracle.finger_at oracle node (offset_of_exponent f) in
+      if idx <> node then begin
+        let l = lat node idx in
+        match best_per_octave.(octave) with
+        | Some (_, bl) when bl <= l -> ()
+        | _ -> best_per_octave.(octave) <- Some (idx, l)
+      end
+    end
+  done;
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  Array.iter
+    (function
+      | Some (idx, _) when not (Hashtbl.mem seen idx) ->
+          Hashtbl.add seen idx ();
+          acc := idx :: !acc
+      | Some _ | None -> ())
+    best_per_octave;
+  Array.of_list !acc
+
+let node_candidates t node =
+  match Hashtbl.find_opt t.candidates node with
+  | Some c -> c
+  | None ->
+      let c =
+        match t.policy with
+        | Default | Closest_finger_replica _ | Prefix_pns _ ->
+            default_fingers t.oracle node
+        | Closest_finger_set { gamma } ->
+            let lat = Option.get t.latency in
+            let kept = proximity_fingers t.oracle node ~gamma ~lat in
+            (* The immediate successor guarantees progress on the last
+               arc even if latency-based selection skipped it. *)
+            let succ = Oracle.successor_of t.oracle node in
+            if Array.exists (( = ) succ) kept || succ = node then kept
+            else Array.append [| succ |] kept
+      in
+      Hashtbl.add t.candidates node c;
+      c
+
+(* Clockwise index distance from [i] to [target]. *)
+let index_dist oracle i target =
+  let n = Oracle.size oracle in
+  ((target - i) mod n + n) mod n
+
+let greedy_next_hop t current target =
+  let dist_cur = index_dist t.oracle current target in
+  let candidates = node_candidates t current in
+  let progresses c =
+    let d = index_dist t.oracle c target in
+    if d < dist_cur then Some d else None
+  in
+  match t.policy with
+  | Prefix_pns { digit_bits; scan } -> (
+      (* One more digit of the key corrected per hop, lowest-latency
+         qualifying node preferred; classic greedy fingers when no node
+         shares a longer digit prefix and still makes ring progress. *)
+      let lat = Option.get t.latency in
+      let key_of i = Oracle.id t.oracle i in
+      let digits_shared i =
+        Id.common_prefix_len (key_of i) (key_of target) / digit_bits
+      in
+      let here = digits_shared current in
+      let want_bits = (here + 1) * digit_bits in
+      let best = ref None in
+      if want_bits <= Id.bits then begin
+        let lo = Id.clear_low_bits (key_of target) (Id.bits - want_bits) in
+        let start = Oracle.successor_index t.oracle lo in
+        let cursor = ref start in
+        let continue = ref true in
+        let steps = ref 0 in
+        while !continue && !steps < scan do
+          incr steps;
+          let c = !cursor in
+          if Id.common_prefix_len (key_of c) (key_of target) >= want_bits
+          then begin
+            (match progresses c with
+            | Some _ ->
+                let l = lat current c in
+                (match !best with
+                | Some (_, bl) when bl <= l -> ()
+                | _ -> best := Some (c, l))
+            | None -> ());
+            cursor := Oracle.successor_of t.oracle c;
+            if !cursor = start then continue := false
+          end
+          else continue := false
+        done
+      end;
+      match !best with
+      | Some (c, _) -> c
+      | None ->
+          (* fallback: maximum-progress finger, as in Default *)
+          let fallback = ref None in
+          Array.iter
+            (fun c ->
+              match progresses c with
+              | None -> ()
+              | Some d -> (
+                  match !fallback with
+                  | Some (_, bd) when bd <= d -> ()
+                  | _ -> fallback := Some (c, d)))
+            candidates;
+          (match !fallback with
+          | Some (c, _) -> c
+          | None -> Oracle.successor_of t.oracle current))
+  | Default | Closest_finger_set _ ->
+      (* Greedy: maximum progress among (retained) fingers. *)
+      let best = ref None in
+      Array.iter
+        (fun c ->
+          match progresses c with
+          | None -> ()
+          | Some d -> (
+              match !best with
+              | Some (_, bd) when bd <= d -> ()
+              | _ -> best := Some (c, d)))
+        candidates;
+      (match !best with
+      | Some (c, _) -> c
+      | None -> Oracle.successor_of t.oracle current)
+  | Closest_finger_replica { replicas } ->
+      (* Pick the default finger, then the lowest-latency node among it and
+         its [replicas] immediate successors that still make progress. *)
+      let lat = Option.get t.latency in
+      let best_finger = ref None in
+      Array.iter
+        (fun c ->
+          match progresses c with
+          | None -> ()
+          | Some d -> (
+              match !best_finger with
+              | Some (_, bd) when bd <= d -> ()
+              | _ -> best_finger := Some (c, d)))
+        candidates;
+      (match !best_finger with
+      | None -> Oracle.successor_of t.oracle current
+      | Some (f, _) ->
+          let best = ref (f, lat current f) in
+          for k = 1 to replicas do
+            let c = Oracle.nth_successor t.oracle f k in
+            match progresses c with
+            | Some _ ->
+                let l = lat current c in
+                if l < snd !best then best := (c, l)
+            | None -> ()
+          done;
+          fst !best)
+
+let next_hop t ~current ~key =
+  let target = Oracle.successor_index t.oracle key in
+  if current = target then None else Some (greedy_next_hop t current target)
+
+let route t ~start ~key =
+  let target = Oracle.successor_index t.oracle key in
+  let rec loop current acc guard =
+    if current = target then List.rev (current :: acc)
+    else if guard > Oracle.size t.oracle then
+      (* Unreachable given the progress invariant; defensive guard. *)
+      invalid_arg "Routing.route: hop budget exceeded"
+    else begin
+      let next = greedy_next_hop t current target in
+      loop next (current :: acc) (guard + 1)
+    end
+  in
+  loop start [] 0
+
+let path_latency lat path =
+  let rec sum acc = function
+    | a :: (b :: _ as rest) -> sum (acc +. lat a b) rest
+    | _ -> acc
+  in
+  sum 0. path
+
+let candidate_count t node = Array.length (node_candidates t node)

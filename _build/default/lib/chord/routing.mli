@@ -1,0 +1,69 @@
+(** Overlay routing over a static ring, with the paper's proximity
+    heuristics (Sec. V-B).
+
+    Three policies:
+    - [Default]: classic Chord — forward to the closest preceding finger,
+      halving the identifier distance each hop.
+    - [Closest_finger_replica r]: each finger also carries its [r] immediate
+      successors; among the default finger and its replicas that still make
+      progress toward the key, forward to the lowest-latency one (heuristic
+      from Dabek et al., CFS).
+    - [Closest_finger_set gamma]: fingers are sampled at base
+      b = 2{^1/gamma}, i.e. [gamma] candidate targets per octave of the
+      identifier space; within each octave only the candidate with the
+      lowest network latency is retained (proximity neighbor selection),
+      so the table keeps ~log2 N low-latency fingers that still halve the
+      remaining distance.  Routing is greedy over the retained set.  The
+      paper picks gamma = r + 1 so both heuristics examine about the same
+      number of candidate nodes per octave.
+
+    A router memoizes per-node candidate sets, so reusing one across many
+    queries amortizes the heuristic setup exactly like a long-lived server
+    would. *)
+
+type policy =
+  | Default
+  | Closest_finger_replica of { replicas : int }
+  | Closest_finger_set of { gamma : int }
+  | Prefix_pns of { digit_bits : int; scan : int }
+      (** Pastry/Tapestry-style prefix routing with proximity neighbor
+          selection, the alternative substrate the paper sketches in
+          Sec. VII ("using Pastry and Tapestry can reduce the latency of
+          the first packets").  Each hop corrects one more [digit_bits]-bit
+          digit of the key, choosing among up to [scan] qualifying nodes
+          the one with the lowest network latency; when no node shares a
+          longer digit prefix, the route falls back to classic finger
+          steps.  Every hop still shrinks the ring distance to the
+          responsible node, so termination and the Chord responsibility
+          rule are preserved. *)
+
+val pp_policy : Format.formatter -> policy -> unit
+
+type t
+
+val create :
+  Oracle.t -> ?latency:(int -> int -> float) -> policy -> t
+(** [latency i j] is the network latency between ring indexes [i] and [j];
+    required by the two heuristics. @raise Invalid_argument if a heuristic
+    policy is given without a latency function. *)
+
+val oracle : t -> Oracle.t
+
+val next_hop : t -> current:int -> key:Id.t -> int option
+(** One routing step: the ring index the current node forwards toward the
+    key's successor, or [None] if [current] already is the responsible
+    node.  This is the per-server primitive i3 servers call when relaying
+    packets; {!route} is its transitive closure. *)
+
+val route : t -> start:int -> key:Id.t -> int list
+(** Ring indexes visited, beginning with [start] and ending at
+    [Oracle.successor_index key]. Every hop strictly decreases the
+    clockwise index distance to the target, so the path is loop-free and
+    at most [size] hops. *)
+
+val path_latency : (int -> int -> float) -> int list -> float
+(** Sum of per-hop latencies along a path. *)
+
+val candidate_count : t -> int -> int
+(** Number of next-hop candidates the policy keeps at a node
+    (observability: lets tests check the equal-state claim). *)

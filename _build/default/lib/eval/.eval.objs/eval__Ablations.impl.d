@@ -1,0 +1,1 @@
+lib/eval/ablations.ml: Array Chord Engine Float I3 Id Id_constraints Net Rng Unix

@@ -1,0 +1,1 @@
+lib/eval/ablations.mli:

@@ -1,0 +1,1 @@
+lib/eval/latency_stretch.ml: Array Chord Id List Printf Rng Stats Topology Workload

@@ -1,0 +1,1 @@
+lib/eval/latency_stretch.mli: Topology

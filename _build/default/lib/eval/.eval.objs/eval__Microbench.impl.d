@@ -1,0 +1,1 @@
+lib/eval/microbench.ml: Array Chord Engine I3 Id List Rng Stats Unix Workload

@@ -1,0 +1,1 @@
+lib/eval/proximity_routing.ml: Array Chord Format Id List Printf Rng Stats Topology

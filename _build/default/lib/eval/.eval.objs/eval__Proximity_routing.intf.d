@@ -1,0 +1,1 @@
+lib/eval/proximity_routing.mli: Chord Topology

@@ -1,0 +1,1 @@
+lib/eval/report.ml: List Printf String

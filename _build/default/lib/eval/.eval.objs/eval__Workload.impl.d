@@ -1,0 +1,1 @@
+lib/eval/workload.ml: Array Bytes Id Rng Topology

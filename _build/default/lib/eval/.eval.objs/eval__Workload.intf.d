@@ -1,0 +1,1 @@
+lib/eval/workload.mli: Id Rng Topology

@@ -1,0 +1,86 @@
+type params = {
+  kind : Topology.Model.kind;
+  topo_nodes : int;
+  n_servers : int;
+  measurements : int;
+  sample_counts : int list;
+  seed : int;
+}
+
+let default_params kind =
+  {
+    kind;
+    topo_nodes = 5000;
+    n_servers = 1 lsl 14;
+    measurements = 1000;
+    sample_counts = [ 1; 2; 4; 8; 16; 32; 64 ];
+    seed = 1;
+  }
+
+type point = {
+  samples : int;
+  p90 : float;
+  p50 : float;
+  mean : float;
+}
+
+let run ?(progress = fun _ -> ()) p =
+  let rng = Rng.of_int p.seed in
+  progress
+    (Printf.sprintf "building %s topology (%d nodes)..."
+       (Topology.Model.kind_to_string p.kind)
+       p.topo_nodes);
+  let model = Topology.Model.build (Rng.split rng) p.kind ~n:p.topo_nodes in
+  let oracle = Chord.Oracle.random (Rng.split rng) ~n:p.n_servers in
+  let sites =
+    Topology.Model.place_servers (Rng.split rng) model ~count:p.n_servers
+  in
+  let dist = Topology.Model.oracle model in
+  let max_samples = List.fold_left max 1 p.sample_counts in
+  progress
+    (Printf.sprintf "measuring %d sender/receiver pairs x %d samples..."
+       p.measurements max_samples);
+  (* stretch.(si).(mi): stretch of measurement mi using the first
+     sample_counts[si] sampled identifiers. *)
+  let counts = Array.of_list (List.sort_uniq compare p.sample_counts) in
+  let stretches = Array.map (fun _ -> ref []) counts in
+  let measured = ref 0 in
+  while !measured < p.measurements do
+    let sender, receiver = Workload.host_pair rng model in
+    let direct = Topology.Dijkstra.distance dist sender receiver in
+    if direct > 0. && direct < infinity then begin
+      incr measured;
+      let from_receiver = Topology.Dijkstra.distances_from dist receiver in
+      let from_sender = Topology.Dijkstra.distances_from dist sender in
+      (* Nested sampling: the best server among the first s draws. *)
+      let best_site = ref (-1) in
+      let best_d = ref infinity in
+      let drawn = ref 0 in
+      Array.iteri
+        (fun si target ->
+          while !drawn < target do
+            incr drawn;
+            let id = Id.random rng in
+            let server_site = sites.(Chord.Oracle.responsible oracle id) in
+            if from_receiver.(server_site) < !best_d then begin
+              best_d := from_receiver.(server_site);
+              best_site := server_site
+            end
+          done;
+          let s = !best_site in
+          let stretch = (from_sender.(s) +. from_receiver.(s)) /. direct in
+          stretches.(si) := stretch :: !(stretches.(si)))
+        counts
+    end
+  done;
+  Array.to_list
+    (Array.mapi
+       (fun si samples ->
+         let xs = Array.of_list !(stretches.(si)) in
+         {
+           samples;
+           p90 = Stats.percentile 90. xs;
+           p50 = Stats.percentile 50. xs;
+           mean = Stats.mean xs;
+         })
+       counts)

@@ -1,0 +1,52 @@
+(** Harnesses for the prototype measurements of Sec. V-D.
+
+    The paper's testbed was a cluster of Pentium III/700 machines on
+    1 Gb/s Ethernet; we substitute direct calls into our server
+    implementation on the build machine (see DESIGN.md).  Each environment
+    isolates exactly the code path the paper timed:
+
+    - {b trigger insertion} (avg 12.5 us reported): hash-table lookup +
+      store + ack emission;
+    - {b data packet forwarding} (Fig. 10): wire decode, trigger match and
+      delivery send, as a function of payload size;
+    - {b routing} (Fig. 11): next-hop selection over the prototype's
+      {e linear-list} finger table (augmented, as in the paper, with a
+      cache holding all known servers — hence the linear growth in n);
+    - {b throughput} (Fig. 12): saturation forwarding rate and user-level
+      Mb/s vs. payload size. *)
+
+type env
+
+val forward_env : ?n_triggers:int -> payload:int -> seed:int -> unit -> env
+(** One responsible server pre-loaded with [n_triggers] (default 4096)
+    random triggers plus the target trigger; iterations decode a wire
+    packet of the given payload size and run the Fig. 3 engine to
+    delivery. *)
+
+val insert_env : ?distinct:int -> seed:int -> unit -> env
+(** Iterations handle an [Insert] control message for one of [distinct]
+    (default 4096) pre-built triggers, cycling. *)
+
+val route_env : n_nodes:int -> seed:int -> unit -> env
+(** Iterations pick the next hop for a random key from a linear
+    finger-table scan over [n_nodes] known servers and encode the
+    forwarded packet. *)
+
+val iter : env -> unit
+(** One benchmark iteration (what Bechamel staples). *)
+
+val batch : env -> int -> unit
+(** [n] iterations — for hand-rolled timing loops. *)
+
+type throughput = {
+  payload : int;
+  packets_per_sec : float;
+  user_mbps : float;  (** payload bits only, as in the paper *)
+}
+
+val throughput : payload:int -> ?duration_s:float -> seed:int -> unit -> throughput
+(** Wall-clock saturation test of the forwarding path. *)
+
+val time_per_iter_ns : env -> ?iters:int -> unit -> float * float
+(** Hand-rolled (mean, stdev) nanoseconds per iteration — used for the
+    trigger-insertion table, which the paper reports as mean/stddev. *)

@@ -1,0 +1,94 @@
+type params = {
+  kind : Topology.Model.kind;
+  topo_nodes : int;
+  server_counts : int list;
+  queries : int;
+  replicas : int;
+  seed : int;
+}
+
+let default_params kind =
+  {
+    kind;
+    topo_nodes = 5000;
+    server_counts = [ 1 lsl 10; 1 lsl 11; 1 lsl 12; 1 lsl 13; 1 lsl 14; 1 lsl 15 ];
+    queries = 1000;
+    replicas = 10;
+    seed = 1;
+  }
+
+type point = {
+  n_servers : int;
+  policy : Chord.Routing.policy;
+  p90 : float;
+  p50 : float;
+  mean_hops : float;
+}
+
+let policies_for ~replicas ~n_servers:_ =
+  [
+    Chord.Routing.Default;
+    Chord.Routing.Closest_finger_replica { replicas };
+    Chord.Routing.Closest_finger_set { gamma = replicas + 1 };
+    (* the Sec. VII alternative substrate: Pastry-style prefix routing *)
+    Chord.Routing.Prefix_pns { digit_bits = 4; scan = 16 };
+  ]
+
+let run ?(progress = fun _ -> ()) p =
+  let rng = Rng.of_int p.seed in
+  progress
+    (Printf.sprintf "building %s topology (%d nodes)..."
+       (Topology.Model.kind_to_string p.kind)
+       p.topo_nodes);
+  let model = Topology.Model.build (Rng.split rng) p.kind ~n:p.topo_nodes in
+  let dist = Topology.Model.oracle model in
+  let points = ref [] in
+  List.iter
+    (fun n_servers ->
+      let oracle = Chord.Oracle.random (Rng.split rng) ~n:n_servers in
+      let sites =
+        Topology.Model.place_servers (Rng.split rng) model ~count:n_servers
+      in
+      let ring_latency i j =
+        if sites.(i) = sites.(j) then 0.
+        else Topology.Dijkstra.distance dist sites.(i) sites.(j)
+      in
+      (* Shared query set across policies for a paired comparison. *)
+      let queries =
+        Array.init p.queries (fun _ ->
+            (Rng.int rng n_servers, Id.random rng))
+      in
+      List.iter
+        (fun policy ->
+          progress
+            (Format.asprintf "N=%d policy=%a: %d queries..." n_servers
+               Chord.Routing.pp_policy policy p.queries);
+          let router =
+            Chord.Routing.create oracle ~latency:ring_latency policy
+          in
+          let stretches = ref [] in
+          let hops = ref [] in
+          Array.iter
+            (fun (start, key) ->
+              let target = Chord.Oracle.successor_index oracle key in
+              let direct = ring_latency start target in
+              if direct > 0. then begin
+                let path = Chord.Routing.route router ~start ~key in
+                let overlay = Chord.Routing.path_latency ring_latency path in
+                stretches := (overlay /. direct) :: !stretches;
+                hops := float_of_int (List.length path - 1) :: !hops
+              end)
+            queries;
+          let xs = Array.of_list !stretches in
+          points :=
+            {
+              n_servers;
+              policy;
+              p90 = Stats.percentile 90. xs;
+              p50 = Stats.percentile 50. xs;
+              mean_hops = Stats.mean (Array.of_list !hops);
+            }
+            :: !points)
+        (policies_for ~replicas:p.replicas ~n_servers))
+    p.server_counts;
+  List.rev !points

@@ -1,0 +1,49 @@
+let table ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        max acc (String.length (try List.nth row c with _ -> "")))
+      0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    let cells =
+      List.mapi
+        (fun c w ->
+          let s = try List.nth row c with _ -> "" in
+          s ^ String.make (w - String.length s) ' ')
+        widths
+    in
+    print_endline ("  " ^ String.concat "  " cells)
+  in
+  print_endline title;
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  print_newline ()
+
+let csv ~path ~header rows =
+  let oc = open_out path in
+  let emit row = output_string oc (String.concat "," row ^ "\n") in
+  emit header;
+  List.iter emit rows;
+  close_out oc
+
+let scalability_rows ~hosts ~triggers_per_host ~servers ~refresh_s =
+  let triggers = hosts *. triggers_per_host in
+  let per_server = triggers /. servers in
+  let refreshes = per_server /. refresh_s in
+  [
+    ("end-hosts", Printf.sprintf "%.3g" hosts);
+    ("triggers per host", Printf.sprintf "%.3g" triggers_per_host);
+    ("total triggers", Printf.sprintf "%.3g" triggers);
+    ("i3 servers", Printf.sprintf "%.3g" servers);
+    ("triggers per server", Printf.sprintf "%.3g" per_server);
+    ("refresh period (s)", Printf.sprintf "%.3g" refresh_s);
+    ("refreshes/s per server", Printf.sprintf "%.3g" refreshes);
+  ]
+
+let insertion_capacity ~insert_ns ~refresh_s =
+  refresh_s *. 1e9 /. insert_ns

@@ -1,0 +1,17 @@
+let host_pair rng model =
+  let sites = Topology.Model.eligible_sites model in
+  let a = Rng.choose rng sites in
+  let rec pick () =
+    let b = Rng.choose rng sites in
+    if b = a && Array.length sites > 1 then pick () else b
+  in
+  (a, pick ())
+
+let payload rng n = Bytes.to_string (Rng.bytes rng n)
+
+let ids rng n = Array.init n (fun _ -> Id.random rng)
+
+let log2i n =
+  if n <= 0 then invalid_arg "Workload.log2i";
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n

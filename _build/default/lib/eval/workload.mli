@@ -1,0 +1,13 @@
+(** Workload generation shared by the experiments. *)
+
+val host_pair : Rng.t -> Topology.Model.t -> int * int
+(** A random (sender site, receiver site) pair with distinct sites. *)
+
+val payload : Rng.t -> int -> string
+(** Pseudo-random payload of the given size. *)
+
+val ids : Rng.t -> int -> Id.t array
+(** [n] fresh random identifiers. *)
+
+val log2i : int -> int
+(** Integer binary logarithm (floor); [log2i 1 = 0]. *)

@@ -1,0 +1,1 @@
+lib/i3/deployment.ml: Array Chord Engine Host Id List Message Net Rng Server Topology Trigger_table

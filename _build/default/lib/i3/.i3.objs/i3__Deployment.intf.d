@@ -1,0 +1,1 @@
+lib/i3/deployment.mli: Chord Engine Host Id Message Net Rng Server Topology

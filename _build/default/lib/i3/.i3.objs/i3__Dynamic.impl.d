@@ -1,0 +1,1 @@
+lib/i3/dynamic.ml: Array Chord Engine Hashtbl Host Id List Message Net Option Packet Rng Server Trigger_table

@@ -1,0 +1,1 @@
+lib/i3/dynamic.mli: Chord Engine Host Id Server

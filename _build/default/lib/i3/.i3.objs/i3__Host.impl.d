@@ -1,0 +1,1 @@
+lib/i3/host.ml: Array Engine Hashtbl Id List Message Net Packet Rng String Trigger

@@ -1,0 +1,1 @@
+lib/i3/host.mli: Engine Id Message Net Packet Rng Trigger

@@ -1,0 +1,1 @@
+lib/i3/message.ml: Format Id List Net Packet String Trigger

@@ -1,0 +1,1 @@
+lib/i3/message.mli: Format Id Packet Trigger

@@ -1,0 +1,1 @@
+lib/i3/packet.ml: Buffer Char Format Id Int64 List Net Option Result String

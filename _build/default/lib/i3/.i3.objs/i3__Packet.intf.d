@@ -1,0 +1,1 @@
+lib/i3/packet.mli: Format Id Net

@@ -1,0 +1,1 @@
+lib/i3/security.ml: Format Id Id_constraints Packet Sha256 String Trigger

@@ -1,0 +1,1 @@
+lib/i3/security.mli: Format Id Packet Trigger

@@ -1,0 +1,1 @@
+lib/i3/server.ml: Engine Float Hashtbl Id List Message Net Packet Security Sha256 Trigger Trigger_table

@@ -1,0 +1,1 @@
+lib/i3/server.mli: Engine Id Message Net Packet Trigger_table

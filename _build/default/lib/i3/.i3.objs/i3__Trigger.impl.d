@@ -1,0 +1,1 @@
+lib/i3/trigger.ml: Format Id List Net Packet

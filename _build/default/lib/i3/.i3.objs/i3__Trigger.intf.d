@@ -1,0 +1,1 @@
+lib/i3/trigger.mli: Format Id Packet

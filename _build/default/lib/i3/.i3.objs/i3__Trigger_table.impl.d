@@ -1,0 +1,1 @@
+lib/i3/trigger_table.ml: Hashtbl Id List String Trigger

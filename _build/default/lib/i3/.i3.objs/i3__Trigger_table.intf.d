@@ -1,0 +1,1 @@
+lib/i3/trigger_table.mli: Id Trigger

@@ -1,0 +1,124 @@
+type member = {
+  node : Chord.Protocol.node;
+  server : Server.t;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  control : Chord.Protocol.network;
+  data : Message.t Net.t;
+  (* server id (raw) -> data-plane address: the "second port" of each
+     server, learned when it joins *)
+  directory : (string, Packet.addr) Hashtbl.t;
+  mutable members : member list;
+  server_config : Server.config option;
+}
+
+let fast_protocol_config =
+  {
+    Chord.Protocol.default_config with
+    Chord.Protocol.stabilize_period = 2_000.;
+    fix_fingers_period = 1_000.;
+    fingers_per_round = 64;
+    rpc_timeout = 500.;
+  }
+
+let create ?(seed = 1) ?(uniform_latency_ms = 5.) ?server_config
+    ?(protocol_config = fast_protocol_config) () =
+  let rng = Rng.of_int seed in
+  let engine = Engine.create () in
+  let latency a b = if a = b then 0. else uniform_latency_ms in
+  let control =
+    Chord.Protocol.create engine ~rng:(Rng.split rng) ~latency
+      ~config:protocol_config ()
+  in
+  let data = Net.create engine ~rng:(Rng.split rng) ~latency () in
+  {
+    engine;
+    rng;
+    control;
+    data;
+    directory = Hashtbl.create 32;
+    members = [];
+    server_config;
+  }
+
+let engine t = t.engine
+let run_for t d = Engine.run_for t.engine d
+let now t = Engine.now t.engine
+
+let data_addr_of t (peer : Chord.Protocol.peer) =
+  Hashtbl.find_opt t.directory (Id.to_raw_string peer.Chord.Protocol.id)
+
+let view_for t node =
+  {
+    Server.owns =
+      (fun id -> Chord.Protocol.owns node (Id.routing_key id));
+    next_hop =
+      (fun id ->
+        match Chord.Protocol.local_next_hop node (Id.routing_key id) with
+        | Some peer -> data_addr_of t peer
+        | None -> None);
+    successor_addr =
+      (fun () ->
+        Option.bind (Chord.Protocol.successor node) (data_addr_of t));
+    predecessor_addr =
+      (fun () ->
+        Option.bind (Chord.Protocol.predecessor node) (data_addr_of t));
+  }
+
+let add_server t ?(site = 0) () =
+  let node =
+    match List.filter (fun m -> Chord.Protocol.is_alive m.node) t.members with
+    | [] -> Chord.Protocol.bootstrap t.control ~site ()
+    | live ->
+        let via = (Rng.choose t.rng (Array.of_list live)).node in
+        Chord.Protocol.join t.control ~site ~via ()
+  in
+  let server =
+    Server.create ~engine:t.engine ~net:t.data ~view:(view_for t node) ~site
+      ~id:(Chord.Protocol.node_id node)
+      ?config:t.server_config ()
+  in
+  Hashtbl.replace t.directory
+    (Id.to_raw_string (Chord.Protocol.node_id node))
+    (Server.addr server);
+  t.members <- { node; server } :: t.members;
+  server
+
+let kill_server t server =
+  match
+    List.find_opt (fun m -> Server.addr m.server = Server.addr server) t.members
+  with
+  | Some m ->
+      Server.kill m.server;
+      Chord.Protocol.kill m.node;
+      Hashtbl.remove t.directory (Id.to_raw_string (Server.id m.server))
+  | None -> invalid_arg "Dynamic.kill_server: unknown server"
+
+let live_members t =
+  List.filter (fun m -> Server.is_alive m.server) t.members
+
+let servers t = List.map (fun m -> m.server) (live_members t)
+
+let owners_of t id =
+  live_members t
+  |> List.filter (fun m ->
+         Chord.Protocol.owns m.node (Id.routing_key id))
+  |> List.map (fun m -> m.server)
+
+let new_host t ?(site = 0) ?config ?(n_gateways = 3) () =
+  let live = Array.of_list (List.map (fun m -> Server.addr m.server) (live_members t)) in
+  if Array.length live = 0 then invalid_arg "Dynamic.new_host: no live servers";
+  Rng.shuffle t.rng live;
+  let gateways =
+    Array.to_list (Array.sub live 0 (min n_gateways (Array.length live)))
+  in
+  Host.create ~engine:t.engine ~net:t.data ~rng:(Rng.split t.rng) ~site
+    ~gateways ?config ()
+
+let total_triggers t =
+  List.fold_left
+    (fun acc m -> acc + Trigger_table.size (Server.triggers m.server))
+    0 (live_members t)

@@ -1,0 +1,56 @@
+(** A fully decentralized i3 deployment: servers run the live
+    {!Chord.Protocol} (join, stabilize, fix-fingers, failure detection)
+    and forward data packets from their {e own, possibly stale} local
+    view — no global oracle anywhere.  This is the architecture of the
+    paper's prototype (Sec. V-C: "the control protocol used to maintain
+    the overlay network is fully asynchronous and is implemented on top
+    of UDP") and the self-organization story of Secs. IV-C/D/H:
+
+    - a new server joins through any existing one and, within a few
+      stabilization rounds, owns an arc and starts accumulating triggers
+      as hosts refresh;
+    - during convergence, responsibility claims may briefly overlap or
+      gap; packets are best-effort and soft state repairs everything;
+    - when a server dies, its neighbors detect it via RPC suspicion,
+      the ring heals, and the triggers reappear at the successor on the
+      owners' next refresh.
+
+    Control traffic (Chord RPCs) and data traffic (i3 packets) travel on
+    two simulated sockets sharing one virtual clock and one latency
+    model, like the prototype's two UDP ports. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?uniform_latency_ms:float ->
+  ?server_config:Server.config ->
+  ?protocol_config:Chord.Protocol.config ->
+  unit ->
+  t
+(** An empty deployment. The default protocol config is sped up
+    (2 s stabilization) so tests converge in little virtual time; pass
+    [Chord.Protocol.default_config] for the paper's 30 s periods. *)
+
+val engine : t -> Engine.t
+val run_for : t -> float -> unit
+val now : t -> float
+
+val add_server : t -> ?site:int -> unit -> Server.t
+(** Start a server: the first call bootstraps the ring; later calls join
+    through a random live member. Returns immediately — the server
+    becomes responsible for its arc as stabilization proceeds. *)
+
+val kill_server : t -> Server.t -> unit
+(** Fail-stop a server and its protocol node; peers notice via timeouts. *)
+
+val servers : t -> Server.t list
+(** Live servers. *)
+
+val owners_of : t -> Id.t -> Server.t list
+(** Servers currently claiming responsibility for an identifier (by their
+    local state). Exactly one once the ring has converged. *)
+
+val new_host : t -> ?site:int -> ?config:Host.config -> ?n_gateways:int -> unit -> Host.t
+
+val total_triggers : t -> int

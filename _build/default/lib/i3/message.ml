@@ -1,0 +1,35 @@
+type t =
+  | Data of Packet.t
+  | Insert of { trigger : Trigger.t; token : string option }
+  | Remove of { trigger : Trigger.t }
+  | Challenge of { trigger : Trigger.t; token : string }
+  | Insert_ack of { trigger : Trigger.t; server : Packet.addr }
+  | Cache_info of { prefix : Id.t; server : Packet.addr }
+  | Cache_push of { triggers : (Trigger.t * float) list }
+  | Pushback of { id : Id.t; dead : Id.t }
+  | Replica of { trigger : Trigger.t; lifetime : float }
+  | Deliver of { stack : Packet.stack; payload : string }
+
+let pp ppf = function
+  | Data p ->
+      Format.fprintf ppf "data %a (%d B)" Packet.pp_stack p.Packet.stack
+        (String.length p.Packet.payload)
+  | Insert { trigger; token } ->
+      Format.fprintf ppf "insert %a%s" Trigger.pp trigger
+        (match token with Some _ -> " +token" | None -> "")
+  | Remove { trigger } -> Format.fprintf ppf "remove %a" Trigger.pp trigger
+  | Challenge { trigger; _ } ->
+      Format.fprintf ppf "challenge for %a" Trigger.pp trigger
+  | Insert_ack { trigger; server } ->
+      Format.fprintf ppf "ack %a from %a" Trigger.pp trigger Net.pp_addr server
+  | Cache_info { prefix; server } ->
+      Format.fprintf ppf "cache-info %a -> %a" Id.pp prefix Net.pp_addr server
+  | Cache_push { triggers } ->
+      Format.fprintf ppf "cache-push (%d triggers)" (List.length triggers)
+  | Pushback { id; dead } ->
+      Format.fprintf ppf "pushback %a !-> %a" Id.pp id Id.pp dead
+  | Replica { trigger; lifetime } ->
+      Format.fprintf ppf "replica %a (%.0f ms)" Trigger.pp trigger lifetime
+  | Deliver { stack; payload } ->
+      Format.fprintf ppf "deliver %a (%d B)" Packet.pp_stack stack
+        (String.length payload)

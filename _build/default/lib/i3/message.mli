@@ -1,0 +1,35 @@
+(** Everything that crosses the simulated IP network in an i3 deployment:
+    data packets, the trigger control protocol (insert / refresh / remove /
+    challenge / ack), sender-cache feedback, hot-spot pushes between
+    servers, pushback, and final delivery to end-hosts. *)
+
+type t =
+  | Data of Packet.t  (** data packet, host-to-server or server-to-server *)
+  | Insert of {
+      trigger : Trigger.t;
+      token : string option;  (** challenge response, if re-sending *)
+    }
+  | Remove of { trigger : Trigger.t }
+  | Challenge of { trigger : Trigger.t; token : string }
+      (** sent to the trigger's {e target address} (Sec. IV-J3) *)
+  | Insert_ack of { trigger : Trigger.t; server : Packet.addr }
+      (** lets hosts detect dead gateways / servers and re-home *)
+  | Cache_info of { prefix : Id.t; server : Packet.addr }
+      (** "I am the server for this prefix" feedback to a sender whose
+          packet had the refreshing flag set (Sec. IV-E) *)
+  | Cache_push of { triggers : (Trigger.t * float) list }
+      (** hot-spot relief: the responsible server replicates a whole
+          prefix bucket (trigger, remaining lifetime ms) onto its
+          predecessor (Sec. IV-F) *)
+  | Pushback of { id : Id.t; dead : Id.t }
+      (** "remove your triggers with identifier [id] pointing at [dead]";
+          cascades dead-end chains away (Sec. IV-J2) *)
+  | Replica of { trigger : Trigger.t; lifetime : float }
+      (** overlay-managed replication (Sec. IV-C, second solution): the
+          responsible server mirrors each accepted trigger onto its
+          immediate successor so a failure leaves no delivery gap *)
+  | Deliver of { stack : Packet.stack; payload : string }
+      (** final IP hop from server to end-host: the rest of the stack is
+          handed to the application (Sec. II-E) *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,195 @@
+type addr = Net.addr
+
+type stack_entry = Sid of Id.t | Saddr of addr
+
+let pp_entry ppf = function
+  | Sid id -> Format.fprintf ppf "id:%a" Id.pp id
+  | Saddr a -> Format.fprintf ppf "addr:%a" Net.pp_addr a
+
+let entry_equal a b =
+  match (a, b) with
+  | Sid x, Sid y -> Id.equal x y
+  | Saddr x, Saddr y -> x = y
+  | Sid _, Saddr _ | Saddr _, Sid _ -> false
+
+type stack = stack_entry list
+
+let pp_stack ppf s =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       pp_entry)
+    s
+
+let stack_equal a b =
+  List.length a = List.length b && List.for_all2 entry_equal a b
+
+let max_stack_depth = 4
+let default_ttl = 32
+let header_bytes = 48
+
+type t = {
+  stack : stack;
+  payload : string;
+  refresh : bool;
+  match_required : bool;
+  sender : addr option;
+  prev_trigger : (addr * Id.t) option;
+  ttl : int;
+}
+
+let make ?(refresh = false) ?(match_required = false) ?sender
+    ?(ttl = default_ttl) ~stack ~payload () =
+  if stack = [] then invalid_arg "Packet.make: empty identifier stack";
+  if List.length stack > max_stack_depth then
+    invalid_arg "Packet.make: identifier stack too deep";
+  { stack; payload; refresh; match_required; sender; prev_trigger = None; ttl }
+
+(* --- wire format ---
+   Header (48 bytes):
+     0..1   magic 0x69 0x33 ("i3")
+     2      version (1)
+     3      flags: 1=refresh, 2=match_required, 4=sender, 8=prev_trigger
+     4      stack entry count
+     5      ttl
+     6..7   reserved (0)
+     8..11  payload length, big-endian
+     12..19 sender address (or 0)
+     20..27 previous-hop server address (or 0)
+     28..47 reserved (0)
+   Body: [32-byte prev trigger id if flagged] entries ([0x00 | id32] or
+   [0x01 | addr8]) then payload. *)
+
+let magic0 = '\x69'
+let magic1 = '\x33'
+let version = '\x01'
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u64 buf v =
+  for i = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let entry_wire_length = function Sid _ -> 1 + Id.byte_length | Saddr _ -> 9
+
+let wire_length t =
+  header_bytes
+  + (match t.prev_trigger with Some _ -> Id.byte_length | None -> 0)
+  + List.fold_left (fun acc e -> acc + entry_wire_length e) 0 t.stack
+  + String.length t.payload
+
+let encode t =
+  let buf = Buffer.create (wire_length t) in
+  Buffer.add_char buf magic0;
+  Buffer.add_char buf magic1;
+  Buffer.add_char buf version;
+  let flags =
+    (if t.refresh then 1 else 0)
+    lor (if t.match_required then 2 else 0)
+    lor (match t.sender with Some _ -> 4 | None -> 0)
+    lor match t.prev_trigger with Some _ -> 8 | None -> 0
+  in
+  Buffer.add_char buf (Char.chr flags);
+  Buffer.add_char buf (Char.chr (List.length t.stack));
+  Buffer.add_char buf (Char.chr (t.ttl land 0xff));
+  Buffer.add_char buf '\x00';
+  Buffer.add_char buf '\x00';
+  put_u32 buf (String.length t.payload);
+  put_u64 buf (Int64.of_int (Option.value ~default:0 t.sender));
+  put_u64 buf
+    (Int64.of_int (match t.prev_trigger with Some (a, _) -> a | None -> 0));
+  Buffer.add_string buf (String.make 20 '\x00');
+  (match t.prev_trigger with
+  | Some (_, id) -> Buffer.add_string buf (Id.to_raw_string id)
+  | None -> ());
+  List.iter
+    (fun e ->
+      match e with
+      | Sid id ->
+          Buffer.add_char buf '\x00';
+          Buffer.add_string buf (Id.to_raw_string id)
+      | Saddr a ->
+          Buffer.add_char buf '\x01';
+          put_u64 buf (Int64.of_int a))
+    t.stack;
+  Buffer.add_string buf t.payload;
+  Buffer.contents buf
+
+let get_u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let get_u64 s off =
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code s.[off + i]))
+  done;
+  Int64.to_int !acc
+
+let decode s =
+  let len = String.length s in
+  let ( let* ) r f = Result.bind r f in
+  let need n what = if len >= n then Ok () else Error ("truncated " ^ what) in
+  let* () = need header_bytes "header" in
+  let* () =
+    if s.[0] = magic0 && s.[1] = magic1 then Ok () else Error "bad magic"
+  in
+  let* () = if s.[2] = version then Ok () else Error "unknown version" in
+  let flags = Char.code s.[3] in
+  let count = Char.code s.[4] in
+  let ttl = Char.code s.[5] in
+  let* () =
+    if count >= 1 && count <= max_stack_depth then Ok ()
+    else Error "bad stack depth"
+  in
+  let payload_len = get_u32 s 8 in
+  let sender = if flags land 4 <> 0 then Some (get_u64 s 12) else None in
+  let prev_addr = get_u64 s 20 in
+  let pos = ref header_bytes in
+  let* prev_trigger =
+    if flags land 8 <> 0 then begin
+      let* () = need (!pos + Id.byte_length) "prev trigger id" in
+      let id = Id.of_raw_string (String.sub s !pos Id.byte_length) in
+      pos := !pos + Id.byte_length;
+      Ok (Some (prev_addr, id))
+    end
+    else Ok None
+  in
+  let rec read_entries k acc =
+    if k = 0 then Ok (List.rev acc)
+    else
+      let* () = need (!pos + 1) "entry tag" in
+      match s.[!pos] with
+      | '\x00' ->
+          let* () = need (!pos + 1 + Id.byte_length) "entry id" in
+          let id = Id.of_raw_string (String.sub s (!pos + 1) Id.byte_length) in
+          pos := !pos + 1 + Id.byte_length;
+          read_entries (k - 1) (Sid id :: acc)
+      | '\x01' ->
+          let* () = need (!pos + 9) "entry addr" in
+          let a = get_u64 s (!pos + 1) in
+          pos := !pos + 9;
+          read_entries (k - 1) (Saddr a :: acc)
+      | _ -> Error "unknown entry tag"
+  in
+  let* stack = read_entries count [] in
+  let* () = need (!pos + payload_len) "payload" in
+  let payload = String.sub s !pos payload_len in
+  Ok
+    {
+      stack;
+      payload;
+      refresh = flags land 1 <> 0;
+      match_required = flags land 2 <> 0;
+      sender;
+      prev_trigger;
+      ttl;
+    }

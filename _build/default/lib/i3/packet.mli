@@ -1,0 +1,74 @@
+(** i3 packets: an identifier stack plus an opaque payload (Sec. II-E).
+
+    A packet [(id_stack, data)] is forwarded based on the first identifier
+    of its stack; triggers may rewrite the head into their own stacks, and
+    an [Addr] head means "hand the rest of the stack and the payload to
+    this end-host over IP".
+
+    The wire format mirrors the prototype: a fixed 48-byte header followed
+    by up to four stack entries and the payload (Sec. V-C reports a common
+    48-byte header and data packets carrying "a stack of up to four
+    triggers").  En/decoding is exercised by the Fig. 10/12 forwarding
+    benchmarks so payload-size-dependent costs are realistic. *)
+
+type addr = Net.addr
+
+type stack_entry =
+  | Sid of Id.t  (** route further through i3 *)
+  | Saddr of addr  (** deliver via IP to an end-host *)
+
+val pp_entry : Format.formatter -> stack_entry -> unit
+val entry_equal : stack_entry -> stack_entry -> bool
+
+type stack = stack_entry list
+
+val pp_stack : Format.formatter -> stack -> unit
+val stack_equal : stack -> stack -> bool
+
+val max_stack_depth : int
+(** 4, as in the prototype. *)
+
+type t = {
+  stack : stack;
+  payload : string;
+  refresh : bool;
+      (** the header's refreshing flag [r]: ask the responsible server to
+          report its address back to the sender so subsequent packets go
+          direct (Sec. IV-E) *)
+  match_required : bool;
+      (** header flag: drop rather than pop when the head identifier finds
+          no trigger — used when every stack element must match, e.g.
+          heterogeneous multicast with backup triggers (Sec. IV-C) *)
+  sender : addr option;
+      (** where [Cache_info] feedback and challenges are sent *)
+  prev_trigger : (addr * Id.t) option;
+      (** provenance for pushback: the server that last applied a trigger
+          and that trigger's identifier (Sec. IV-J2) *)
+  ttl : int;  (** residual hop/rewrite budget; a transport-level loop stop *)
+}
+
+val make :
+  ?refresh:bool ->
+  ?match_required:bool ->
+  ?sender:addr ->
+  ?ttl:int ->
+  stack:stack ->
+  payload:string ->
+  unit ->
+  t
+(** Build a packet. @raise Invalid_argument on an empty or over-deep
+    stack. *)
+
+val default_ttl : int
+
+val header_bytes : int
+(** 48. *)
+
+val encode : t -> string
+(** Serialize to the wire format. *)
+
+val decode : string -> (t, string) result
+(** Parse a wire packet; [Error] describes the first malformed field. *)
+
+val wire_length : t -> int
+(** Length [encode] would produce, without allocating. *)

@@ -1,0 +1,343 @@
+type config = {
+  trigger_lifetime : float;
+  check_constraints : bool;
+  challenge_hosts : bool;
+  hot_spot_threshold : int option;
+  hot_spot_window : float;
+  cache_push_lifetime : float;
+  sweep_period : float;
+  replicate : bool;
+}
+
+let default_config =
+  {
+    trigger_lifetime = Trigger.default_lifetime_ms;
+    check_constraints = false;
+    challenge_hosts = false;
+    hot_spot_threshold = None;
+    hot_spot_window = 1_000.;
+    cache_push_lifetime = 10_000.;
+    sweep_period = 5_000.;
+    replicate = false;
+  }
+
+type stats = {
+  mutable data_received : int;
+  mutable data_forwarded : int;
+  mutable deliveries : int;
+  mutable matched_packets : int;
+  mutable drops : int;
+  mutable inserts_accepted : int;
+  mutable inserts_rejected : int;
+  mutable challenges_sent : int;
+  mutable pushbacks_sent : int;
+  mutable cache_hits : int;
+  mutable cache_pushes : int;
+}
+
+let fresh_stats () =
+  {
+    data_received = 0;
+    data_forwarded = 0;
+    deliveries = 0;
+    matched_packets = 0;
+    drops = 0;
+    inserts_accepted = 0;
+    inserts_rejected = 0;
+    challenges_sent = 0;
+    pushbacks_sent = 0;
+    cache_hits = 0;
+    cache_pushes = 0;
+  }
+
+type ring_view = {
+  owns : Id.t -> bool;
+  next_hop : Id.t -> Packet.addr option;
+  successor_addr : unit -> Packet.addr option;
+  predecessor_addr : unit -> Packet.addr option;
+}
+
+type t = {
+  engine : Engine.t;
+  net : Message.t Net.t;
+  mutable view : ring_view;
+  id : Id.t;
+  mutable addr : Packet.addr;
+  cfg : config;
+  table : Trigger_table.t;
+  cache : Trigger_table.t;
+  replicas : Trigger_table.t;
+  (* hot-spot accounting: identifier -> (window start, matches in window) *)
+  heat : (Id.t, float * int) Hashtbl.t;
+  secret : string;
+  stats : stats;
+  mutable alive : bool;
+  mutable sweeper : Engine.timer option;
+}
+
+let addr t = t.addr
+let id t = t.id
+let config t = t.cfg
+let stats t = t.stats
+let triggers t = t.table
+let cached_triggers t = t.cache
+let replica_triggers t = t.replicas
+let is_alive t = t.alive
+
+let now t = Engine.now t.engine
+
+let is_responsible t i3_id = t.view.owns i3_id
+
+let send t dst msg = Net.send t.net ~src:t.addr ~dst msg
+
+let forward_overlay t i3_id msg =
+  match t.view.next_hop i3_id with
+  | Some next ->
+      t.stats.data_forwarded <- t.stats.data_forwarded + 1;
+      send t next msg;
+      true
+  | None -> false
+
+(* --- hot-spot relief (Sec. IV-F) --- *)
+
+let push_bucket t i3_id =
+  let entries = Trigger_table.bucket_entries t.table ~now:(now t) i3_id in
+  if entries <> [] then begin
+    let capped =
+      List.map
+        (fun (tr, remaining) -> (tr, Float.min remaining t.cfg.cache_push_lifetime))
+        entries
+    in
+    match t.view.predecessor_addr () with
+    | Some pred when pred <> t.addr ->
+        t.stats.cache_pushes <- t.stats.cache_pushes + 1;
+        send t pred (Message.Cache_push { triggers = capped })
+    | Some _ | None -> ()
+  end
+
+let note_match t i3_id =
+  match t.cfg.hot_spot_threshold with
+  | None -> ()
+  | Some threshold ->
+      let time = now t in
+      let start, count =
+        match Hashtbl.find_opt t.heat i3_id with
+        | Some (s, c) when time -. s <= t.cfg.hot_spot_window -> (s, c)
+        | _ -> (time, 0)
+      in
+      let count = count + 1 in
+      Hashtbl.replace t.heat i3_id (start, count);
+      if count = threshold then push_bucket t i3_id
+
+(* --- the Fig. 3 forwarding engine --- *)
+
+let drop t = t.stats.drops <- t.stats.drops + 1
+
+let pushback_if_provenanced t (p : Packet.t) dead_id =
+  match p.prev_trigger with
+  | Some (server, trigger_id) ->
+      t.stats.pushbacks_sent <- t.stats.pushbacks_sent + 1;
+      send t server (Message.Pushback { id = trigger_id; dead = dead_id })
+  | None -> ()
+
+let rec process_packet t (p : Packet.t) =
+  if p.ttl <= 0 then drop t
+  else
+    match p.stack with
+    | [] -> drop t
+    | Packet.Saddr a :: rest ->
+        t.stats.deliveries <- t.stats.deliveries + 1;
+        send t a (Message.Deliver { stack = rest; payload = p.payload })
+    | Packet.Sid head :: rest ->
+        if is_responsible t head then serve t ~table:t.table p head rest
+        else if Trigger_table.find_matches t.cache ~now:(now t) head <> []
+        then begin
+          t.stats.cache_hits <- t.stats.cache_hits + 1;
+          serve t ~table:t.cache p head rest
+        end
+        else if not (forward_overlay t head (Message.Data p)) then
+          (* Routing says we are responsible after all (stale view). *)
+          serve t ~table:t.table p head rest
+
+and serve t ~table (p : Packet.t) head rest =
+  (* Sender-cache feedback: the responsible server reports its address so
+     subsequent packets skip the overlay (Sec. IV-E). *)
+  (match (p.refresh, p.sender) with
+  | true, Some s ->
+      send t s
+        (Message.Cache_info { prefix = Id.routing_key head; server = t.addr })
+  | _ -> ());
+  let matches =
+    match Trigger_table.find_matches table ~now:(now t) head with
+    | [] when t.cfg.replicate && table == t.table ->
+        (* The predecessor may have died before the owners' next refresh:
+           promote any mirrored bucket for this prefix and retry. *)
+        let mirrored = Trigger_table.bucket_entries t.replicas ~now:(now t) head in
+        if mirrored = [] then []
+        else begin
+          List.iter
+            (fun (tr, remaining) ->
+              Trigger_table.insert t.table ~now:(now t)
+                ~expires:(now t +. remaining) tr)
+            mirrored;
+          Trigger_table.find_matches t.table ~now:(now t) head
+        end
+    | m -> m
+  in
+  match matches with
+  | [] ->
+      if p.match_required then begin
+        pushback_if_provenanced t p head;
+        drop t
+      end
+      else if rest = [] then begin
+        (* Dead end: the chain that sent us here leads nowhere. *)
+        pushback_if_provenanced t p head;
+        drop t
+      end
+      else process_packet t { p with stack = rest }
+  | matches ->
+      t.stats.matched_packets <- t.stats.matched_packets + 1;
+      note_match t head;
+      List.iter
+        (fun (tr : Trigger.t) ->
+          let stack = tr.Trigger.stack @ rest in
+          if List.length stack > Packet.max_stack_depth then drop t
+          else
+            process_packet t
+              {
+                p with
+                stack;
+                prev_trigger = Some (t.addr, tr.Trigger.id);
+                ttl = p.ttl - 1;
+              })
+        matches
+
+(* --- control traffic --- *)
+
+let accept_insert t (trigger : Trigger.t) =
+  Trigger_table.insert t.table ~now:(now t)
+    ~expires:(now t +. t.cfg.trigger_lifetime)
+    trigger;
+  t.stats.inserts_accepted <- t.stats.inserts_accepted + 1;
+  (if t.cfg.replicate then
+     match t.view.successor_addr () with
+     | Some succ when succ <> t.addr ->
+         send t succ
+           (Message.Replica { trigger; lifetime = t.cfg.trigger_lifetime })
+     | Some _ | None -> ());
+  send t trigger.Trigger.owner
+    (Message.Insert_ack { trigger; server = t.addr });
+  (* Keep pushed copies coherent while the identifier is hot. *)
+  match t.cfg.hot_spot_threshold with
+  | Some threshold -> (
+      match Hashtbl.find_opt t.heat trigger.Trigger.id with
+      | Some (_, c) when c >= threshold -> push_bucket t trigger.Trigger.id
+      | _ -> ())
+  | None -> ()
+
+let handle_insert t (trigger : Trigger.t) token =
+  if not (is_responsible t trigger.Trigger.id) then
+    ignore (forward_overlay t trigger.Trigger.id (Message.Insert { trigger; token }))
+  else
+    match
+      Security.vet ~check_constraints:t.cfg.check_constraints
+        ~challenge_hosts:t.cfg.challenge_hosts ~secret:t.secret ~token trigger
+    with
+    | Security.Accept -> accept_insert t trigger
+    | Security.Reject_constraint ->
+        t.stats.inserts_rejected <- t.stats.inserts_rejected + 1
+    | Security.Needs_challenge -> (
+        match trigger.Trigger.stack with
+        | Packet.Saddr target :: _ ->
+            t.stats.challenges_sent <- t.stats.challenges_sent + 1;
+            let token =
+              Security.challenge_token ~secret:t.secret
+                ~id:trigger.Trigger.id ~target
+            in
+            send t target (Message.Challenge { trigger; token })
+        | _ -> t.stats.inserts_rejected <- t.stats.inserts_rejected + 1)
+
+let handle_remove t (trigger : Trigger.t) =
+  if not (is_responsible t trigger.Trigger.id) then
+    ignore (forward_overlay t trigger.Trigger.id (Message.Remove { trigger }))
+  else ignore (Trigger_table.remove t.table trigger)
+
+let handle_cache_push t entries =
+  let time = now t in
+  List.iter
+    (fun ((tr : Trigger.t), remaining) ->
+      if remaining > 0. then
+        Trigger_table.insert t.cache ~now:time ~expires:(time +. remaining) tr)
+    entries
+
+let handle_pushback t ~id ~dead =
+  let removed =
+    Trigger_table.remove_matching t.table ~id ~target:dead
+    + Trigger_table.remove_matching t.cache ~id ~target:dead
+  in
+  ignore removed
+
+let handle_packet t p = if t.alive then process_packet t p
+
+let handle t ~src:_ (msg : Message.t) =
+  if t.alive then
+    match msg with
+    | Message.Data p ->
+        t.stats.data_received <- t.stats.data_received + 1;
+        process_packet t p
+    | Message.Insert { trigger; token } -> handle_insert t trigger token
+    | Message.Remove { trigger } -> handle_remove t trigger
+    | Message.Cache_push { triggers } -> handle_cache_push t triggers
+    | Message.Pushback { id; dead } -> handle_pushback t ~id ~dead
+    | Message.Replica { trigger; lifetime } ->
+        if lifetime > 0. then
+          Trigger_table.insert t.replicas ~now:(now t)
+            ~expires:(now t +. lifetime) trigger
+    | Message.Challenge _ | Message.Insert_ack _ | Message.Cache_info _
+    | Message.Deliver _ ->
+        (* Host-bound control traffic; not for servers. *)
+        ()
+
+let handle_message = handle
+
+let create ~engine ~net ~view ~site ~id ?(config = default_config) () =
+  let t =
+    {
+      engine;
+      net;
+      view;
+      id;
+      addr = -1;
+      cfg = config;
+      table = Trigger_table.create ();
+      cache = Trigger_table.create ();
+      replicas = Trigger_table.create ();
+      heat = Hashtbl.create 64;
+      secret = Sha256.digest ("i3-server-secret:" ^ Id.to_raw_string id);
+      stats = fresh_stats ();
+      alive = true;
+      sweeper = None;
+    }
+  in
+  t.addr <- Net.register net ~site (fun ~src msg -> handle t ~src msg);
+  t.sweeper <-
+    Some
+      (Engine.every engine ~period:config.sweep_period (fun () ->
+           if t.alive then begin
+             ignore (Trigger_table.expire t.table ~now:(now t));
+             ignore (Trigger_table.expire t.cache ~now:(now t));
+             ignore (Trigger_table.expire t.replicas ~now:(now t))
+           end));
+  t
+
+let set_view t view = t.view <- view
+
+let kill t =
+  t.alive <- false;
+  Net.set_down t.net t.addr;
+  match t.sweeper with
+  | Some timer ->
+      Engine.cancel timer;
+      t.sweeper <- None
+  | None -> ()

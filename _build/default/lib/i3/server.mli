@@ -1,0 +1,117 @@
+(** An i3 server: stores triggers for its arc of the identifier space and
+    forwards packets (paper Fig. 3 and Sec. IV).
+
+    On a data packet whose head identifier it is responsible for, the
+    server longest-prefix-matches the head against its triggers; every
+    matching trigger's stack is prepended to the rest of the packet's stack
+    and the packet is re-processed — delivering via "IP" when the new head
+    is an address, re-entering the overlay when it is an identifier, and
+    popping the head (or dropping, if the packet's match-required flag is
+    set) when nothing matches.  Packets it is not responsible for are
+    relayed one Chord hop via {!Chord.Routing}, unless a hot-spot cache
+    pushed the relevant prefix bucket here, in which case the server
+    answers from the cache (Sec. IV-F).
+
+    Implemented defenses: sender-cache feedback (refreshing flag,
+    Sec. IV-E), trigger constraints and challenges (Sec. IV-J), pushback of
+    dead-end trigger chains (Sec. IV-J2), and soft-state expiry
+    (Sec. IV-C). *)
+
+type config = {
+  trigger_lifetime : float;  (** ms a stored trigger lives between refreshes *)
+  check_constraints : bool;
+  challenge_hosts : bool;
+  hot_spot_threshold : int option;
+      (** matches of a single identifier within one window that trip a
+          cache push; [None] disables hot-spot relief *)
+  hot_spot_window : float;  (** ms *)
+  cache_push_lifetime : float;
+      (** cap on how long pushed copies live at the neighbor *)
+  sweep_period : float;  (** ms between expiry sweeps *)
+  replicate : bool;
+      (** overlay-managed replication (Sec. IV-C, second solution): mirror
+          each accepted trigger onto the ring successor, so a server
+          failure leaves no window where packets are lost while hosts wait
+          for their next refresh *)
+}
+
+val default_config : config
+(** 30 s lifetime, constraints and challenges off (they are opt-in, as apps
+    must construct compliant triggers), hot-spot off, 5 s sweeps. *)
+
+type stats = {
+  mutable data_received : int;
+  mutable data_forwarded : int;  (** overlay hops taken by packets *)
+  mutable deliveries : int;  (** IP sends to end-hosts *)
+  mutable matched_packets : int;
+  mutable drops : int;
+  mutable inserts_accepted : int;
+  mutable inserts_rejected : int;
+  mutable challenges_sent : int;
+  mutable pushbacks_sent : int;
+  mutable cache_hits : int;  (** packets served from pushed triggers *)
+  mutable cache_pushes : int;
+}
+
+type ring_view = {
+  owns : Id.t -> bool;
+      (** does this server store triggers for the identifier? *)
+  next_hop : Id.t -> Packet.addr option;
+      (** overlay next hop toward the identifier's responsible server;
+          [None] when this server owns it *)
+  successor_addr : unit -> Packet.addr option;
+      (** ring successor (replication target, Sec. IV-C) *)
+  predecessor_addr : unit -> Packet.addr option;
+      (** ring predecessor (hot-spot push target, Sec. IV-F) *)
+}
+(** How a server sees the ring.  {!Deployment} derives it from the static
+    oracle; {!Dynamic} derives it from a live {!Chord.Protocol} node, so
+    the very same forwarding engine runs over either substrate. *)
+
+type t
+
+val create :
+  engine:Engine.t ->
+  net:Message.t Net.t ->
+  view:ring_view ->
+  site:int ->
+  id:Id.t ->
+  ?config:config ->
+  unit ->
+  t
+(** Register a server endpoint at [site] with the given ring view. *)
+
+val set_view : t -> ring_view -> unit
+(** Install a new ring view after membership changed. *)
+
+val addr : t -> Packet.addr
+val id : t -> Id.t
+val config : t -> config
+val stats : t -> stats
+val triggers : t -> Trigger_table.t
+val cached_triggers : t -> Trigger_table.t
+
+val replica_triggers : t -> Trigger_table.t
+(** Triggers mirrored here by the predecessor (empty unless
+    [config.replicate]); promoted into the live table the moment this
+    server becomes responsible for them. *)
+
+val is_responsible : t -> Id.t -> bool
+(** Whether this server owns the routing key of the identifier. *)
+
+val kill : t -> unit
+(** Fail-stop: stop answering; stored triggers die with the server (hosts
+    re-insert them on refresh — Sec. IV-C). *)
+
+val is_alive : t -> bool
+
+val handle_packet : t -> Packet.t -> unit
+(** Process a data packet as if received from the network (also the
+    microbenchmark entry point; normal traffic arrives via the endpoint
+    handler). *)
+
+val handle_message : t -> src:Packet.addr -> Message.t -> unit
+(** Full message entry point (control + data) — what the endpoint handler
+    invokes; exposed for direct-call microbenchmarks of e.g. trigger
+    insertion (paper Sec. V-D measures "handling an insert trigger request
+    locally"). *)

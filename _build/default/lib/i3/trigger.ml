@@ -1,0 +1,29 @@
+type t = {
+  id : Id.t;
+  stack : Packet.stack;
+  owner : Packet.addr;
+}
+
+let make ~id ~stack ~owner =
+  if stack = [] then invalid_arg "Trigger.make: empty stack";
+  if List.length stack > Packet.max_stack_depth then
+    invalid_arg "Trigger.make: stack too deep";
+  { id; stack; owner }
+
+let to_host ~id ~owner = make ~id ~stack:[ Packet.Saddr owner ] ~owner
+
+let points_to_host t =
+  match t.stack with Packet.Saddr _ :: _ -> true | _ -> false
+
+let target_id t = match t.stack with Packet.Sid id :: _ -> Some id | _ -> None
+
+let same_binding a b =
+  Id.equal a.id b.id && Packet.stack_equal a.stack b.stack && a.owner = b.owner
+
+let equal = same_binding
+
+let pp ppf t =
+  Format.fprintf ppf "(%a -> %a by %a)" Id.pp t.id Packet.pp_stack t.stack
+    Net.pp_addr t.owner
+
+let default_lifetime_ms = 30_000.

@@ -1,0 +1,39 @@
+(** Triggers: the receiver-installed half of the rendezvous (Sec. II-B/E).
+
+    A trigger [(id, stack)] asks the infrastructure to rewrite packets
+    whose head matches [id] with [stack] — in the common case
+    [stack = [Saddr receiver]], i.e. "deliver to me via IP".  Triggers are
+    soft state: the owner refreshes them periodically (the prototype uses
+    30 s) and servers drop them on expiry, which is what makes server
+    failure recovery and end-host departure automatic (Sec. IV-C). *)
+
+type t = {
+  id : Id.t;
+  stack : Packet.stack;
+  owner : Packet.addr;
+      (** end-host that inserted the trigger: receives acks, challenges and
+          is the unit of replacement on refresh *)
+}
+
+val make : id:Id.t -> stack:Packet.stack -> owner:Packet.addr -> t
+(** @raise Invalid_argument on an empty or over-deep stack. *)
+
+val to_host : id:Id.t -> owner:Packet.addr -> t
+(** The common [(id, [Saddr owner])] trigger. *)
+
+val points_to_host : t -> bool
+(** Head of the stack is an address (subject to challenges, Sec. IV-J3). *)
+
+val target_id : t -> Id.t option
+(** Head of the stack when it is an identifier (subject to trigger
+    constraints, Sec. IV-J1). *)
+
+val same_binding : t -> t -> bool
+(** Equal id, stack and owner: a refresh replaces exactly this binding. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val default_lifetime_ms : float
+(** 30 000 ms, the prototype's trigger expiry ("triggers need to be updated
+    every 30 s or they will expire", Sec. V-C). *)

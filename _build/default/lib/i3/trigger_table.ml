@@ -1,0 +1,171 @@
+type entry = { trigger : Trigger.t; mutable expires : float }
+
+(* Bucket: groups of triggers sharing a full identifier, sorted by id. *)
+type group = { gid : Id.t; mutable entries : entry list }
+
+type t = {
+  buckets : (string, group list ref) Hashtbl.t; (* key: 16-byte k-prefix *)
+  mutable count : int;
+}
+
+let create () = { buckets = Hashtbl.create 64; count = 0 }
+
+let prefix_key id =
+  String.sub (Id.to_raw_string id) 0 (Id.prefix_bits / 8)
+
+let bucket_ref t id =
+  let key = prefix_key id in
+  match Hashtbl.find_opt t.buckets key with
+  | Some b -> b
+  | None ->
+      let b = ref [] in
+      Hashtbl.add t.buckets key b;
+      b
+
+let insert t ~now ~expires trigger =
+  if expires <= now then invalid_arg "Trigger_table.insert: already expired";
+  let b = bucket_ref t trigger.Trigger.id in
+  let rec place = function
+    | [] -> [ { gid = trigger.Trigger.id; entries = [] } ]
+    | g :: rest as groups ->
+        let c = Id.compare trigger.Trigger.id g.gid in
+        if c = 0 then groups
+        else if c < 0 then { gid = trigger.Trigger.id; entries = [] } :: groups
+        else g :: place rest
+  in
+  b := place !b;
+  let g = List.find (fun g -> Id.equal g.gid trigger.Trigger.id) !b in
+  match
+    List.find_opt (fun e -> Trigger.same_binding e.trigger trigger) g.entries
+  with
+  | Some e -> e.expires <- max e.expires expires
+  | None ->
+      g.entries <- { trigger; expires } :: g.entries;
+      t.count <- t.count + 1
+
+let drop_group_if_empty t id =
+  let key = prefix_key id in
+  match Hashtbl.find_opt t.buckets key with
+  | None -> ()
+  | Some b ->
+      b := List.filter (fun g -> g.entries <> []) !b;
+      if !b = [] then Hashtbl.remove t.buckets key
+
+let remove t trigger =
+  let key = prefix_key trigger.Trigger.id in
+  match Hashtbl.find_opt t.buckets key with
+  | None -> false
+  | Some b -> (
+      match
+        List.find_opt (fun g -> Id.equal g.gid trigger.Trigger.id) !b
+      with
+      | None -> false
+      | Some g ->
+          let before = List.length g.entries in
+          g.entries <-
+            List.filter
+              (fun e -> not (Trigger.same_binding e.trigger trigger))
+              g.entries;
+          let removed = before - List.length g.entries in
+          t.count <- t.count - removed;
+          drop_group_if_empty t trigger.Trigger.id;
+          removed > 0)
+
+let remove_matching t ~id ~target =
+  let key = prefix_key id in
+  match Hashtbl.find_opt t.buckets key with
+  | None -> 0
+  | Some b -> (
+      match List.find_opt (fun g -> Id.equal g.gid id) !b with
+      | None -> 0
+      | Some g ->
+          let points_at e =
+            match Trigger.target_id e.trigger with
+            | Some tid -> Id.equal tid target
+            | None -> false
+          in
+          let before = List.length g.entries in
+          g.entries <- List.filter (fun e -> not (points_at e)) g.entries;
+          let removed = before - List.length g.entries in
+          t.count <- t.count - removed;
+          drop_group_if_empty t id;
+          removed)
+
+let live_entries t ~now g =
+  let live, dead = List.partition (fun e -> e.expires > now) g.entries in
+  if dead <> [] then begin
+    g.entries <- live;
+    t.count <- t.count - List.length dead
+  end;
+  live
+
+let find_matches t ~now pid =
+  let key = prefix_key pid in
+  match Hashtbl.find_opt t.buckets key with
+  | None -> []
+  | Some b ->
+      (* Within the bucket every group already shares >= k bits with the
+         packet id; pick the group with the longest common prefix.  Groups
+         are sorted, and the first group encountered wins ties, i.e. the
+         smaller identifier. *)
+      let best = ref None in
+      List.iter
+        (fun g ->
+          if live_entries t ~now g <> [] then begin
+            let l = Id.common_prefix_len g.gid pid in
+            match !best with
+            | Some (bl, _) when bl >= l -> ()
+            | _ -> best := Some (l, g)
+          end)
+        !b;
+      (match !best with
+      | None -> []
+      | Some (_, g) -> List.map (fun e -> e.trigger) (live_entries t ~now g))
+
+let bucket_of t ~now pid =
+  let key = prefix_key pid in
+  match Hashtbl.find_opt t.buckets key with
+  | None -> []
+  | Some b ->
+      List.concat_map
+        (fun g -> List.map (fun e -> e.trigger) (live_entries t ~now g))
+        !b
+
+let bucket_entries t ~now pid =
+  let key = prefix_key pid in
+  match Hashtbl.find_opt t.buckets key with
+  | None -> []
+  | Some b ->
+      List.concat_map
+        (fun g ->
+          ignore (live_entries t ~now g);
+          List.map (fun e -> (e.trigger, e.expires -. now)) g.entries)
+        !b
+
+let expire t ~now =
+  let dropped = ref 0 in
+  let empty_keys = ref [] in
+  Hashtbl.iter
+    (fun key b ->
+      List.iter
+        (fun g ->
+          let live = List.filter (fun e -> e.expires > now) g.entries in
+          dropped := !dropped + (List.length g.entries - List.length live);
+          g.entries <- live)
+        !b;
+      b := List.filter (fun g -> g.entries <> []) !b;
+      if !b = [] then empty_keys := key :: !empty_keys)
+    t.buckets;
+  List.iter (Hashtbl.remove t.buckets) !empty_keys;
+  t.count <- t.count - !dropped;
+  !dropped
+
+let size t = t.count
+
+let iter t f =
+  Hashtbl.iter
+    (fun _ b ->
+      List.iter
+        (fun g -> List.iter (fun e -> f e.trigger ~expires:e.expires) g.entries)
+        !b)
+    t.buckets

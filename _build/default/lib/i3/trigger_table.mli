@@ -1,0 +1,53 @@
+(** Per-server trigger storage with the paper's inexact matching rule.
+
+    Matching (Sec. II-B): a trigger id [t] matches a packet id [p] iff
+    (1) they share at least k = 128 leading bits and (2) no stored trigger
+    has a longer prefix match with [p].  Because all identifiers sharing a
+    k-bit prefix live on the same server (Sec. IV-A), the longest-prefix
+    search is local: the table is a hash map from the k-bit prefix to a
+    bucket of trigger groups sorted by full identifier, and the best match
+    is found inside a single bucket.  All triggers with the *winning
+    identifier* match — that is what makes multicast "many triggers with
+    the same id" (Sec. II-D2) work with no special casing.
+
+    Entries are soft state with absolute expiry timestamps (virtual-time
+    ms); refreshing re-inserts the same binding with a later deadline. *)
+
+type t
+
+val create : unit -> t
+
+val insert : t -> now:float -> expires:float -> Trigger.t -> unit
+(** Insert or refresh a binding. If an entry with the same id, stack and
+    owner exists, only its expiry is extended. *)
+
+val remove : t -> Trigger.t -> bool
+(** Remove an exact binding; [false] if absent. *)
+
+val remove_matching : t -> id:Id.t -> target:Id.t -> int
+(** Remove every trigger with identifier [id] whose stack head is
+    [Sid target]: the pushback primitive (Sec. IV-J2). Returns the number
+    removed. *)
+
+val find_matches : t -> now:float -> Id.t -> Trigger.t list
+(** Longest-prefix matching: all live triggers holding the winning
+    identifier (ties on prefix length broken toward the smaller id, for
+    determinism), or [] if nothing reaches the k-bit threshold. *)
+
+val bucket_of : t -> now:float -> Id.t -> Trigger.t list
+(** All live triggers sharing the k-bit prefix of the given id — the unit
+    pushed to a neighbor when a trigger becomes hot, because caching a
+    partial bucket could make a cached longest-prefix answer wrong
+    (Sec. IV-F). *)
+
+val bucket_entries : t -> now:float -> Id.t -> (Trigger.t * float) list
+(** Like {!bucket_of} but paired with each trigger's remaining lifetime in
+    ms — the payload of a hot-spot push. *)
+
+val expire : t -> now:float -> int
+(** Drop entries past their deadline; returns how many were dropped. *)
+
+val size : t -> int
+(** Number of stored bindings, including not-yet-collected expired ones. *)
+
+val iter : t -> (Trigger.t -> expires:float -> unit) -> unit

@@ -1,0 +1,1 @@
+lib/i3apps/anonymity.ml: I3 Id List

@@ -1,0 +1,1 @@
+lib/i3apps/anonymity.mli: I3 Id Rng

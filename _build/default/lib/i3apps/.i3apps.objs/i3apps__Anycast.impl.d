@@ -1,0 +1,1 @@
+lib/i3apps/anycast.ml: Bytes I3 Id String

@@ -1,0 +1,1 @@
+lib/i3apps/anycast.mli: I3 Id Rng

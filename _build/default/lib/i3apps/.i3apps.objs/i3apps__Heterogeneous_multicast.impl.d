@@ -1,0 +1,1 @@
+lib/i3apps/heterogeneous_multicast.ml: I3 Id

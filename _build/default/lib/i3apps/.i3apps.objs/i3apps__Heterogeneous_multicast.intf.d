@@ -1,0 +1,1 @@
+lib/i3apps/heterogeneous_multicast.mli: I3 Id Rng

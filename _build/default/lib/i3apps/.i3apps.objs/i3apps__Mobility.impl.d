@@ -1,0 +1,1 @@
+lib/i3apps/mobility.ml: Engine I3 Id List

@@ -1,0 +1,1 @@
+lib/i3apps/mobility.mli: Engine I3 Id Rng

@@ -1,0 +1,1 @@
+lib/i3apps/multicast.ml: I3 Id

@@ -1,0 +1,1 @@
+lib/i3apps/multicast.mli: I3 Id Rng

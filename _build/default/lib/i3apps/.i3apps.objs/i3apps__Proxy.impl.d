@@ -1,0 +1,1 @@
+lib/i3apps/proxy.ml: Char Hashtbl I3 Id Int64 Rng String

@@ -1,0 +1,1 @@
+lib/i3apps/proxy.mli: I3 Id Rng

@@ -1,0 +1,1 @@
+lib/i3apps/reliable.ml: Char Engine Hashtbl I3 Id Int64 List String

@@ -1,0 +1,1 @@
+lib/i3apps/reliable.mli: I3 Id Rng

@@ -1,0 +1,1 @@
+lib/i3apps/scalable_multicast.ml: Array Hashtbl I3 Id List Option

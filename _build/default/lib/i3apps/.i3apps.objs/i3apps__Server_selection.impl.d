@@ -1,0 +1,1 @@
+lib/i3apps/server_selection.ml: Anycast I3 Id List String

@@ -1,0 +1,1 @@
+lib/i3apps/server_selection.mli: Anycast I3 Id Rng

@@ -1,0 +1,1 @@
+lib/i3apps/service_composition.ml: I3 Id List

@@ -1,0 +1,1 @@
+lib/i3apps/service_composition.mli: I3 Id

@@ -1,0 +1,1 @@
+lib/i3apps/session.ml: Hashtbl I3 Id Rng String

@@ -1,0 +1,1 @@
+lib/i3apps/session.mli: I3 Id Rng

@@ -1,0 +1,1 @@
+lib/id/id.ml: Bytes Char Format Hashtbl Hex Int64 Rng Sha256 String

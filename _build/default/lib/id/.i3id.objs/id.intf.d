@@ -1,0 +1,1 @@
+lib/id/id.mli: Format Rng

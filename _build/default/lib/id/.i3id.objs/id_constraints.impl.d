@@ -1,0 +1,1 @@
+lib/id/id_constraints.ml: Id Sha256 String

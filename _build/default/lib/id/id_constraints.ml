@@ -1,0 +1,19 @@
+let key_bytes = 16
+
+let one_way tag key =
+  if String.length key <> key_bytes then
+    invalid_arg "Id_constraints: key must be 16 bytes";
+  String.sub (Sha256.digest (tag ^ key)) 0 key_bytes
+
+let h_l key = one_way "i3-constraint-left:" key
+let h_r key = one_way "i3-constraint-right:" key
+
+let left_constrained ~base ~target =
+  Id.with_key128 base (h_l (Id.key128 target))
+
+let right_constrained ~base ~source =
+  Id.with_key128 base (h_r (Id.key128 source))
+
+let check ~trigger_id ~target =
+  String.equal (Id.key128 trigger_id) (h_l (Id.key128 target))
+  || String.equal (Id.key128 target) (h_r (Id.key128 trigger_id))

@@ -1,0 +1,1 @@
+lib/simnet/net.ml: Array Engine Format Rng

@@ -1,0 +1,104 @@
+type addr = int
+
+let pp_addr ppf a = Format.fprintf ppf "@%d" a
+
+type 'msg endpoint = {
+  mutable site : int;
+  mutable handler : src:addr -> 'msg -> unit;
+  mutable up : bool;
+}
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped_loss : int;
+  dropped_down : int;
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  latency : int -> int -> float;
+  mutable endpoints : 'msg endpoint array;
+  mutable count : int;
+  mutable loss_rate : float;
+  mutable tap : (src:addr -> dst:addr -> 'msg -> unit) option;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped_loss : int;
+  mutable dropped_down : int;
+}
+
+let create engine ~rng ~latency () =
+  {
+    engine;
+    rng;
+    latency;
+    endpoints = [||];
+    count = 0;
+    loss_rate = 0.;
+    tap = None;
+    sent = 0;
+    delivered = 0;
+    dropped_loss = 0;
+    dropped_down = 0;
+  }
+
+let engine t = t.engine
+
+let endpoint t a =
+  if a < 0 || a >= t.count then invalid_arg "Net: unknown address";
+  t.endpoints.(a)
+
+let register t ~site handler =
+  if t.count = Array.length t.endpoints then begin
+    let ncap = max 16 (2 * t.count) in
+    let fresh = { site; handler; up = true } in
+    let bigger = Array.make ncap fresh in
+    Array.blit t.endpoints 0 bigger 0 t.count;
+    t.endpoints <- bigger
+  end;
+  t.endpoints.(t.count) <- { site; handler; up = true };
+  t.count <- t.count + 1;
+  t.count - 1
+
+let set_handler t a h = (endpoint t a).handler <- h
+let site t a = (endpoint t a).site
+let move t a new_site = (endpoint t a).site <- new_site
+
+let set_down t a = (endpoint t a).up <- false
+let set_up t a = (endpoint t a).up <- true
+let is_up t a = (endpoint t a).up
+
+let set_loss_rate t p =
+  if p < 0. || p >= 1. then invalid_arg "Net.set_loss_rate: need 0 <= p < 1";
+  t.loss_rate <- p
+
+let set_tap t f = t.tap <- Some f
+
+let send t ~src ~dst msg =
+  let s = endpoint t src and d = endpoint t dst in
+  t.sent <- t.sent + 1;
+  if not s.up then t.dropped_down <- t.dropped_down + 1
+  else if t.loss_rate > 0. && Rng.float t.rng 1. < t.loss_rate then
+    t.dropped_loss <- t.dropped_loss + 1
+  else begin
+    let delay = t.latency s.site d.site in
+    Engine.schedule t.engine ~delay (fun () ->
+        if d.up then begin
+          t.delivered <- t.delivered + 1;
+          (match t.tap with Some f -> f ~src ~dst msg | None -> ());
+          d.handler ~src msg
+        end
+        else t.dropped_down <- t.dropped_down + 1)
+  end
+
+let stats t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped_loss = t.dropped_loss;
+    dropped_down = t.dropped_down;
+  }
+
+let endpoint_count t = t.count

@@ -1,0 +1,61 @@
+(** Best-effort datagram network over the event engine: the "IP layer".
+
+    Endpoints attach at topology *sites*; a message from endpoint [a] to
+    endpoint [b] is delivered after [latency site_a site_b] ms of virtual
+    time, or silently dropped under the configured loss rate or if either
+    endpoint is down — exactly the best-effort, no-ordering, no-reliability
+    service i3 assumes of IP (paper Sec. II-A).  Endpoints can move between
+    sites (host mobility) and crash/recover (server failure). *)
+
+type addr = int
+(** Endpoint address ("IP address + port" of the paper). *)
+
+val pp_addr : Format.formatter -> addr -> unit
+
+type 'msg t
+(** A network carrying messages of type ['msg]. *)
+
+val create :
+  Engine.t -> rng:Rng.t -> latency:(int -> int -> float) -> unit -> 'msg t
+(** [latency] maps a pair of sites to one-way latency in ms. *)
+
+val engine : 'msg t -> Engine.t
+
+val register : 'msg t -> site:int -> (src:addr -> 'msg -> unit) -> addr
+(** Attach a new endpoint at a site with a receive handler; returns its
+    address. *)
+
+val set_handler : 'msg t -> addr -> (src:addr -> 'msg -> unit) -> unit
+val site : 'msg t -> addr -> int
+
+val move : 'msg t -> addr -> int -> unit
+(** Re-home an endpoint to another site (mobile host changing subnet).
+    Messages already in flight are delivered to the new location — the
+    address is the endpoint's identity here; acquiring a genuinely new
+    address is modeled by registering a fresh endpoint. *)
+
+val send : 'msg t -> src:addr -> dst:addr -> 'msg -> unit
+(** Fire-and-forget datagram. Dropped silently when the source or the
+    destination is down at the relevant instant or on random loss. *)
+
+val set_down : 'msg t -> addr -> unit
+(** Crash an endpoint: it stops sending and receiving. *)
+
+val set_up : 'msg t -> addr -> unit
+val is_up : 'msg t -> addr -> bool
+
+val set_loss_rate : 'msg t -> float -> unit
+(** Uniform independent loss probability in [0, 1). Default 0. *)
+
+val set_tap : 'msg t -> (src:addr -> dst:addr -> 'msg -> unit) -> unit
+(** Observe every successful delivery (tracing in tests). *)
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped_loss : int;
+  dropped_down : int;
+}
+
+val stats : 'msg t -> stats
+val endpoint_count : 'msg t -> int

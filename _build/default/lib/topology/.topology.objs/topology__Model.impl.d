@@ -1,0 +1,1 @@
+lib/topology/model.ml: Array Dijkstra Fun Graph Plrg Rng Transit_stub

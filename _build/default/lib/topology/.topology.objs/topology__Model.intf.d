@@ -1,0 +1,1 @@
+lib/topology/model.mli: Dijkstra Graph Rng

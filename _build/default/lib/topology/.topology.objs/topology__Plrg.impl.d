@@ -1,0 +1,1 @@
+lib/topology/plrg.ml: Array Graph Hashtbl Rng

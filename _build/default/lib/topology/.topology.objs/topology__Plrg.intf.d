@@ -1,0 +1,1 @@
+lib/topology/plrg.mli: Graph Rng

@@ -1,0 +1,1 @@
+lib/topology/transit_stub.mli: Graph Rng

@@ -1,0 +1,43 @@
+let distances g src =
+  let size = Graph.n g in
+  if src < 0 || src >= size then invalid_arg "Dijkstra.distances: bad source";
+  let dist = Array.make size infinity in
+  dist.(src) <- 0.;
+  let heap = Heap.create ~cmp:(fun (a, _) (b, _) -> Float.compare a b) in
+  Heap.add heap (0., src);
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if d <= dist.(u) then
+          Graph.iter_neighbors g u (fun v w ->
+              let nd = d +. w in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                Heap.add heap (nd, v)
+              end);
+        loop ()
+  in
+  loop ();
+  dist
+
+type oracle = {
+  g : Graph.t;
+  cache : (int, float array) Hashtbl.t;
+}
+
+let oracle g = { g; cache = Hashtbl.create 256 }
+
+let graph o = o.g
+
+let distances_from o src =
+  match Hashtbl.find_opt o.cache src with
+  | Some d -> d
+  | None ->
+      let d = distances o.g src in
+      Hashtbl.add o.cache src d;
+      d
+
+let distance o u v = (distances_from o u).(v)
+
+let cached_sources o = Hashtbl.length o.cache

@@ -1,0 +1,27 @@
+(** Single-source shortest paths and a memoizing latency oracle.
+
+    The experiments (Figs. 8 and 9) need latencies between thousands of
+    (sender, server, receiver) combinations.  Computing all-pairs distances
+    for 5000-node topologies is wasteful; instead the oracle runs Dijkstra
+    per distinct source on demand and caches the resulting distance
+    vector. *)
+
+val distances : Graph.t -> int -> float array
+(** [distances g src] returns shortest-path latencies from [src] to every
+    node ([infinity] for unreachable ones). *)
+
+type oracle
+
+val oracle : Graph.t -> oracle
+(** Memoizing wrapper; each distinct source costs one Dijkstra run. *)
+
+val graph : oracle -> Graph.t
+
+val distance : oracle -> int -> int -> float
+(** [distance o u v] is the shortest-path latency between [u] and [v]. *)
+
+val distances_from : oracle -> int -> float array
+(** Full distance vector for a source (cached; do not mutate). *)
+
+val cached_sources : oracle -> int
+(** Number of distance vectors currently cached (observability/tests). *)

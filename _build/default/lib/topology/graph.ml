@@ -1,0 +1,105 @@
+type t = {
+  adj : (int * float) list array;
+  mutable edges : int;
+}
+
+let create ~n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { adj = Array.make n []; edges = 0 }
+
+let n t = Array.length t.adj
+
+let has_edge t u v = List.exists (fun (x, _) -> x = v) t.adj.(u)
+
+let add_edge t u v w =
+  let size = n t in
+  if u < 0 || u >= size || v < 0 || v >= size then
+    invalid_arg "Graph.add_edge: node out of range";
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if w <= 0. then invalid_arg "Graph.add_edge: non-positive weight";
+  if not (has_edge t u v) then begin
+    t.adj.(u) <- (v, w) :: t.adj.(u);
+    t.adj.(v) <- (u, w) :: t.adj.(v);
+    t.edges <- t.edges + 1
+  end
+
+let edge_count t = t.edges
+let degree t u = List.length t.adj.(u)
+
+let iter_neighbors t u f = List.iter (fun (v, w) -> f v w) t.adj.(u)
+let neighbors t u = t.adj.(u)
+
+let is_connected t =
+  let size = n t in
+  if size = 0 then true
+  else begin
+    let seen = Array.make size false in
+    let queue = Queue.create () in
+    Queue.add 0 queue;
+    seen.(0) <- true;
+    let count = ref 1 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      iter_neighbors t u (fun v _ ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            incr count;
+            Queue.add v queue
+          end)
+    done;
+    !count = size
+  end
+
+(* Union-find over node indices. *)
+let components t =
+  let size = n t in
+  let parent = Array.init size Fun.id in
+  let rec find x = if parent.(x) = x then x else begin
+      parent.(x) <- find parent.(x);
+      parent.(x)
+    end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  for u = 0 to size - 1 do
+    iter_neighbors t u (fun v _ -> union u v)
+  done;
+  (find, parent)
+
+let connect_components t rng ~weight =
+  let size = n t in
+  if size <= 1 then 0
+  else begin
+    let find, _ = components t in
+    (* One representative per component, in node order. *)
+    let reps = Hashtbl.create 16 in
+    for u = 0 to size - 1 do
+      let r = find u in
+      if not (Hashtbl.mem reps r) then Hashtbl.add reps r u
+    done;
+    let members = Hashtbl.fold (fun _ u acc -> u :: acc) reps [] in
+    match members with
+    | [] | [ _ ] -> 0
+    | first :: rest ->
+        (* Chain every other component to a random node near the first one's
+           representative: adds exactly (#components - 1) edges. *)
+        let added = ref 0 in
+        List.iter
+          (fun u ->
+            let jitter = Rng.float_in rng (weight /. 2.) weight in
+            add_edge t u first jitter;
+            incr added)
+          rest;
+        !added
+  end
+
+let degree_histogram t =
+  let tbl = Hashtbl.create 64 in
+  for u = 0 to n t - 1 do
+    let d = degree t u in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)

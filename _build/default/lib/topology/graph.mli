@@ -1,0 +1,43 @@
+(** Undirected weighted graphs modeling the physical (IP-level) network.
+
+    Nodes are dense integers [0 .. n-1]; edge weights are link latencies in
+    milliseconds.  The simulation computes inter-node latency as the
+    shortest path over this graph, exactly as the paper's simulator does. *)
+
+type t
+
+val create : n:int -> t
+(** Graph with [n] isolated nodes. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val add_edge : t -> int -> int -> float -> unit
+(** [add_edge g u v w] adds the undirected edge [u -- v] with latency [w].
+    Duplicate edges are ignored (the first weight wins); self-loops are
+    rejected. @raise Invalid_argument on out-of-range nodes, self-loops or
+    non-positive weight. *)
+
+val has_edge : t -> int -> int -> bool
+
+val edge_count : t -> int
+(** Number of undirected edges. *)
+
+val degree : t -> int -> int
+
+val iter_neighbors : t -> int -> (int -> float -> unit) -> unit
+(** Iterate over [v, w] pairs adjacent to a node. *)
+
+val neighbors : t -> int -> (int * float) list
+
+val is_connected : t -> bool
+(** BFS reachability from node 0 (vacuously true for empty graphs). *)
+
+val connect_components : t -> Rng.t -> weight:float -> int
+(** Add random edges joining distinct connected components until the graph
+    is connected; returns the number of edges added.  Generators use this
+    as a final safety net so latency queries are always defined. *)
+
+val degree_histogram : t -> (int * int) list
+(** Sorted [(degree, node_count)] pairs — used to sanity-check the
+    power-law generator. *)

@@ -1,0 +1,21 @@
+(** Power-law random graph generator (stands in for the INET generator).
+
+    The paper's first simulation topology is "a power-law random graph
+    topology generated with the INET topology generator with 5000 nodes,
+    where the delay of each link is uniformly distributed" (Sec. V).  We
+    use preferential attachment (Barabási-Albert), which produces the
+    power-law degree distribution INET targets, and draw each link's
+    latency uniformly from [delay_lo, delay_hi] (default 5-100 ms). *)
+
+val generate :
+  Rng.t ->
+  n:int ->
+  ?links_per_node:int ->
+  ?delay_lo:float ->
+  ?delay_hi:float ->
+  unit ->
+  Graph.t
+(** [generate rng ~n ()] builds a connected power-law graph on [n] nodes.
+    [links_per_node] (default 2) is the number of attachment edges each
+    arriving node creates. @raise Invalid_argument if
+    [n <= links_per_node]. *)

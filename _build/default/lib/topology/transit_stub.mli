@@ -1,0 +1,34 @@
+(** Transit-stub topology generator (stands in for GT-ITM).
+
+    The paper's second simulation topology is "a transit-stub topology
+    generated with the GT-ITM topology generator with 5000 nodes, where
+    link latencies are 100 ms for intra-transit domain links, 10 ms for
+    transit-stub links and 1 ms for intra-stub domain links", with i3
+    servers assigned only to stub nodes (Sec. V).
+
+    The generator builds [transit_domains] transit domains of
+    [transit_nodes] routers each; every transit router hosts
+    [stubs_per_transit] stub domains whose sizes are chosen so the total
+    node count reaches [n]. *)
+
+type t = {
+  graph : Graph.t;
+  transit : int array;  (** node ids of transit routers *)
+  stub : int array;  (** node ids of stub nodes *)
+}
+
+val generate :
+  Rng.t ->
+  n:int ->
+  ?transit_domains:int ->
+  ?transit_nodes:int ->
+  ?stubs_per_transit:int ->
+  ?intra_transit_ms:float ->
+  ?transit_stub_ms:float ->
+  ?intra_stub_ms:float ->
+  unit ->
+  t
+(** Build a connected transit-stub topology with [n] total nodes.
+    Defaults: 4 transit domains x 4 routers, 3 stub domains per router,
+    latencies 100/10/1 ms. @raise Invalid_argument if [n] is too small to
+    host the requested transit core. *)

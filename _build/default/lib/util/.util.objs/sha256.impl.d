@@ -1,0 +1,1 @@
+lib/util/sha256.ml: Array Bytes Char Hex Int64 String

@@ -1,0 +1,1 @@
+lib/util/sha256.mli:

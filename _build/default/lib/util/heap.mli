@@ -1,0 +1,33 @@
+(** Resizable binary min-heap.
+
+    Used by the Dijkstra latency oracle and the discrete-event queue.  The
+    ordering is supplied at creation time; ties are resolved arbitrarily, so
+    callers needing stability (e.g. the event queue) must embed a sequence
+    number in their elements. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty heap ordered by [cmp] (minimum first). *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** Insert an element. Amortized O(log n). *)
+
+val peek : 'a t -> 'a option
+(** Minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val clear : 'a t -> unit
+(** Remove every element (O(1), keeps capacity). *)
+
+val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
+(** Heapify an array in O(n). The array is copied. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Drain the heap, returning elements in ascending order. The heap is
+    empty afterwards. *)

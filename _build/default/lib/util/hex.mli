@@ -1,0 +1,8 @@
+(** Lowercase hexadecimal encoding of byte strings. *)
+
+val encode : string -> string
+(** [encode s] renders each byte as two lowercase hex digits. *)
+
+val decode : string -> string
+(** Inverse of {!encode}. Accepts upper- or lowercase digits.
+    @raise Invalid_argument on odd length or non-hex characters. *)

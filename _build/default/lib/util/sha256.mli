@@ -1,0 +1,28 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4).
+
+    i3 derives public trigger identifiers from DNS names / public keys by
+    hashing (paper Sec. IV-B), and the constrained-trigger defense
+    (Sec. IV-J) needs two public one-way functions h_l and h_r.  The sealed
+    build environment has no crypto library, so we vendor a small verified
+    implementation; correctness is pinned to the NIST test vectors in the
+    test suite. *)
+
+type ctx
+(** Streaming hash context. *)
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+(** Absorb bytes. May be called repeatedly. *)
+
+val finalize : ctx -> string
+(** Produce the 32-byte digest. The context must not be reused. *)
+
+val digest : string -> string
+(** [digest s] is the 32-byte SHA-256 of [s]. *)
+
+val hex_digest : string -> string
+(** Digest rendered as 64 lowercase hex characters. *)
+
+val hmac : key:string -> string -> string
+(** HMAC-SHA-256 (RFC 2104), used for server-side challenge tokens so that
+    servers need not remember outstanding challenges. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Hashtbl I3 I3apps Id Int64 List Net Option Printf QCheck2 QCheck_alcotest Rng String

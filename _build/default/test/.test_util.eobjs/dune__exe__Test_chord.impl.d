@@ -1,0 +1,1 @@
+test/test_chord.ml: Alcotest Array Bool Chord Engine Float Id Int64 List Printf QCheck2 QCheck_alcotest Rng

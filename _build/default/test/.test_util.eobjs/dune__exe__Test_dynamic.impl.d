@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest I3 Id List Printf Rng

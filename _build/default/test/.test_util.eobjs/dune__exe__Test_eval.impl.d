@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Chord Eval Filename Float List Printf Rng String Sys Topology

@@ -1,0 +1,1 @@
+test/test_i3.ml: Alcotest Array Bytes Char Chord Float Format I3 Id Id_constraints Int64 List Net Option Printf QCheck2 QCheck_alcotest Rng String Topology

@@ -1,0 +1,1 @@
+test/test_i3.mli:

@@ -1,0 +1,1 @@
+test/test_id.ml: Alcotest Bytes Id Id_constraints Int64 QCheck2 QCheck_alcotest Rng String

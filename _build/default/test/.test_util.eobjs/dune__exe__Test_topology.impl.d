@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Float Hashtbl Int64 List Printf QCheck2 QCheck_alcotest Rng Topology

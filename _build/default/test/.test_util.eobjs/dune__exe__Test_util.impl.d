@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Char Float Fun Heap Hex List QCheck2 QCheck_alcotest Rng Sha256 Stats String

@@ -1,0 +1,321 @@
+(* Tests for lib/id: 256-bit identifier algebra and trigger constraints. *)
+
+let rng = Rng.create 424242L
+
+let gen_id =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let r = Rng.create (Int64.of_int seed) in
+        Id.random r)
+      int)
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- construction / representation --- *)
+
+let test_constants () =
+  Alcotest.(check int) "bits" 256 Id.bits;
+  Alcotest.(check int) "k" 128 Id.prefix_bits;
+  Alcotest.(check int) "bytes" 32 Id.byte_length;
+  Alcotest.(check string) "zero hex" (String.make 64 '0') (Id.to_hex Id.zero);
+  Alcotest.(check string) "max hex" (String.make 64 'f') (Id.to_hex Id.max_value)
+
+let test_hex_roundtrip =
+  qtest "hex roundtrip" gen_id (fun id -> Id.equal (Id.of_hex (Id.to_hex id)) id)
+
+let test_raw_roundtrip =
+  qtest "raw roundtrip" gen_id (fun id ->
+      Id.equal (Id.of_raw_string (Id.to_raw_string id)) id)
+
+let test_of_raw_bad () =
+  Alcotest.check_raises "short" (Invalid_argument "Id.of_raw_string: expected 32 bytes")
+    (fun () -> ignore (Id.of_raw_string "short"))
+
+let test_of_int () =
+  Alcotest.(check string) "one"
+    (String.make 62 '0' ^ "01")
+    (Id.to_hex (Id.of_int 1));
+  Alcotest.(check string) "0x1234"
+    (String.make 60 '0' ^ "1234")
+    (Id.to_hex (Id.of_int 0x1234))
+
+let test_of_int64_shift () =
+  Alcotest.(check bool) "1<<0" true (Id.equal (Id.of_int 1) (Id.of_int64_shift 1L 0));
+  Alcotest.(check bool) "5<<8 = 1280" true
+    (Id.equal (Id.of_int 1280) (Id.of_int64_shift 5L 8));
+  Alcotest.(check bool) "1<<255 = antipode of zero" true
+    (Id.equal (Id.antipode Id.zero) (Id.of_int64_shift 1L 255));
+  (* shift by non-multiple of 8 *)
+  Alcotest.(check bool) "3<<13" true
+    (Id.equal (Id.of_int (3 lsl 13)) (Id.of_int64_shift 3L 13))
+
+let test_name_hash_stable () =
+  Alcotest.(check bool) "same name same id" true
+    (Id.equal (Id.name_hash "cnn.com") (Id.name_hash "cnn.com"));
+  Alcotest.(check bool) "different names differ" false
+    (Id.equal (Id.name_hash "cnn.com") (Id.name_hash "bbc.co.uk"))
+
+(* --- ordering --- *)
+
+let test_compare_numeric () =
+  Alcotest.(check bool) "0 < 1" true (Id.compare Id.zero (Id.of_int 1) < 0);
+  Alcotest.(check bool) "255 < 256" true
+    (Id.compare (Id.of_int 255) (Id.of_int 256) < 0);
+  Alcotest.(check bool) "max > any" true
+    (Id.compare Id.max_value (Id.of_int 123456) > 0)
+
+(* --- ring arithmetic --- *)
+
+let test_add_commutative =
+  qtest "add commutative" QCheck2.Gen.(pair gen_id gen_id) (fun (a, b) ->
+      Id.equal (Id.add a b) (Id.add b a))
+
+let test_add_sub_inverse =
+  qtest "sub inverts add" QCheck2.Gen.(pair gen_id gen_id) (fun (a, b) ->
+      Id.equal (Id.sub (Id.add a b) b) a)
+
+let test_add_zero =
+  qtest "a + 0 = a" gen_id (fun a -> Id.equal (Id.add a Id.zero) a)
+
+let test_add_overflow_wraps () =
+  Alcotest.(check bool) "max + 1 = 0" true
+    (Id.equal (Id.add Id.max_value (Id.of_int 1)) Id.zero);
+  Alcotest.(check bool) "succ max = 0" true (Id.equal (Id.succ Id.max_value) Id.zero)
+
+let test_add_pow2_small () =
+  Alcotest.(check bool) "0 + 2^5 = 32" true
+    (Id.equal (Id.add_pow2 Id.zero 5) (Id.of_int 32));
+  Alcotest.(check bool) "carry propagates" true
+    (Id.equal (Id.add_pow2 (Id.of_int 255) 0) (Id.of_int 256))
+
+let test_add_pow2_equals_add =
+  qtest "add_pow2 = add of_int64_shift"
+    QCheck2.Gen.(pair gen_id (int_range 0 255))
+    (fun (a, e) -> Id.equal (Id.add_pow2 a e) (Id.add a (Id.of_int64_shift 1L e)))
+
+let test_antipode_involution =
+  qtest "antipode twice = identity" gen_id (fun a ->
+      Id.equal (Id.antipode (Id.antipode a)) a)
+
+let test_antipode_differs =
+  qtest "antipode differs" gen_id (fun a -> not (Id.equal (Id.antipode a) a))
+
+let test_antipode_distinct_prefix =
+  qtest "antipode flips top bit => different k-prefix" gen_id (fun a ->
+      not (Id.equal (Id.routing_key a) (Id.routing_key (Id.antipode a))))
+
+let test_distance_cw =
+  qtest "cw distance: a + d(a,b) = b" QCheck2.Gen.(pair gen_id gen_id)
+    (fun (a, b) -> Id.equal (Id.add a (Id.distance_cw a b)) b)
+
+(* --- bits and prefixes --- *)
+
+let test_test_bit () =
+  let id = Id.of_hex ("80" ^ String.make 62 '0') in
+  Alcotest.(check bool) "msb set" true (Id.test_bit id 0);
+  Alcotest.(check bool) "bit 1 clear" false (Id.test_bit id 1);
+  let one = Id.of_int 1 in
+  Alcotest.(check bool) "lsb set" true (Id.test_bit one 255)
+
+let test_common_prefix_reflexive =
+  qtest "cpl(a,a) = 256" gen_id (fun a -> Id.common_prefix_len a a = 256)
+
+let test_common_prefix_examples () =
+  Alcotest.(check int) "zero vs max" 0 (Id.common_prefix_len Id.zero Id.max_value);
+  Alcotest.(check int) "zero vs one" 255
+    (Id.common_prefix_len Id.zero (Id.of_int 1));
+  Alcotest.(check int) "halfway" 0
+    (Id.common_prefix_len Id.zero (Id.antipode Id.zero))
+
+let test_common_prefix_symmetric =
+  qtest "cpl symmetric" QCheck2.Gen.(pair gen_id gen_id) (fun (a, b) ->
+      Id.common_prefix_len a b = Id.common_prefix_len b a)
+
+let test_clear_low_bits () =
+  let x = Id.of_int 0b110111 in
+  Alcotest.(check bool) "clear 3" true
+    (Id.equal (Id.clear_low_bits x 3) (Id.of_int 0b110000));
+  Alcotest.(check bool) "clear 0 = id" true (Id.equal (Id.clear_low_bits x 0) x);
+  Alcotest.(check bool) "clear all = zero" true
+    (Id.equal (Id.clear_low_bits Id.max_value 256) Id.zero)
+
+let test_routing_key_properties =
+  qtest "routing key: shares k-prefix, low bits zero" gen_id (fun a ->
+      let k = Id.routing_key a in
+      Id.common_prefix_len k a >= Id.prefix_bits && Id.is_server_id k)
+
+let test_matches_threshold () =
+  let r = Rng.copy rng in
+  let a = Id.random r in
+  Alcotest.(check bool) "same prefix matches" true
+    (Id.matches a (Id.random_with_prefix r a));
+  Alcotest.(check bool) "antipode never matches" false
+    (Id.matches a (Id.antipode a))
+
+let test_random_with_prefix =
+  qtest "random_with_prefix keeps exactly the prefix" gen_id (fun a ->
+      let r = Rng.create 99L in
+      let b = Id.random_with_prefix r a in
+      Id.common_prefix_len a b >= Id.prefix_bits)
+
+(* --- field split (Sec. IV-J) --- *)
+
+let test_field_split_roundtrip =
+  qtest "prefix64/key128/suffix64 decompose" gen_id (fun a ->
+      let raw = Id.to_raw_string a in
+      let from_fields =
+        let b = Bytes.create 32 in
+        for i = 0 to 7 do
+          Bytes.set b i raw.[i];
+          Bytes.set b (24 + i) raw.[24 + i]
+        done;
+        Bytes.blit_string (Id.key128 a) 0 b 8 16;
+        Id.of_raw_string (Bytes.to_string b)
+      in
+      Id.equal from_fields a)
+
+let test_with_key128 =
+  qtest "with_key128 replaces only the key"
+    QCheck2.Gen.(pair gen_id gen_id)
+    (fun (a, b) ->
+      let a' = Id.with_key128 a (Id.key128 b) in
+      String.equal (Id.key128 a') (Id.key128 b)
+      && Id.prefix64 a' = Id.prefix64 a
+      && Id.suffix64 a' = Id.suffix64 a)
+
+let test_with_suffix () =
+  let a = Id.zero in
+  let s = Id.with_suffix a ~low_bits:16 "\xab\xcd" in
+  Alcotest.(check string) "suffix set"
+    (String.make 60 '0' ^ "abcd")
+    (Id.to_hex s);
+  (* short strings are left-padded *)
+  let s2 = Id.with_suffix a ~low_bits:32 "\x01" in
+  Alcotest.(check string) "padded"
+    (String.make 56 '0' ^ "00000001")
+    (Id.to_hex s2)
+
+let test_with_suffix_bad () =
+  Alcotest.check_raises "non-multiple of 8"
+    (Invalid_argument "Id.with_suffix: low_bits must be a multiple of 8 in [0,256]")
+    (fun () -> ignore (Id.with_suffix Id.zero ~low_bits:3 "x"))
+
+(* --- constraints --- *)
+
+let test_constraint_left =
+  qtest "left-constrained trigger verifies"
+    QCheck2.Gen.(pair gen_id gen_id)
+    (fun (base, target) ->
+      let x = Id_constraints.left_constrained ~base ~target in
+      Id_constraints.check ~trigger_id:x ~target)
+
+let test_constraint_right =
+  qtest "right-constrained target verifies"
+    QCheck2.Gen.(pair gen_id gen_id)
+    (fun (base, source) ->
+      let y = Id_constraints.right_constrained ~base ~source in
+      Id_constraints.check ~trigger_id:source ~target:y)
+
+let test_constraint_forged =
+  qtest "random pairs are rejected"
+    QCheck2.Gen.(pair gen_id gen_id)
+    (fun (x, y) -> not (Id_constraints.check ~trigger_id:x ~target:y))
+
+let test_constraint_eavesdrop () =
+  (* Attacker wants (victim_id -> attacker_target): victim_id's key is
+     fixed, so the attacker must find target with h_l(target.key) =
+     victim.key or key h_r-derived — both require inverting the hash.
+     Check the direct attempt fails. *)
+  let r = Rng.copy rng in
+  let victim = Id.random r in
+  let attacker_target = Id.random r in
+  Alcotest.(check bool) "forgery rejected" false
+    (Id_constraints.check ~trigger_id:victim ~target:attacker_target)
+
+let test_constraint_chain () =
+  (* Legitimate receiver-driven chain: x1 <- x2 <- x3 built right-to-left
+     with left constraints, as the paper allows. *)
+  let r = Rng.copy rng in
+  let x3 = Id.random r in
+  let x2 = Id_constraints.left_constrained ~base:(Id.random r) ~target:x3 in
+  let x1 = Id_constraints.left_constrained ~base:(Id.random r) ~target:x2 in
+  Alcotest.(check bool) "x1->x2 ok" true
+    (Id_constraints.check ~trigger_id:x1 ~target:x2);
+  Alcotest.(check bool) "x2->x3 ok" true
+    (Id_constraints.check ~trigger_id:x2 ~target:x3)
+
+let test_constraint_loop_infeasible () =
+  (* A 2-cycle (x->y),(y->x) with left constraints needs
+     x.key = h_l(y.key) and y.key = h_l(x.key): check that deriving one
+     direction does not accidentally satisfy the other. *)
+  let r = Rng.copy rng in
+  let y = Id.random r in
+  let x = Id_constraints.left_constrained ~base:(Id.random r) ~target:y in
+  Alcotest.(check bool) "forward ok" true (Id_constraints.check ~trigger_id:x ~target:y);
+  Alcotest.(check bool) "backward rejected" false
+    (Id_constraints.check ~trigger_id:y ~target:x)
+
+let test_hl_hr_distinct () =
+  let key = String.make 16 'k' in
+  Alcotest.(check bool) "h_l <> h_r" false
+    (String.equal (Id_constraints.h_l key) (Id_constraints.h_r key));
+  Alcotest.(check int) "h_l width" 16 (String.length (Id_constraints.h_l key))
+
+let () =
+  Alcotest.run "id"
+    [
+      ( "representation",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          test_hex_roundtrip;
+          test_raw_roundtrip;
+          Alcotest.test_case "bad raw" `Quick test_of_raw_bad;
+          Alcotest.test_case "of_int" `Quick test_of_int;
+          Alcotest.test_case "of_int64_shift" `Quick test_of_int64_shift;
+          Alcotest.test_case "name_hash" `Quick test_name_hash_stable;
+          Alcotest.test_case "numeric order" `Quick test_compare_numeric;
+        ] );
+      ( "ring arithmetic",
+        [
+          test_add_commutative;
+          test_add_sub_inverse;
+          test_add_zero;
+          Alcotest.test_case "overflow wraps" `Quick test_add_overflow_wraps;
+          Alcotest.test_case "add_pow2 small" `Quick test_add_pow2_small;
+          test_add_pow2_equals_add;
+          test_antipode_involution;
+          test_antipode_differs;
+          test_antipode_distinct_prefix;
+          test_distance_cw;
+        ] );
+      ( "bits and prefixes",
+        [
+          Alcotest.test_case "test_bit" `Quick test_test_bit;
+          test_common_prefix_reflexive;
+          Alcotest.test_case "cpl examples" `Quick test_common_prefix_examples;
+          test_common_prefix_symmetric;
+          Alcotest.test_case "clear_low_bits" `Quick test_clear_low_bits;
+          test_routing_key_properties;
+          Alcotest.test_case "matches threshold" `Quick test_matches_threshold;
+          test_random_with_prefix;
+        ] );
+      ( "field split",
+        [
+          test_field_split_roundtrip;
+          test_with_key128;
+          Alcotest.test_case "with_suffix" `Quick test_with_suffix;
+          Alcotest.test_case "with_suffix bad arg" `Quick test_with_suffix_bad;
+        ] );
+      ( "constraints",
+        [
+          test_constraint_left;
+          test_constraint_right;
+          test_constraint_forged;
+          Alcotest.test_case "eavesdrop rejected" `Quick test_constraint_eavesdrop;
+          Alcotest.test_case "legit chain" `Quick test_constraint_chain;
+          Alcotest.test_case "loop infeasible" `Quick test_constraint_loop_infeasible;
+          Alcotest.test_case "h_l/h_r distinct" `Quick test_hl_hr_distinct;
+        ] );
+    ]

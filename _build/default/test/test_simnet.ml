@@ -1,0 +1,315 @@
+(* Tests for lib/simnet: engine (virtual clock) and net (best-effort IP). *)
+
+let feq = Alcotest.float 1e-9
+
+(* --- Engine --- *)
+
+let test_engine_time_starts_zero () =
+  Alcotest.check feq "t=0" 0. (Engine.now (Engine.create ()))
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:30. (fun () -> log := 3 :: !log);
+  Engine.schedule e ~delay:10. (fun () -> log := 1 :: !log);
+  Engine.schedule e ~delay:20. (fun () -> log := 2 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.check feq "clock at last event" 30. (Engine.now e)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:7. (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO for equal times" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  Engine.schedule e ~delay:5. (fun () ->
+      fired := ("a", Engine.now e) :: !fired;
+      Engine.schedule e ~delay:5. (fun () ->
+          fired := ("b", Engine.now e) :: !fired));
+  Engine.run e;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "nested event at t=10"
+    [ ("a", 5.); ("b", 10.) ]
+    (List.rev !fired)
+
+let test_engine_negative_delay_clamped () =
+  let e = Engine.create () in
+  let t = ref (-1.) in
+  Engine.schedule e ~delay:(-5.) (fun () -> t := Engine.now e);
+  Engine.run e;
+  Alcotest.check feq "clamped to now" 0. !t
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule e ~delay:10. (fun () -> incr fired);
+  Engine.schedule e ~delay:20. (fun () -> incr fired);
+  Engine.run_until e 15.;
+  Alcotest.(check int) "only first" 1 !fired;
+  Alcotest.check feq "clock advanced to limit" 15. (Engine.now e);
+  Engine.run_until e 25.;
+  Alcotest.(check int) "second fired" 2 !fired
+
+let test_engine_run_for () =
+  let e = Engine.create () in
+  Engine.run_for e 100.;
+  Alcotest.check feq "clock advances without events" 100. (Engine.now e)
+
+let test_engine_periodic () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let timer = Engine.every e ~period:10. (fun () -> incr count) in
+  Engine.run_until e 55.;
+  Alcotest.(check int) "5 ticks in 55ms (phase=10)" 5 !count;
+  Engine.cancel timer;
+  Engine.run_until e 200.;
+  Alcotest.(check int) "no ticks after cancel" 5 !count
+
+let test_engine_periodic_phase () =
+  let e = Engine.create () in
+  let first = ref (-1.) in
+  let timer =
+    Engine.every e ~phase:3. ~period:10. (fun () ->
+        if !first < 0. then first := Engine.now e)
+  in
+  Engine.run_until e 30.;
+  Engine.cancel timer;
+  Alcotest.check feq "first tick at phase" 3. !first
+
+let test_engine_bad_period () =
+  let e = Engine.create () in
+  Alcotest.check_raises "period 0"
+    (Invalid_argument "Engine.every: period must be positive") (fun () ->
+      ignore (Engine.every e ~period:0. (fun () -> ())))
+
+let test_engine_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "empty step" false (Engine.step e);
+  Engine.schedule e ~delay:1. (fun () -> ());
+  Alcotest.(check bool) "one step" true (Engine.step e);
+  Alcotest.(check bool) "drained" false (Engine.step e)
+
+(* --- Net --- *)
+
+let mk_net ?(latency = fun _ _ -> 10.) () =
+  let e = Engine.create () in
+  let net = Net.create e ~rng:(Rng.create 1L) ~latency () in
+  (e, net)
+
+let test_net_delivery_latency () =
+  let e, net = mk_net ~latency:(fun a b -> float_of_int (abs (a - b)) *. 5.) () in
+  let got = ref [] in
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> ()) in
+  let b = Net.register net ~site:4 (fun ~src m -> got := (src, m, Engine.now e) :: !got) in
+  Net.send net ~src:a ~dst:b "hi";
+  Engine.run e;
+  match !got with
+  | [ (src, m, t) ] ->
+      Alcotest.(check int) "src" a src;
+      Alcotest.(check string) "payload" "hi" m;
+      Alcotest.check feq "latency 20ms" 20. t
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_net_self_send () =
+  let e, net = mk_net () in
+  let got = ref 0 in
+  let a = Net.register net ~site:3 (fun ~src:_ _ -> incr got) in
+  Net.send net ~src:a ~dst:a "loop";
+  Engine.run e;
+  Alcotest.(check int) "self delivery" 1 !got
+
+let test_net_down_endpoint () =
+  let e, net = mk_net () in
+  let got = ref 0 in
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> ()) in
+  let b = Net.register net ~site:1 (fun ~src:_ _ -> incr got) in
+  Net.set_down net b;
+  Net.send net ~src:a ~dst:b "x";
+  Engine.run e;
+  Alcotest.(check int) "not delivered" 0 !got;
+  Net.set_up net b;
+  Net.send net ~src:a ~dst:b "y";
+  Engine.run e;
+  Alcotest.(check int) "delivered after revive" 1 !got;
+  let st = Net.stats net in
+  Alcotest.(check int) "dropped_down" 1 st.Net.dropped_down
+
+let test_net_down_sender () =
+  let e, net = mk_net () in
+  let got = ref 0 in
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> ()) in
+  let b = Net.register net ~site:1 (fun ~src:_ _ -> incr got) in
+  Net.set_down net a;
+  Net.send net ~src:a ~dst:b "x";
+  Engine.run e;
+  Alcotest.(check int) "dead senders send nothing" 0 !got
+
+let test_net_in_flight_survives_sender_death () =
+  (* IP semantics: a packet already in flight is delivered even if the
+     sender dies meanwhile. *)
+  let e, net = mk_net () in
+  let got = ref 0 in
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> ()) in
+  let b = Net.register net ~site:1 (fun ~src:_ _ -> incr got) in
+  Net.send net ~src:a ~dst:b "x";
+  Net.set_down net a;
+  Engine.run e;
+  Alcotest.(check int) "delivered" 1 !got
+
+let test_net_loss () =
+  let e, net = mk_net () in
+  Net.set_loss_rate net 0.5;
+  let got = ref 0 in
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> ()) in
+  let b = Net.register net ~site:1 (fun ~src:_ _ -> incr got) in
+  for _ = 1 to 1000 do
+    Net.send net ~src:a ~dst:b "x"
+  done;
+  Engine.run e;
+  Alcotest.(check bool) "roughly half lost" true (!got > 350 && !got < 650);
+  let st = Net.stats net in
+  Alcotest.(check int) "conservation" 1000 (st.Net.delivered + st.Net.dropped_loss)
+
+let test_net_loss_bad_rate () =
+  let _, net = mk_net () in
+  Alcotest.check_raises "rate 1"
+    (Invalid_argument "Net.set_loss_rate: need 0 <= p < 1") (fun () ->
+      Net.set_loss_rate net 1.)
+
+let test_net_move () =
+  let e, net = mk_net ~latency:(fun a b -> float_of_int (abs (a - b)) +. 1.) () in
+  let when_got = ref [] in
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> ()) in
+  let b = Net.register net ~site:1 (fun ~src:_ _ -> when_got := Engine.now e :: !when_got) in
+  Net.send net ~src:a ~dst:b "x";
+  Engine.run e;
+  Net.move net b 100;
+  Net.send net ~src:a ~dst:b "y";
+  Engine.run e;
+  (match List.rev !when_got with
+  | [ t1; t2 ] ->
+      Alcotest.check feq "before move" 2. t1;
+      Alcotest.check feq "after move" (2. +. 101.) t2
+  | _ -> Alcotest.fail "expected two deliveries");
+  Alcotest.(check int) "site updated" 100 (Net.site net b)
+
+let test_net_tap_and_stats () =
+  let e, net = mk_net () in
+  let tapped = ref 0 in
+  Net.set_tap net (fun ~src:_ ~dst:_ _ -> incr tapped);
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> ()) in
+  let b = Net.register net ~site:1 (fun ~src:_ _ -> ()) in
+  Net.send net ~src:a ~dst:b "x";
+  Net.send net ~src:b ~dst:a "y";
+  Engine.run e;
+  Alcotest.(check int) "tap saw both" 2 !tapped;
+  let st = Net.stats net in
+  Alcotest.(check int) "sent" 2 st.Net.sent;
+  Alcotest.(check int) "delivered" 2 st.Net.delivered;
+  Alcotest.(check int) "endpoints" 2 (Net.endpoint_count net)
+
+let test_net_unknown_addr () =
+  let _, net = mk_net () in
+  Alcotest.check_raises "unknown addr" (Invalid_argument "Net: unknown address")
+    (fun () -> Net.send net ~src:0 ~dst:1 "x")
+
+let test_net_handler_swap () =
+  let e, net = mk_net () in
+  let log = ref [] in
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> ()) in
+  let b = Net.register net ~site:0 (fun ~src:_ _ -> log := "old" :: !log) in
+  Net.set_handler net b (fun ~src:_ _ -> log := "new" :: !log);
+  Net.send net ~src:a ~dst:b "x";
+  Engine.run e;
+  Alcotest.(check (list string)) "new handler used" [ "new" ] !log
+
+let test_net_many_endpoints () =
+  (* Exercise endpoint array growth past the initial capacity. *)
+  let e, net = mk_net () in
+  let count = ref 0 in
+  let addrs =
+    List.init 100 (fun i -> Net.register net ~site:i (fun ~src:_ _ -> incr count))
+  in
+  List.iter (fun dst -> Net.send net ~src:(List.hd addrs) ~dst "x") addrs;
+  Engine.run e;
+  Alcotest.(check int) "all delivered" 100 !count
+
+let test_engine_cancel_inside_callback () =
+  (* A timer that cancels itself on its first firing must not tick again. *)
+  let e = Engine.create () in
+  let count = ref 0 in
+  let handle = ref None in
+  let timer =
+    Engine.every e ~period:5. (fun () ->
+        incr count;
+        match !handle with Some t -> Engine.cancel t | None -> ())
+  in
+  handle := Some timer;
+  Engine.run_until e 100.;
+  Alcotest.(check int) "fired exactly once" 1 !count
+
+let test_engine_many_events_order =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:50 ~name:"random schedules fire in time order"
+       QCheck2.Gen.(list_size (int_range 1 60) (float_bound_exclusive 1000.))
+       (fun delays ->
+         let e = Engine.create () in
+         let fired = ref [] in
+         List.iter
+           (fun d -> Engine.schedule e ~delay:d (fun () -> fired := d :: !fired))
+           delays;
+         Engine.run e;
+         let times = List.rev !fired in
+         let rec nondecreasing = function
+           | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+           | [ _ ] | [] -> true
+         in
+         (* same multiset, fired in non-decreasing time order *)
+         List.sort compare delays = List.sort compare times
+         && nondecreasing times))
+
+let () =
+  Alcotest.run "simnet"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "starts at zero" `Quick test_engine_time_starts_zero;
+          Alcotest.test_case "time ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "FIFO ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_clamped;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "run_for advances clock" `Quick test_engine_run_for;
+          Alcotest.test_case "periodic timer" `Quick test_engine_periodic;
+          Alcotest.test_case "periodic phase" `Quick test_engine_periodic_phase;
+          Alcotest.test_case "bad period" `Quick test_engine_bad_period;
+          Alcotest.test_case "step" `Quick test_engine_step;
+          Alcotest.test_case "cancel inside callback" `Quick
+            test_engine_cancel_inside_callback;
+          test_engine_many_events_order;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "latency-faithful delivery" `Quick test_net_delivery_latency;
+          Alcotest.test_case "self send" `Quick test_net_self_send;
+          Alcotest.test_case "down endpoint" `Quick test_net_down_endpoint;
+          Alcotest.test_case "down sender" `Quick test_net_down_sender;
+          Alcotest.test_case "in-flight survives sender death" `Quick
+            test_net_in_flight_survives_sender_death;
+          Alcotest.test_case "random loss" `Quick test_net_loss;
+          Alcotest.test_case "loss rate validation" `Quick test_net_loss_bad_rate;
+          Alcotest.test_case "mobility (move)" `Quick test_net_move;
+          Alcotest.test_case "tap and stats" `Quick test_net_tap_and_stats;
+          Alcotest.test_case "unknown address" `Quick test_net_unknown_addr;
+          Alcotest.test_case "handler swap" `Quick test_net_handler_swap;
+          Alcotest.test_case "endpoint growth" `Quick test_net_many_endpoints;
+        ] );
+    ]

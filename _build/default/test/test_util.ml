@@ -1,0 +1,322 @@
+(* Tests for lib/util: rng, heap, stats, sha256, hex. *)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let eq = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr eq
+  done;
+  Alcotest.(check bool) "streams differ" true (!eq < 4)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7L in
+  for _ = 1 to 10_000 do
+    let x = Rng.int r 13 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 13)
+  done
+
+let test_rng_int_invalid () =
+  let r = Rng.create 7L in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_int_in () =
+  let r = Rng.create 9L in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in r (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create 11L in
+  for _ = 1 to 10_000 do
+    let x = Rng.float r 3.5 in
+    Alcotest.(check bool) "in [0,3.5)" true (x >= 0. && x < 3.5)
+  done
+
+let test_rng_float_covers_range () =
+  let r = Rng.create 13L in
+  let lo = ref infinity and hi = ref neg_infinity in
+  for _ = 1 to 10_000 do
+    let x = Rng.float r 1. in
+    lo := Float.min !lo x;
+    hi := Float.max !hi x
+  done;
+  Alcotest.(check bool) "spreads" true (!lo < 0.05 && !hi > 0.95)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5L in
+  let child = Rng.split parent in
+  let a = Rng.int64 parent and b = Rng.int64 child in
+  Alcotest.(check bool) "values differ" true (a <> b)
+
+let test_rng_bool_balanced () =
+  let r = Rng.create 17L in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool r then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 4500 && !trues < 5500)
+
+let test_rng_bytes_length () =
+  let r = Rng.create 19L in
+  Alcotest.(check int) "len" 37 (Bytes.length (Rng.bytes r 37))
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 23L in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_sample_distinct () =
+  let r = Rng.create 29L in
+  for _ = 1 to 100 do
+    let s = Rng.sample_distinct r 10 30 in
+    Alcotest.(check int) "count" 10 (List.length (List.sort_uniq compare s));
+    List.iter
+      (fun x -> Alcotest.(check bool) "range" true (x >= 0 && x < 30))
+      s
+  done
+
+let test_rng_sample_distinct_full () =
+  let r = Rng.create 31L in
+  let s = Rng.sample_distinct r 8 8 in
+  Alcotest.(check (list int)) "all of [0,8)" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (List.sort compare s)
+
+(* --- Heap --- *)
+
+let test_heap_sorts =
+  qtest "heap drains in sorted order"
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.add h) xs;
+      Heap.to_sorted_list h = List.sort compare xs)
+
+let test_heap_of_array =
+  qtest "heapify agrees with sort"
+    QCheck2.Gen.(array int)
+    (fun xs ->
+      Heap.to_sorted_list (Heap.of_array ~cmp:compare xs)
+      = List.sort compare (Array.to_list xs))
+
+let test_heap_peek_pop () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  Heap.add h 5;
+  Heap.add h 1;
+  Heap.add h 3;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check int) "size" 3 (Heap.size h);
+  Alcotest.(check (option int)) "pop min" (Some 1) (Heap.pop h);
+  Alcotest.(check int) "size after pop" 2 (Heap.size h)
+
+let test_heap_clear () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.add h) [ 3; 1; 2 ];
+  Heap.clear h;
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.add h 9;
+  Alcotest.(check (option int)) "usable after clear" (Some 9) (Heap.pop h)
+
+let test_heap_duplicates () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.add h) [ 2; 2; 2; 1; 1 ];
+  Alcotest.(check (list int)) "dups kept" [ 1; 1; 2; 2; 2 ]
+    (Heap.to_sorted_list h)
+
+(* --- Stats --- *)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_mean () = Alcotest.check feq "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |])
+let test_stats_stdev () = Alcotest.check feq "stdev" 2. (Stats.stdev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_stats_percentile_interp () =
+  let xs = [| 10.; 20.; 30.; 40. |] in
+  Alcotest.check feq "p0" 10. (Stats.percentile 0. xs);
+  Alcotest.check feq "p100" 40. (Stats.percentile 100. xs);
+  Alcotest.check feq "p50" 25. (Stats.percentile 50. xs)
+
+let test_stats_percentile_unsorted_input () =
+  let xs = [| 40.; 10.; 30.; 20. |] in
+  Alcotest.check feq "p50 unsorted" 25. (Stats.percentile 50. xs);
+  (* input untouched *)
+  Alcotest.check feq "input intact" 40. xs.(0)
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty sample")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_stats_singleton () =
+  Alcotest.check feq "p90 of singleton" 7. (Stats.percentile 90. [| 7. |]);
+  Alcotest.check feq "stdev of singleton" 0. (Stats.stdev [| 7. |])
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.; 2.; 3. |] in
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  Alcotest.check feq "mean" 2. s.Stats.mean;
+  Alcotest.check feq "min" 1. s.Stats.min;
+  Alcotest.check feq "max" 3. s.Stats.max
+
+let test_stats_percentile_monotone =
+  qtest "percentile monotone in p"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_exclusive 100.))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let prev = ref neg_infinity in
+      List.for_all
+        (fun p ->
+          let v = Stats.percentile p arr in
+          let ok = v >= !prev in
+          prev := v;
+          ok)
+        [ 0.; 10.; 25.; 50.; 75.; 90.; 99.; 100. ])
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:2 [| 0.; 1.; 2.; 3. |] in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  let total = Array.fold_left (fun a (_, _, c) -> a + c) 0 h in
+  Alcotest.(check int) "counts" 4 total
+
+(* --- Sha256 --- *)
+
+let test_sha_vectors () =
+  let check input expect =
+    Alcotest.(check string) ("sha256 " ^ input) expect (Sha256.hex_digest input)
+  in
+  check "" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+  check "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+  check "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+
+let test_sha_long () =
+  Alcotest.(check string) "million a's"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex_digest (String.make 1_000_000 'a'))
+
+let test_sha_streaming () =
+  (* Feeding in odd-size chunks must agree with one-shot digest. *)
+  let msg = String.init 1000 (fun i -> Char.chr (i mod 251)) in
+  let ctx = Sha256.init () in
+  let pos = ref 0 in
+  let sizes = [ 1; 63; 64; 65; 130; 7; 670 ] in
+  List.iter
+    (fun n ->
+      let n = min n (String.length msg - !pos) in
+      Sha256.feed ctx (String.sub msg !pos n);
+      pos := !pos + n)
+    sizes;
+  Alcotest.(check string) "streaming = one-shot"
+    (Hex.encode (Sha256.digest msg))
+    (Hex.encode (Sha256.finalize ctx))
+
+let test_sha_length =
+  qtest "digest is 32 bytes" QCheck2.Gen.string (fun s ->
+      String.length (Sha256.digest s) = 32)
+
+let test_sha_injective_smoke =
+  qtest "distinct strings hash differently"
+    QCheck2.Gen.(pair string string)
+    (fun (a, b) -> a = b || Sha256.digest a <> Sha256.digest b)
+
+let test_hmac_rfc4231 () =
+  (* RFC 4231 test case 2. *)
+  Alcotest.(check string) "hmac"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hex.encode (Sha256.hmac ~key:"Jefe" "what do ya want for nothing?"))
+
+let test_hmac_long_key () =
+  (* RFC 4231 test case 6: 131-byte key forces key hashing. *)
+  let key = String.make 131 '\xaa' in
+  Alcotest.(check string) "hmac long key"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hex.encode
+       (Sha256.hmac ~key "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+(* --- Hex --- *)
+
+let test_hex_roundtrip =
+  qtest "hex roundtrip" QCheck2.Gen.string (fun s -> Hex.decode (Hex.encode s) = s)
+
+let test_hex_uppercase () =
+  Alcotest.(check string) "uppercase ok" "\xde\xad" (Hex.decode "DEAD")
+
+let test_hex_bad () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Hex.decode: odd length")
+    (fun () -> ignore (Hex.decode "abc"));
+  Alcotest.check_raises "bad char"
+    (Invalid_argument "Hex.decode: non-hex character") (fun () ->
+      ignore (Hex.decode "zz"))
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "int_in" `Quick test_rng_int_in;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "float coverage" `Quick test_rng_float_covers_range;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "bool balance" `Quick test_rng_bool_balanced;
+          Alcotest.test_case "bytes length" `Quick test_rng_bytes_length;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample_distinct" `Quick test_rng_sample_distinct;
+          Alcotest.test_case "sample_distinct full" `Quick test_rng_sample_distinct_full;
+        ] );
+      ( "heap",
+        [
+          test_heap_sorts;
+          test_heap_of_array;
+          Alcotest.test_case "peek/pop" `Quick test_heap_peek_pop;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stdev" `Quick test_stats_stdev;
+          Alcotest.test_case "percentile interpolation" `Quick test_stats_percentile_interp;
+          Alcotest.test_case "percentile unsorted" `Quick test_stats_percentile_unsorted_input;
+          Alcotest.test_case "empty input" `Quick test_stats_empty;
+          Alcotest.test_case "singleton" `Quick test_stats_singleton;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          test_stats_percentile_monotone;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        ] );
+      ( "sha256",
+        [
+          Alcotest.test_case "NIST vectors" `Quick test_sha_vectors;
+          Alcotest.test_case "million a's" `Slow test_sha_long;
+          Alcotest.test_case "streaming" `Quick test_sha_streaming;
+          test_sha_length;
+          test_sha_injective_smoke;
+          Alcotest.test_case "hmac rfc4231 #2" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "hmac long key" `Quick test_hmac_long_key;
+        ] );
+      ( "hex",
+        [
+          test_hex_roundtrip;
+          Alcotest.test_case "uppercase" `Quick test_hex_uppercase;
+          Alcotest.test_case "malformed" `Quick test_hex_bad;
+        ] );
+    ]
