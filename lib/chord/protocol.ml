@@ -26,7 +26,10 @@ type msg =
   | Lookup_reply of { token : int; result : step_result }
   | Get_state of { token : int; reply_to : int }
   | State of { token : int; pred : peer option; succs : peer list }
-  | Notify of peer
+  | Notify of { who : peer; chain : peer list }
+      (* the notifier piggybacks its successor chain: cheap anti-entropy
+         that lets a node stranded in a parasite sub-ring discover its
+         true successor and merge back (see handle_notify) *)
 
 type pending =
   | Plookup of {
@@ -36,6 +39,7 @@ type pending =
       callback : peer option -> unit;
     }
   | Pstabilize of { asking : peer }
+  | Pprobe of { buried : peer }
 
 type node = {
   network : network;
@@ -49,6 +53,16 @@ type node = {
   mutable pred_heard : float;
   pending : (int, pending) Hashtbl.t;
   suspicion : (int, int) Hashtbl.t; (* peer addr -> consecutive timeouts *)
+  graveyard : (int, peer) Hashtbl.t;
+      (* peers evicted as dead, kept for rediscovery probes: a healed
+         partition or a restarted server must be able to knit the ring
+         back together, which pure forgetting makes impossible *)
+  contacts : (int, peer) Hashtbl.t;
+      (* every peer ever learned of, never overwritten by ring state:
+         the last-resort address book for [rejoin_probe].  Fingers and
+         successor lists self-destruct when a node is stranded (each
+         fix-fingers round re-resolves them inside whatever sub-ring the
+         node is trapped in), so durable contacts are the only way back *)
   mutable timers : Engine.timer list;
 }
 
@@ -73,6 +87,8 @@ let create engine ~rng ~latency ?(config = default_config) () =
 
 let engine nw = nw.engine
 let set_loss_rate nw p = Net.set_loss_rate nw.net p
+let fault_driver nw = Faults.net_driver nw.net
+let net_stats nw = Net.stats nw.net
 
 let node_id n = n.id
 let node_addr n = n.addr
@@ -90,13 +106,27 @@ let fresh_token nw =
 
 let send n dst msg = Net.send n.network.net ~src:n.addr ~dst msg
 
+let notify n dst = send n dst (Notify { who = self_peer n; chain = n.succs })
+
+let remember n (p : peer) =
+  if p.addr <> n.addr then Hashtbl.replace n.contacts p.addr p
+
 (* A single lost datagram must not evict a live peer: only forget after
    several consecutive unanswered RPCs (any received message resets the
    count). *)
 let suspicion_threshold = 3
 
-(* Remove a peer everywhere after a timeout marked it dead. *)
+(* Remove a peer everywhere after a timeout marked it dead — but bury it
+   in the graveyard so rediscovery probes can find it again. *)
 let forget_peer n addr =
+  let bury (p : peer) =
+    if p.addr = addr then Hashtbl.replace n.graveyard addr p
+  in
+  List.iter bury n.succs;
+  (match n.pred with Some p -> bury p | None -> ());
+  for i = 0 to Finger_table.slots n.fingers - 1 do
+    match Finger_table.get n.fingers i with Some p -> bury p | None -> ()
+  done;
   n.succs <- List.filter (fun (p : peer) -> p.addr <> addr) n.succs;
   for i = 0 to Finger_table.slots n.fingers - 1 do
     match Finger_table.get n.fingers i with
@@ -210,6 +240,7 @@ let handle_lookup_step n ~key ~token ~reply_to =
   send n reply_to (Lookup_reply { token; result })
 
 let handle_lookup_reply n ~token ~result =
+  (match result with Done p | Next p -> remember n p);
   match Hashtbl.find_opt n.pending token with
   | Some (Plookup l) -> (
       match result with
@@ -234,7 +265,26 @@ let truncate_succs cfg l =
   take cfg.successor_list_length l
 
 let handle_state n ~token ~(pred : peer option) ~(succs : peer list) =
+  Option.iter (remember n) pred;
+  List.iter (remember n) succs;
   match Hashtbl.find_opt n.pending token with
+  | Some (Pprobe { buried }) ->
+      (* A buried peer answered: it recovered, or a partition healed.
+         Re-integrate it exactly as a stabilize round would — adopt it as
+         successor if it sits between us and our current successor, and
+         notify it of us — then let normal stabilization refine the rest.
+         This is what knits two healed half-rings back into one. *)
+      Hashtbl.remove n.pending token;
+      Hashtbl.remove n.graveyard buried.addr;
+      Hashtbl.remove n.suspicion buried.addr;
+      ignore pred;
+      let chain = List.filter (fun (p : peer) -> p.addr <> n.addr) succs in
+      (match successor n with
+      | None -> n.succs <- truncate_succs n.network.cfg (buried :: chain)
+      | Some succ when Ring.between_oo ~low:n.id ~high:succ.id buried.id ->
+          n.succs <- truncate_succs n.network.cfg (buried :: n.succs)
+      | Some _ -> ());
+      notify n buried.addr
   | Some (Pstabilize { asking }) ->
       Hashtbl.remove n.pending token;
       (* Adopt a closer successor if our successor's predecessor is between
@@ -249,23 +299,58 @@ let handle_state n ~token ~(pred : peer option) ~(succs : peer list) =
       in
       let chain = List.filter (fun (p : peer) -> p.addr <> n.addr) succs in
       n.succs <- truncate_succs n.network.cfg (new_succ :: chain);
-      send n new_succ.addr (Notify (self_peer n))
+      notify n new_succ.addr
   | _ -> ()
 
-let handle_notify n (candidate : peer) =
-  if candidate.addr <> n.addr then begin
+(* Ask [p] for its state with a [Pprobe] token: if it answers it is alive
+   and [handle_state] re-integrates it (adopting it as successor when it
+   sits between us and our current one); if it is dead the probe times out
+   quietly.  Used for graveyard rediscovery and to vet gossiped peers. *)
+let probe_peer n (p : peer) =
+  let token = fresh_token n.network in
+  Hashtbl.replace n.pending token (Pprobe { buried = p });
+  send n p.addr (Get_state { token; reply_to = n.addr });
+  Engine.schedule n.network.engine ~delay:n.network.cfg.rpc_timeout (fun () ->
+      Hashtbl.remove n.pending token)
+
+let handle_notify n ~(who : peer) ~(chain : peer list) =
+  if who.addr <> n.addr then begin
+    remember n who;
+    List.iter (remember n) chain;
+    Hashtbl.remove n.graveyard who.addr;
     (* A node alone on the ring adopts its first notifier as successor,
        closing the two-node ring. *)
-    if n.succs = [] then n.succs <- [ candidate ];
+    if n.succs = [] then n.succs <- [ who ];
     (match n.pred with
-    | None -> n.pred <- Some candidate
+    | None -> n.pred <- Some who
     | Some p ->
-        if Ring.between_oo ~low:p.id ~high:n.id candidate.id then
-          n.pred <- Some candidate);
-    match n.pred with
-    | Some p when p.addr = candidate.addr ->
+        if Ring.between_oo ~low:p.id ~high:n.id who.id then n.pred <- Some who);
+    (match n.pred with
+    | Some p when p.addr = who.addr ->
         n.pred_heard <- Engine.now n.network.engine
-    | _ -> ()
+    | _ -> ());
+    (* Anti-entropy: the notifier piggybacks its successor chain; any
+       member strictly closer than our successor is a candidate merge
+       point.  A node stranded in a parasite sub-ring (its successor
+       skips part of the true ring) is repaired the first time a
+       main-ring member notifies it — without this, two healed sub-rings
+       can coexist forever.  [who] itself is provably alive (we just
+       received from it) and is adopted directly; chain members may be
+       stale, so they are only probed and adopted if they answer. *)
+    (match successor n with
+    | None -> n.succs <- [ who ]
+    | Some succ ->
+        if Ring.between_oo ~low:n.id ~high:succ.id who.id then
+          n.succs <- truncate_succs n.network.cfg (who :: n.succs));
+    List.iter
+      (fun (p : peer) ->
+        if p.addr <> n.addr then
+          match successor n with
+          | None -> probe_peer n p
+          | Some succ ->
+              if Ring.between_oo ~low:n.id ~high:succ.id p.id then
+                probe_peer n p)
+      chain
   end
 
 let handle n ~src msg =
@@ -282,13 +367,60 @@ let handle n ~src msg =
         | _ -> ());
         send n reply_to (State { token; pred = n.pred; succs = n.succs })
     | State { token; pred; succs } -> handle_state n ~token ~pred ~succs
-    | Notify candidate -> handle_notify n candidate
+    | Notify { who; chain } -> handle_notify n ~who ~chain
   end
 
 (* ---- periodic maintenance ---- *)
 
+(* Once per stabilize round, ping one random buried peer.  Probes to the
+   truly dead cost one datagram and time out quietly; probes to a
+   recovered peer (or across a healed partition) trigger ring merge via
+   the [Pprobe] path of [handle_state]. *)
+let probe_graveyard n =
+  if Hashtbl.length n.graveyard > 0 then begin
+    let arr = Array.of_seq (Hashtbl.to_seq_values n.graveyard) in
+    probe_peer n (Rng.choose n.network.rng arr)
+  end
+
+(* Last-resort anti-stranding repair, run while the node's ring state
+   looks degraded (no predecessor, or a short successor list): re-run the
+   join lookup for our own id through a random remembered contact and
+   adopt the answer if it improves our successor.  A node whose every
+   ring neighbor died before stabilization integrated it — or that got
+   trapped with other strays in a self-consistent parasite sub-ring — is
+   invisible to the main ring, so no inbound probe or gossip can ever
+   reach it; its contact log is the one thing that still points outside
+   the island, and a single live contact suffices to find the true
+   successor.  On an already-integrated node the lookup resolves to the
+   node itself and the probe is a no-op. *)
+let rejoin_probe n =
+  if Hashtbl.length n.contacts > 0 then begin
+    let arr = Array.of_seq (Hashtbl.to_seq_values n.contacts) in
+    let c = Rng.choose n.network.rng arr in
+    let callback = function
+      | Some (p : peer) when p.addr <> n.addr ->
+          Hashtbl.remove n.graveyard p.addr;
+          (match successor n with
+          | None -> n.succs <- [ p ]
+          | Some succ ->
+              if Ring.between_oo ~low:n.id ~high:succ.id p.id then
+                n.succs <- truncate_succs n.network.cfg (p :: n.succs));
+          notify n p.addr
+      | _ -> ()
+    in
+    let token = fresh_token n.network in
+    Hashtbl.replace n.pending token
+      (Plookup { key = n.id; hops = 0; asking = c; callback });
+    lookup_ask n token
+  end
+
 let stabilize n =
   if n.alive then begin
+    probe_graveyard n;
+    if
+      n.pred = None
+      || List.length n.succs < n.network.cfg.successor_list_length
+    then rejoin_probe n;
     (* Expire a silent predecessor so a replacement can be accepted. *)
     let now = Engine.now n.network.engine in
     (match n.pred with
@@ -303,7 +435,7 @@ let stabilize n =
         match n.pred with
         | Some p ->
             n.succs <- [ p ];
-            send n p.addr (Notify (self_peer n))
+            notify n p.addr
         | None -> ())
     | Some succ ->
         let token = fresh_token n.network in
@@ -330,6 +462,19 @@ let fix_fingers n =
         | None -> ())
     done
 
+let start_timers n =
+  let nw = n.network in
+  let jitter = Rng.float nw.rng nw.cfg.stabilize_period in
+  n.timers <-
+    [
+      Engine.every nw.engine ~phase:jitter ~period:nw.cfg.stabilize_period
+        (fun () -> stabilize n);
+      Engine.every nw.engine
+        ~phase:(Rng.float nw.rng nw.cfg.fix_fingers_period)
+        ~period:nw.cfg.fix_fingers_period
+        (fun () -> fix_fingers n);
+    ]
+
 let start_node nw ?id ~site () =
   let id =
     match id with Some i -> i | None -> Id.routing_key (Id.random nw.rng)
@@ -348,20 +493,13 @@ let start_node nw ?id ~site () =
       pred_heard = Engine.now nw.engine;
       pending = Hashtbl.create 16;
       suspicion = Hashtbl.create 8;
+      graveyard = Hashtbl.create 8;
+      contacts = Hashtbl.create 8;
       timers = [];
     }
   in
   Net.set_handler nw.net addr (fun ~src msg -> handle n ~src msg);
-  let jitter = Rng.float nw.rng nw.cfg.stabilize_period in
-  n.timers <-
-    [
-      Engine.every nw.engine ~phase:jitter ~period:nw.cfg.stabilize_period
-        (fun () -> stabilize n);
-      Engine.every nw.engine
-        ~phase:(Rng.float nw.rng nw.cfg.fix_fingers_period)
-        ~period:nw.cfg.fix_fingers_period
-        (fun () -> fix_fingers n);
-    ];
+  start_timers n;
   nw.nodes <- n :: nw.nodes;
   n
 
@@ -369,15 +507,16 @@ let bootstrap nw ?id ~site () = start_node nw ?id ~site ()
 
 let join nw ?id ~site ~via () =
   let n = start_node nw ?id ~site () in
+  remember n (self_peer via);
   lookup via n.id (function
     | Some p when p.addr <> n.addr ->
         n.succs <- [ p ];
-        send n p.addr (Notify (self_peer n))
+        notify n p.addr
     | _ ->
         (* Bootstrap node alone: it becomes our successor directly. *)
         if via.addr <> n.addr then begin
           n.succs <- [ self_peer via ];
-          send n via.addr (Notify (self_peer n))
+          notify n via.addr
         end);
   n
 
@@ -386,6 +525,48 @@ let kill n =
   Net.set_down n.network.net n.addr;
   List.iter Engine.cancel n.timers;
   n.timers <- []
+
+let restart ?via n =
+  if n.alive then invalid_arg "Protocol.restart: node is alive";
+  let nw = n.network in
+  n.alive <- true;
+  Net.set_up nw.net n.addr;
+  (* Fail-stop recovery: the process lost all volatile ring state. *)
+  n.pred <- None;
+  n.succs <- [];
+  for i = 0 to Finger_table.slots n.fingers - 1 do
+    Finger_table.set n.fingers i None
+  done;
+  Hashtbl.reset n.pending;
+  Hashtbl.reset n.suspicion;
+  Hashtbl.reset n.graveyard;
+  Hashtbl.reset n.contacts;
+  n.next_fix <- 0;
+  n.pred_heard <- Engine.now nw.engine;
+  start_timers n;
+  let via =
+    match via with
+    | Some _ -> via
+    | None -> (
+        match
+          List.filter (fun m -> m.alive && m.addr <> n.addr) nw.nodes
+        with
+        | [] -> None
+        | live -> Some (Rng.choose nw.rng (Array.of_list live)))
+  in
+  match via with
+  | None -> () (* alone again: it is its own ring *)
+  | Some v ->
+      remember n (self_peer v);
+      lookup v n.id (function
+        | Some p when p.addr <> n.addr ->
+            n.succs <- [ p ];
+            notify n p.addr
+        | _ ->
+            if v.addr <> n.addr then begin
+              n.succs <- [ self_peer v ];
+              notify n v.addr
+            end)
 
 let alive_nodes nw =
   List.filter (fun n -> n.alive) nw.nodes

@@ -10,7 +10,12 @@
 
     The static {!Oracle} is the converged view; tests check that a ring
     built with this protocol converges to exactly the oracle's successor
-    relation and heals after failures. *)
+    relation and heals after failures.
+
+    Peers evicted by failure detection are buried, not forgotten: each
+    stabilize round pings one buried peer, and an answer (server
+    recovery, or a healed partition) re-integrates it — the mechanism
+    that merges two halves of a partitioned ring back into one. *)
 
 type peer = Finger_table.peer = { id : Id.t; addr : int }
 
@@ -43,6 +48,14 @@ val engine : network -> Engine.t
 val set_loss_rate : network -> float -> unit
 (** Inject uniform message loss on the underlying network (robustness
     tests). *)
+
+val fault_driver : network -> Faults.driver
+(** Interpret {!Faults} network events against the control plane's net
+    ([Crash]/[Restart] are ignored here — combine with a deployment-level
+    driver that owns node lifecycle). *)
+
+val net_stats : network -> Net.stats
+(** Drop/delivery accounting of the control plane (by fault cause). *)
 
 val bootstrap : network -> ?id:Id.t -> site:int -> unit -> node
 (** First node of a fresh ring (its own successor). Server ids default to
@@ -81,6 +94,13 @@ val lookup : node -> Id.t -> (peer option -> unit) -> unit
 val kill : node -> unit
 (** Fail-stop the node: it stops responding; others detect it via RPC
     timeouts. *)
+
+val restart : ?via:node -> node -> unit
+(** Recover a killed node at the same address with {e empty} volatile
+    state (no predecessor, successors or fingers — fail-stop semantics)
+    and rejoin the ring through [via] (default: a random live node; if
+    none, the node bootstraps alone).  @raise Invalid_argument if the
+    node is alive. *)
 
 val alive_nodes : network -> node list
 (** Alive nodes in ascending id order. *)

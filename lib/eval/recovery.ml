@@ -1,0 +1,183 @@
+(* --- invariant checkers --- *)
+
+let ring_converged ?(probes = 32) rng d =
+  let ok = ref true in
+  for _ = 1 to probes do
+    if List.length (I3.Dynamic.owners_of d (Id.random rng)) <> 1 then
+      ok := false
+  done;
+  !ok
+
+let converges_within ?probes ?(check_every = 1_000.) ~budget rng d =
+  let start = I3.Dynamic.now d in
+  let deadline = start +. budget in
+  let rec wait () =
+    if ring_converged ?probes rng d then Some (I3.Dynamic.now d -. start)
+    else if I3.Dynamic.now d >= deadline then None
+    else begin
+      I3.Dynamic.run_for d (Float.min check_every (deadline -. I3.Dynamic.now d));
+      wait ()
+    end
+  in
+  wait ()
+
+let triggers_conserved d hosts =
+  let now = I3.Dynamic.now d in
+  List.for_all
+    (fun host ->
+      List.for_all
+        (fun (tr : I3.Trigger.t) ->
+          match I3.Dynamic.owners_of d tr.I3.Trigger.id with
+          | [] -> false
+          | owners ->
+              List.for_all
+                (fun s ->
+                  I3.Trigger_table.find_matches (I3.Server.triggers s) ~now
+                    tr.I3.Trigger.id
+                  <> [])
+                owners)
+        (I3.Host.active_triggers host))
+    hosts
+
+(* --- probe flows --- *)
+
+type flow = {
+  engine : Engine.t;
+  name : string;
+  started_at : float;
+  mutable stopped_at : float option;
+  mutable sent : int;
+  mutable seen : int; (* highest seq delivered, for duplicate suppression *)
+  mutable received : int;
+  mutable recv_times : float list; (* reverse order *)
+  mutable timer : Engine.timer option;
+}
+
+let flow_counter = ref 0
+
+let start_flow d ~sender ~receiver ?(period = 250.) ?name id =
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        incr flow_counter;
+        Printf.sprintf "flow%d" !flow_counter
+  in
+  let engine = I3.Dynamic.engine d in
+  let f =
+    {
+      engine;
+      name;
+      started_at = Engine.now engine;
+      stopped_at = None;
+      sent = 0;
+      seen = -1;
+      received = 0;
+      recv_times = [];
+      timer = None;
+    }
+  in
+  let tag = name ^ ":" in
+  I3.Host.on_receive receiver (fun ~stack:_ ~payload ->
+      let tl = String.length tag in
+      if String.length payload > tl && String.sub payload 0 tl = tag then begin
+        let seq = int_of_string (String.sub payload tl (String.length payload - tl)) in
+        (* The fault layer can duplicate packets and a healing partition
+           can flush stale copies; count each probe once. *)
+        if seq > f.seen then begin
+          f.seen <- seq;
+          f.received <- f.received + 1;
+          f.recv_times <- Engine.now engine :: f.recv_times
+        end
+      end);
+  f.timer <-
+    Some
+      (Engine.every engine ~phase:0.001 ~period (fun () ->
+           I3.Host.send sender id (Printf.sprintf "%s%d" tag f.sent);
+           f.sent <- f.sent + 1));
+  f
+
+let stop_flow f =
+  (match f.timer with
+  | Some timer ->
+      Engine.cancel timer;
+      f.timer <- None
+  | None -> ());
+  if f.stopped_at = None then f.stopped_at <- Some (Engine.now f.engine)
+
+let sent f = f.sent
+let received f = f.received
+
+let delivery_ratio f =
+  if f.sent = 0 then 1. else float_of_int f.received /. float_of_int f.sent
+
+let time_to_recovery f ~after =
+  List.fold_left
+    (fun best t ->
+      if t >= after then
+        match best with Some b when b <= t -> best | _ -> Some t
+      else best)
+    None f.recv_times
+  |> Option.map (fun t -> t -. after)
+
+let longest_outage f =
+  let finish =
+    match f.stopped_at with Some t -> t | None -> Engine.now f.engine
+  in
+  let marks = finish :: (f.recv_times @ [ f.started_at ]) in
+  (* marks are in decreasing time order *)
+  let rec widest acc = function
+    | later :: (earlier :: _ as rest) ->
+        widest (Float.max acc (later -. earlier)) rest
+    | [ _ ] | [] -> acc
+  in
+  widest 0. marks
+
+(* --- reporting --- *)
+
+type metrics = {
+  scenario : string;
+  sent : int;
+  delivered : int;
+  delivery_ratio : float;
+  time_to_recovery_ms : float option;
+  longest_outage_ms : float;
+  converged : bool;
+}
+
+let metrics ~scenario ?fault_at ~converged (f : flow) =
+  {
+    scenario;
+    sent = f.sent;
+    delivered = received f;
+    delivery_ratio = delivery_ratio f;
+    time_to_recovery_ms =
+      Option.bind fault_at (fun at -> time_to_recovery f ~after:at);
+    longest_outage_ms = longest_outage f;
+    converged;
+  }
+
+let header =
+  [
+    "scenario"; "sent"; "delivered"; "ratio"; "ttr (ms)"; "outage (ms)";
+    "converged";
+  ]
+
+let row m =
+  [
+    m.scenario;
+    string_of_int m.sent;
+    string_of_int m.delivered;
+    Printf.sprintf "%.3f" m.delivery_ratio;
+    (match m.time_to_recovery_ms with
+    | Some t -> Printf.sprintf "%.0f" t
+    | None -> "-");
+    Printf.sprintf "%.0f" m.longest_outage_ms;
+    (if m.converged then "yes" else "NO");
+  ]
+
+let report ms =
+  Report.table ~title:"chaos scenarios: delivery ratio and time-to-recovery"
+    ~header (List.map row ms)
+
+let csv ~path ms = Report.csv ~path ~header (List.map row ms)

@@ -87,15 +87,35 @@ let add_server t ?(site = 0) () =
   t.members <- { node; server } :: t.members;
   server
 
+let member_of t server =
+  List.find_opt (fun m -> Server.addr m.server = Server.addr server) t.members
+
 let kill_server t server =
-  match
-    List.find_opt (fun m -> Server.addr m.server = Server.addr server) t.members
-  with
+  match member_of t server with
   | Some m ->
       Server.kill m.server;
       Chord.Protocol.kill m.node;
       Hashtbl.remove t.directory (Id.to_raw_string (Server.id m.server))
   | None -> invalid_arg "Dynamic.kill_server: unknown server"
+
+let restart_server t server =
+  match member_of t server with
+  | Some m ->
+      Server.restart m.server;
+      let via =
+        match
+          List.filter
+            (fun o -> Chord.Protocol.is_alive o.node && o.server != m.server)
+            t.members
+        with
+        | [] -> None
+        | live -> Some (Rng.choose t.rng (Array.of_list live)).node
+      in
+      Chord.Protocol.restart ?via m.node;
+      Hashtbl.replace t.directory
+        (Id.to_raw_string (Server.id m.server))
+        (Server.addr m.server)
+  | None -> invalid_arg "Dynamic.restart_server: unknown server"
 
 let live_members t =
   List.filter (fun m -> Server.is_alive m.server) t.members
@@ -122,3 +142,30 @@ let total_triggers t =
   List.fold_left
     (fun acc m -> acc + Trigger_table.size (Server.triggers m.server))
     0 (live_members t)
+
+(* --- fault injection --- *)
+
+let all_servers t = List.rev_map (fun m -> m.server) t.members
+
+let nth_server t i =
+  match List.nth_opt (all_servers t) i with
+  | Some s -> s
+  | None -> invalid_arg "Dynamic.nth_server: no such server index"
+
+let fault_driver t =
+  let crash i =
+    let s = nth_server t i in
+    if Server.is_alive s then kill_server t s
+  and restart i =
+    let s = nth_server t i in
+    if not (Server.is_alive s) then restart_server t s
+  in
+  Faults.combine
+    [
+      Faults.net_driver ~crash ~restart t.data;
+      Chord.Protocol.fault_driver t.control;
+    ]
+
+let inject t schedule = Faults.install t.engine (fault_driver t) schedule
+let data_net_stats t = Net.stats t.data
+let control_net_stats t = Chord.Protocol.net_stats t.control

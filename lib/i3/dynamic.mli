@@ -44,8 +44,20 @@ val add_server : t -> ?site:int -> unit -> Server.t
 val kill_server : t -> Server.t -> unit
 (** Fail-stop a server and its protocol node; peers notice via timeouts. *)
 
+val restart_server : t -> Server.t -> unit
+(** Recover a killed server at the same addresses with empty soft state;
+    its protocol node rejoins the ring through a random live member.
+    Hosts re-insert their triggers on refresh (Sec. IV-C). *)
+
 val servers : t -> Server.t list
 (** Live servers. *)
+
+val all_servers : t -> Server.t list
+(** Every server ever started, alive or dead, in join order — the victim
+    index space of {!fault_driver}. *)
+
+val nth_server : t -> int -> Server.t
+(** The i-th server in join order. @raise Invalid_argument out of range. *)
 
 val owners_of : t -> Id.t -> Server.t list
 (** Servers currently claiming responsibility for an identifier (by their
@@ -54,3 +66,22 @@ val owners_of : t -> Id.t -> Server.t list
 val new_host : t -> ?site:int -> ?config:Host.config -> ?n_gateways:int -> unit -> Host.t
 
 val total_triggers : t -> int
+
+(** {1 Fault injection}
+
+    A real-world fault hits every protocol sharing the failed resource at
+    once, so the deployment's fault driver applies each network-level
+    event (partition, gray link, burst loss, jitter, …) to {e both} the
+    control plane (Chord RPCs) and the data plane (i3 packets), and maps
+    [Faults.Crash]/[Faults.Restart] victim indices onto
+    {!kill_server}/{!restart_server} in join order. *)
+
+val fault_driver : t -> Faults.driver
+
+val inject : t -> Faults.schedule -> unit
+(** [inject t s] is [Faults.install (engine t) (fault_driver t) s]. *)
+
+val data_net_stats : t -> Net.stats
+(** Drop/delivery accounting of the data plane, by fault cause. *)
+
+val control_net_stats : t -> Net.stats

@@ -278,6 +278,16 @@ let handle_pushback t ~id ~dead =
   in
   ignore removed
 
+let start_sweeper t =
+  t.sweeper <-
+    Some
+      (Engine.every t.engine ~period:t.cfg.sweep_period (fun () ->
+           if t.alive then begin
+             ignore (Trigger_table.expire t.table ~now:(now t));
+             ignore (Trigger_table.expire t.cache ~now:(now t));
+             ignore (Trigger_table.expire t.replicas ~now:(now t))
+           end))
+
 let handle_packet t p = if t.alive then process_packet t p
 
 let handle t ~src:_ (msg : Message.t) =
@@ -321,14 +331,7 @@ let create ~engine ~net ~view ~site ~id ?(config = default_config) () =
     }
   in
   t.addr <- Net.register net ~site (fun ~src msg -> handle t ~src msg);
-  t.sweeper <-
-    Some
-      (Engine.every engine ~period:config.sweep_period (fun () ->
-           if t.alive then begin
-             ignore (Trigger_table.expire t.table ~now:(now t));
-             ignore (Trigger_table.expire t.cache ~now:(now t));
-             ignore (Trigger_table.expire t.replicas ~now:(now t))
-           end));
+  start_sweeper t;
   t
 
 let set_view t view = t.view <- view
@@ -341,3 +344,15 @@ let kill t =
       Engine.cancel timer;
       t.sweeper <- None
   | None -> ()
+
+let restart t =
+  if t.alive then invalid_arg "Server.restart: server is alive";
+  t.alive <- true;
+  Net.set_up t.net t.addr;
+  (* Fail-stop recovery: stored soft state died with the process; hosts
+     re-populate it on their next refresh (Sec. IV-C). *)
+  Trigger_table.clear t.table;
+  Trigger_table.clear t.cache;
+  Trigger_table.clear t.replicas;
+  Hashtbl.reset t.heat;
+  start_sweeper t

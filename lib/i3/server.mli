@@ -103,6 +103,12 @@ val kill : t -> unit
 (** Fail-stop: stop answering; stored triggers die with the server (hosts
     re-insert them on refresh — Sec. IV-C). *)
 
+val restart : t -> unit
+(** Recover a killed server at the same address with empty trigger
+    tables (fail-stop semantics: soft state did not survive); hosts
+    re-populate them on their next refresh.  @raise Invalid_argument if
+    the server is alive. *)
+
 val is_alive : t -> bool
 
 val handle_packet : t -> Packet.t -> unit

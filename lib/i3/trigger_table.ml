@@ -10,6 +10,10 @@ type t = {
 
 let create () = { buckets = Hashtbl.create 64; count = 0 }
 
+let clear t =
+  Hashtbl.reset t.buckets;
+  t.count <- 0
+
 let prefix_key id =
   String.sub (Id.to_raw_string id) 0 (Id.prefix_bits / 8)
 

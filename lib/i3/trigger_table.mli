@@ -17,6 +17,9 @@ type t
 
 val create : unit -> t
 
+val clear : t -> unit
+(** Drop every binding (a restarting server's soft state dies with it). *)
+
 val insert : t -> now:float -> expires:float -> Trigger.t -> unit
 (** Insert or refresh a binding. If an entry with the same id, stack and
     owner exists, only its expiry is extended. *)

@@ -11,8 +11,28 @@ type 'msg endpoint = {
 type stats = {
   sent : int;
   delivered : int;
+  duplicated : int;
   dropped_loss : int;
+  dropped_burst : int;
   dropped_down : int;
+  dropped_partition : int;
+  dropped_gray : int;
+}
+
+type partition_id = int
+
+module Int_set = Set.Make (Int)
+
+(* Gilbert–Elliott two-state loss chain: in the Good state messages are
+   lost with probability [loss_good], in the Bad state with [loss_bad];
+   each message advances the chain (Good -> Bad with [p_enter], Bad ->
+   Good with [p_exit]).  Mean burst length is 1/p_exit messages. *)
+type burst = {
+  p_enter : float;
+  p_exit : float;
+  loss_good : float;
+  loss_bad : float;
+  mutable bad : bool;
 }
 
 type 'msg t = {
@@ -22,11 +42,22 @@ type 'msg t = {
   mutable endpoints : 'msg endpoint array;
   mutable count : int;
   mutable loss_rate : float;
+  mutable burst : burst option;
+  mutable partitions : (partition_id * Int_set.t) list;
+  mutable next_partition : partition_id;
+  gray : (int * int, unit) Hashtbl.t; (* directed (src site, dst site) cuts *)
+  mutable duplicate_rate : float;
+  mutable jitter : float;
+  mutable extra_latency : float;
   mutable tap : (src:addr -> dst:addr -> 'msg -> unit) option;
   mutable sent : int;
   mutable delivered : int;
+  mutable duplicated : int;
   mutable dropped_loss : int;
+  mutable dropped_burst : int;
   mutable dropped_down : int;
+  mutable dropped_partition : int;
+  mutable dropped_gray : int;
 }
 
 let create engine ~rng ~latency () =
@@ -37,11 +68,22 @@ let create engine ~rng ~latency () =
     endpoints = [||];
     count = 0;
     loss_rate = 0.;
+    burst = None;
+    partitions = [];
+    next_partition = 0;
+    gray = Hashtbl.create 8;
+    duplicate_rate = 0.;
+    jitter = 0.;
+    extra_latency = 0.;
     tap = None;
     sent = 0;
     delivered = 0;
+    duplicated = 0;
     dropped_loss = 0;
+    dropped_burst = 0;
     dropped_down = 0;
+    dropped_partition = 0;
+    dropped_gray = 0;
   }
 
 let engine t = t.engine
@@ -53,9 +95,14 @@ let endpoint t a =
 let register t ~site handler =
   if t.count = Array.length t.endpoints then begin
     let ncap = max 16 (2 * t.count) in
-    let fresh = { site; handler; up = true } in
-    let bigger = Array.make ncap fresh in
-    Array.blit t.endpoints 0 bigger 0 t.count;
+    (* Each spare slot gets its own placeholder record: sharing one mutable
+       record across slots would let a stray write through an aliased slot
+       corrupt several endpoints at once. *)
+    let bigger =
+      Array.init ncap (fun i ->
+          if i < t.count then t.endpoints.(i)
+          else { site = -1; handler = (fun ~src:_ _ -> ()); up = false })
+    in
     t.endpoints <- bigger
   end;
   t.endpoints.(t.count) <- { site; handler; up = true };
@@ -71,34 +118,118 @@ let set_up t a = (endpoint t a).up <- true
 let is_up t a = (endpoint t a).up
 
 let set_loss_rate t p =
-  if p < 0. || p >= 1. then invalid_arg "Net.set_loss_rate: need 0 <= p < 1";
+  if p < 0. || p > 1. then invalid_arg "Net.set_loss_rate: need 0 <= p <= 1";
   t.loss_rate <- p
 
 let set_tap t f = t.tap <- Some f
+
+(* --- link-level faults --- *)
+
+let check_prob name p =
+  if p < 0. || p > 1. then
+    invalid_arg (Printf.sprintf "Net.%s: need probability in [0, 1]" name)
+
+let partition t sites =
+  let set = Int_set.of_list sites in
+  if Int_set.is_empty set then invalid_arg "Net.partition: empty site set";
+  let pid = t.next_partition in
+  t.next_partition <- pid + 1;
+  t.partitions <- (pid, set) :: t.partitions;
+  pid
+
+let heal t pid = t.partitions <- List.remove_assoc pid t.partitions
+
+let heal_all t = t.partitions <- []
+
+let partitioned t sa sb =
+  sa <> sb
+  && List.exists
+       (fun (_, set) -> Int_set.mem sa set <> Int_set.mem sb set)
+       t.partitions
+
+let set_link_down t ~src_site ~dst_site =
+  Hashtbl.replace t.gray (src_site, dst_site) ()
+
+let set_link_up t ~src_site ~dst_site =
+  Hashtbl.remove t.gray (src_site, dst_site)
+
+let set_burst_loss t ?(loss_good = 0.) ?(loss_bad = 1.) ~p_enter ~p_exit () =
+  check_prob "set_burst_loss (p_enter)" p_enter;
+  check_prob "set_burst_loss (p_exit)" p_exit;
+  check_prob "set_burst_loss (loss_good)" loss_good;
+  check_prob "set_burst_loss (loss_bad)" loss_bad;
+  t.burst <- Some { p_enter; p_exit; loss_good; loss_bad; bad = false }
+
+let clear_burst_loss t = t.burst <- None
+
+let set_duplicate_rate t p =
+  check_prob "set_duplicate_rate" p;
+  t.duplicate_rate <- p
+
+let set_jitter t ms =
+  if ms < 0. then invalid_arg "Net.set_jitter: need ms >= 0";
+  t.jitter <- ms
+
+let set_extra_latency t ms =
+  if ms < 0. then invalid_arg "Net.set_extra_latency: need ms >= 0";
+  t.extra_latency <- ms
+
+let burst_says_drop t =
+  match t.burst with
+  | None -> false
+  | Some b ->
+      (* Advance the chain, then draw from the state we landed in. *)
+      let flip =
+        if b.bad then Rng.float t.rng 1. < b.p_exit
+        else Rng.float t.rng 1. < b.p_enter
+      in
+      if flip then b.bad <- not b.bad;
+      let p = if b.bad then b.loss_bad else b.loss_good in
+      p > 0. && Rng.float t.rng 1. < p
+
+(* --- sending --- *)
+
+let deliver t ~src ~dst (d : 'msg endpoint) msg =
+  if d.up then begin
+    t.delivered <- t.delivered + 1;
+    (match t.tap with Some f -> f ~src ~dst msg | None -> ());
+    d.handler ~src msg
+  end
+  else t.dropped_down <- t.dropped_down + 1
 
 let send t ~src ~dst msg =
   let s = endpoint t src and d = endpoint t dst in
   t.sent <- t.sent + 1;
   if not s.up then t.dropped_down <- t.dropped_down + 1
+  else if partitioned t s.site d.site then
+    t.dropped_partition <- t.dropped_partition + 1
+  else if Hashtbl.mem t.gray (s.site, d.site) then
+    t.dropped_gray <- t.dropped_gray + 1
+  else if burst_says_drop t then t.dropped_burst <- t.dropped_burst + 1
   else if t.loss_rate > 0. && Rng.float t.rng 1. < t.loss_rate then
     t.dropped_loss <- t.dropped_loss + 1
   else begin
-    let delay = t.latency s.site d.site in
-    Engine.schedule t.engine ~delay (fun () ->
-        if d.up then begin
-          t.delivered <- t.delivered + 1;
-          (match t.tap with Some f -> f ~src ~dst msg | None -> ());
-          d.handler ~src msg
-        end
-        else t.dropped_down <- t.dropped_down + 1)
+    let base = t.latency s.site d.site +. t.extra_latency in
+    let jitter () = if t.jitter > 0. then Rng.float t.rng t.jitter else 0. in
+    Engine.schedule t.engine ~delay:(base +. jitter ()) (fun () ->
+        deliver t ~src ~dst d msg);
+    if t.duplicate_rate > 0. && Rng.float t.rng 1. < t.duplicate_rate then begin
+      t.duplicated <- t.duplicated + 1;
+      Engine.schedule t.engine ~delay:(base +. jitter ()) (fun () ->
+          deliver t ~src ~dst d msg)
+    end
   end
 
 let stats t =
   {
     sent = t.sent;
     delivered = t.delivered;
+    duplicated = t.duplicated;
     dropped_loss = t.dropped_loss;
+    dropped_burst = t.dropped_burst;
     dropped_down = t.dropped_down;
+    dropped_partition = t.dropped_partition;
+    dropped_gray = t.dropped_gray;
   }
 
 let endpoint_count t = t.count

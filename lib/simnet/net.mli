@@ -5,7 +5,14 @@
     time, or silently dropped under the configured loss rate or if either
     endpoint is down — exactly the best-effort, no-ordering, no-reliability
     service i3 assumes of IP (paper Sec. II-A).  Endpoints can move between
-    sites (host mobility) and crash/recover (server failure). *)
+    sites (host mobility) and crash/recover (server failure).
+
+    Beyond uniform i.i.d. loss, the network carries a composable
+    link-level fault model for chaos testing (see {!Faults} for the
+    schedule DSL driving it): site-set {e partitions} with heal,
+    asymmetric one-way {e gray links}, Gilbert–Elliott {e burst loss},
+    message {e duplication}, and latency {e jitter}/fixed spikes.  Every
+    drop is counted by cause in {!stats}. *)
 
 type addr = int
 (** Endpoint address ("IP address + port" of the paper). *)
@@ -36,7 +43,9 @@ val move : 'msg t -> addr -> int -> unit
 
 val send : 'msg t -> src:addr -> dst:addr -> 'msg -> unit
 (** Fire-and-forget datagram. Dropped silently when the source or the
-    destination is down at the relevant instant or on random loss. *)
+    destination is down at the relevant instant, when an active partition
+    or gray link separates the two sites, or on (burst or uniform) random
+    loss. *)
 
 val set_down : 'msg t -> addr -> unit
 (** Crash an endpoint: it stops sending and receiving. *)
@@ -45,16 +54,81 @@ val set_up : 'msg t -> addr -> unit
 val is_up : 'msg t -> addr -> bool
 
 val set_loss_rate : 'msg t -> float -> unit
-(** Uniform independent loss probability in [0, 1). Default 0. *)
+(** Uniform independent loss probability in [0, 1]. Default 0.
+    [1.] is a total blackhole (every message dropped). *)
 
 val set_tap : 'msg t -> (src:addr -> dst:addr -> 'msg -> unit) -> unit
 (** Observe every successful delivery (tracing in tests). *)
 
+(** {1 Link-level faults}
+
+    All fault knobs compose: a message must survive the partition check,
+    the gray-link check, the burst-loss chain and the uniform loss draw —
+    in that order — to be delivered.  Latency effects apply only to
+    messages that survive. *)
+
+type partition_id
+
+val partition : 'msg t -> int list -> partition_id
+(** [partition t sites] cuts the given site set off from every other
+    site, in both directions, until healed.  Multiple partitions may be
+    active at once; a message crossing {e any} active cut is dropped.
+    Traffic within the set (and within the complement) is unaffected.
+    @raise Invalid_argument on an empty site list. *)
+
+val heal : 'msg t -> partition_id -> unit
+(** Remove one partition; idempotent. *)
+
+val heal_all : 'msg t -> unit
+(** Remove every active partition. *)
+
+val set_link_down : 'msg t -> src_site:int -> dst_site:int -> unit
+(** Gray failure: silently drop every message from [src_site] to
+    [dst_site].  One-way — the reverse direction still works, which is
+    what makes gray links nastier than clean partitions: timeouts fire on
+    one side only. *)
+
+val set_link_up : 'msg t -> src_site:int -> dst_site:int -> unit
+
+val set_burst_loss :
+  'msg t ->
+  ?loss_good:float ->
+  ?loss_bad:float ->
+  p_enter:float ->
+  p_exit:float ->
+  unit ->
+  unit
+(** Install a Gilbert–Elliott two-state loss chain: each message advances
+    the chain (Good -> Bad with probability [p_enter], Bad -> Good with
+    [p_exit]) and is then dropped with probability [loss_good] (default 0)
+    or [loss_bad] (default 1) depending on the state.  Mean burst length
+    is [1 /. p_exit] messages.  Replaces any previous chain; composes with
+    the uniform {!set_loss_rate}. *)
+
+val clear_burst_loss : 'msg t -> unit
+
+val set_duplicate_rate : 'msg t -> float -> unit
+(** With the given probability a delivered message is delivered twice
+    (the copy draws its own jitter).  Default 0. *)
+
+val set_jitter : 'msg t -> float -> unit
+(** Add Uniform[0, ms) to every delivery latency. Default 0. *)
+
+val set_extra_latency : 'msg t -> float -> unit
+(** Fixed latency spike added to every delivery (congestion episode).
+    Default 0. *)
+
+(** {1 Accounting} *)
+
 type stats = {
   sent : int;
   delivered : int;
-  dropped_loss : int;
-  dropped_down : int;
+  duplicated : int;  (** extra copies delivered by {!set_duplicate_rate} *)
+  dropped_loss : int;  (** uniform i.i.d. loss *)
+  dropped_burst : int;  (** Gilbert–Elliott chain in the Bad state *)
+  dropped_down : int;  (** sender or receiver endpoint down *)
+  dropped_partition : int;  (** crossing an active partition cut *)
+  dropped_gray : int;  (** one-way gray link *)
 }
 
 val stats : 'msg t -> stats

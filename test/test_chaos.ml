@@ -1,0 +1,343 @@
+(* Chaos scenario matrix: declarative fault schedules (Faults) injected
+   into full decentralized deployments (I3.Dynamic), with recovery
+   checked through machine-checked invariants (Eval.Recovery) — the
+   paper's robustness story (Secs. IV-C, V-C) exercised end to end:
+   partitions heal, killed gateways rotate away, burst loss only delays
+   convergence, gray links are routed around, and soft state repairs
+   every trigger within [refresh_period + ack_grace].
+
+   Every scenario is seed-deterministic: the same seed replays the same
+   trajectory, which is what turns a chaos run into a regression test.
+   The matrix runs the core scenarios under three distinct seeds. *)
+
+(* Aggressive host timers so recovery bounds are small in virtual time:
+   2 s refresh, 4 s cache TTL, re-home after 5 s of unacked refreshes. *)
+let chaos_host_config =
+  {
+    I3.Host.refresh_period = 2_000.;
+    cache_ttl = 4_000.;
+    ack_grace = 5_000.;
+  }
+
+let repair_bound =
+  chaos_host_config.I3.Host.refresh_period
+  +. chaos_host_config.I3.Host.ack_grace
+
+(* Ten servers at ten distinct sites, so site-set partitions and gray
+   links cut between servers (join order = site index). *)
+let build ?server_config ~seed () =
+  let d = I3.Dynamic.create ~seed ?server_config () in
+  for site = 0 to 9 do
+    ignore (I3.Dynamic.add_server d ~site ());
+    I3.Dynamic.run_for d 2_000.
+  done;
+  I3.Dynamic.run_for d 60_000.;
+  d
+
+let probe_rng seed = Rng.create (Int64.of_int ((seed * 7919) + 13))
+
+let collect host =
+  let log = ref [] in
+  I3.Host.on_receive host (fun ~stack:_ ~payload -> log := payload :: !log);
+  fun () -> List.rev !log
+
+(* A rendezvous pair with a kept-refreshed trigger and a running probe
+   flow, the measurement substrate of every scenario. *)
+let start_probes d =
+  let recv = I3.Dynamic.new_host d ~config:chaos_host_config () in
+  let send = I3.Dynamic.new_host d ~config:chaos_host_config () in
+  let id = I3.Host.new_private_id recv in
+  I3.Host.insert_trigger recv id;
+  I3.Dynamic.run_for d 3_000.;
+  let flow = Eval.Recovery.start_flow d ~sender:send ~receiver:recv id in
+  I3.Dynamic.run_for d 5_000.;
+  (recv, send, id, flow)
+
+let check_recovered ~what ~seed d recv flow ~fault_at =
+  let rng = probe_rng (seed + 1) in
+  let conv = Eval.Recovery.converges_within ~budget:120_000. rng d in
+  Alcotest.(check bool) (what ^ ": ring re-converged") true (conv <> None);
+  (* The paper's repair bound: after one refresh round plus the ack grace
+     period, every trigger the host keeps alive is stored again at the
+     (now unique) responsible server. *)
+  I3.Dynamic.run_for d repair_bound;
+  Alcotest.(check bool)
+    (what ^ ": triggers conserved") true
+    (Eval.Recovery.triggers_conserved d [ recv ]);
+  I3.Dynamic.run_for d 3_000.;
+  Eval.Recovery.stop_flow flow;
+  Alcotest.(check bool)
+    (what ^ ": flow recovered after fault") true
+    (Eval.Recovery.time_to_recovery flow ~after:fault_at <> None);
+  Eval.Recovery.metrics
+    ~scenario:(Printf.sprintf "%s (seed %d)" what seed)
+    ~fault_at ~converged:(conv <> None) flow
+
+(* --- scenario: partition the ring in half, then heal --- *)
+
+let scenario_partition ~seed () =
+  let d = build ~seed () in
+  Alcotest.(check bool) "initial convergence" true
+    (Eval.Recovery.ring_converged (probe_rng seed) d);
+  let recv, _send, _id, flow = start_probes d in
+  let fault_at = I3.Dynamic.now d in
+  I3.Dynamic.inject d
+    [ (0., Faults.Partition [ 0; 1; 2; 3; 4 ]); (20_000., Faults.Heal) ];
+  I3.Dynamic.run_for d 15_000.;
+  (* Mid-partition each half has converged to its own sub-ring, so probed
+     identifiers have a claimant on both sides: the single-owner
+     invariant is violated until the heal. *)
+  Alcotest.(check bool) "split into two sub-rings" false
+    (Eval.Recovery.ring_converged (probe_rng seed) d);
+  I3.Dynamic.run_for d 10_000.;
+  let m = check_recovered ~what:"partition+heal" ~seed d recv flow ~fault_at in
+  let dropped =
+    (I3.Dynamic.data_net_stats d).Net.dropped_partition
+    + (I3.Dynamic.control_net_stats d).Net.dropped_partition
+  in
+  Alcotest.(check bool) "partition drops counted as such" true (dropped > 0);
+  m
+
+(* --- scenario: kill the trigger's responsible server mid-refresh --- *)
+
+let scenario_kill_owner ~seed () =
+  let d = build ~seed () in
+  let recv, _send, id, flow = start_probes d in
+  let victim =
+    match I3.Dynamic.owners_of d id with
+    | [ o ] -> o
+    | l -> Alcotest.fail (Printf.sprintf "%d owners before kill" (List.length l))
+  in
+  let fault_at = I3.Dynamic.now d in
+  I3.Dynamic.kill_server d victim;
+  (* The receiver's refreshes go unacked until the ring heals around the
+     dead server and a refresh lands at the new owner — the killed
+     server's triggers must be deliverable again within the paper's
+     [refresh_period + ack_grace] repair bound of the heal. *)
+  I3.Dynamic.run_for d 20_000.;
+  check_recovered ~what:"kill owner" ~seed d recv flow ~fault_at
+
+(* --- scenario: rolling crash/restart storm over the schedule DSL --- *)
+
+let scenario_churn ~seed () =
+  let d = build ~seed () in
+  let recv, _send, _id, flow = start_probes d in
+  let fault_at = I3.Dynamic.now d in
+  let storm =
+    Faults.churn
+      (Rng.create (Int64.of_int (seed + 100)))
+      ~victims:[ 2; 5; 7 ] ~start:2_000. ~spacing:6_000. ~downtime:8_000.
+  in
+  I3.Dynamic.inject d storm;
+  (* last crash at 2s + 2*6s = 14s, last restart 8s later; let it land *)
+  I3.Dynamic.run_for d 30_000.;
+  check_recovered ~what:"rolling churn" ~seed d recv flow ~fault_at
+
+(* --- scenario: burst loss while the ring is still stabilizing --- *)
+
+let test_burst_during_stabilization () =
+  let seed = 41 in
+  let d = I3.Dynamic.create ~seed () in
+  (* Gilbert–Elliott bursts from the very first join, lifted at 30 s. *)
+  I3.Dynamic.inject d
+    [
+      (0., Faults.Burst_loss { p_enter = 0.05; p_exit = 0.25; loss_bad = 0.9 });
+      (30_000., Faults.Burst_end);
+    ];
+  for site = 0 to 9 do
+    ignore (I3.Dynamic.add_server d ~site ());
+    I3.Dynamic.run_for d 2_000.
+  done;
+  let conv = Eval.Recovery.converges_within ~budget:180_000. (probe_rng seed) d in
+  Alcotest.(check bool) "converges once the burst lifts" true (conv <> None);
+  Alcotest.(check bool) "burst drops counted as such" true
+    ((I3.Dynamic.control_net_stats d).Net.dropped_burst > 0);
+  (* the deployment is healthy enough for rendezvous afterwards *)
+  let recv = I3.Dynamic.new_host d ~config:chaos_host_config () in
+  let send = I3.Dynamic.new_host d ~config:chaos_host_config () in
+  let got = collect recv in
+  let id = I3.Host.new_private_id recv in
+  I3.Host.insert_trigger recv id;
+  I3.Dynamic.run_for d 3_000.;
+  I3.Host.send send id "after-the-storm";
+  I3.Dynamic.run_for d 3_000.;
+  Alcotest.(check (list string)) "rendezvous works" [ "after-the-storm" ]
+    (got ())
+
+(* --- scenario: gray (one-way) link between two ring successors --- *)
+
+let test_gray_link_between_successors () =
+  let seed = 42 in
+  let d = build ~seed () in
+  let recv, _send, _id, flow = start_probes d in
+  (* Ring-adjacent pair: sort live servers by identifier; join order is
+     the site index. *)
+  let by_id =
+    List.sort
+      (fun a b -> Id.compare (I3.Server.id a) (I3.Server.id b))
+      (I3.Dynamic.servers d)
+  in
+  let a, b =
+    match by_id with x :: y :: _ -> (x, y) | _ -> assert false
+  in
+  let site_of s =
+    let rec index i = function
+      | [] -> assert false
+      | s' :: rest ->
+          if I3.Server.addr s' = I3.Server.addr s then i
+          else index (i + 1) rest
+    in
+    index 0 (I3.Dynamic.all_servers d)
+  in
+  let fa = site_of a and fb = site_of b in
+  let fault_at = I3.Dynamic.now d in
+  I3.Dynamic.inject d
+    [
+      (0., Faults.Gray { from_site = fa; to_site = fb });
+      (25_000., Faults.Gray_heal { from_site = fa; to_site = fb });
+    ];
+  I3.Dynamic.run_for d 25_000.;
+  Alcotest.(check bool) "gray drops counted as such" true
+    ((I3.Dynamic.data_net_stats d).Net.dropped_gray
+     + (I3.Dynamic.control_net_stats d).Net.dropped_gray
+    > 0);
+  I3.Dynamic.run_for d 5_000.;
+  ignore (check_recovered ~what:"gray link" ~seed d recv flow ~fault_at)
+
+(* --- satellite: gateway rotation after ack_grace expiry --- *)
+
+let test_gateway_rotation_after_ack_grace () =
+  (* Static ring with NO membership repair (Deployment.kill_server): once
+     the trigger's owner dies, refresh acks stop for good, so every
+     refresh tick past [ack_grace] must rotate the host to its next
+     gateway (Sec. IV-C) — deterministically, unlike the dynamic ring
+     where healing races the grace period. *)
+  let dep = I3.Deployment.create ~seed:51 ~n_servers:4 () in
+  let host =
+    I3.Deployment.new_host dep ~config:chaos_host_config ~n_gateways:3 ()
+  in
+  let id = I3.Host.new_private_id host in
+  I3.Host.insert_trigger host id;
+  I3.Deployment.run_for dep 3_000.;
+  let owner = I3.Deployment.responsible_server dep id in
+  let idx = ref (-1) in
+  for i = 0 to I3.Deployment.ring_size dep - 1 do
+    if I3.Server.addr (I3.Deployment.server dep i) = I3.Server.addr owner then
+      idx := i
+  done;
+  I3.Deployment.kill_server dep !idx;
+  let seen = ref [ I3.Host.gateway host ] in
+  for _ = 1 to 30 do
+    I3.Deployment.run_for dep 1_000.;
+    let g = I3.Host.gateway host in
+    if not (List.mem g !seen) then seen := g :: !seen
+  done;
+  Alcotest.(check bool) "rotated through other gateways" true
+    (List.length !seen >= 2)
+
+(* --- satellite: backup trigger fall-through after a server death --- *)
+
+let test_send_with_backup_fallthrough () =
+  (* Freeze the soft-state machinery (hour-scale refresh and trigger
+     lifetimes) so the primary trigger is NOT re-inserted after its
+     server dies: the only path left is the [primary; backup] stack
+     falling through to the backup at Id.antipode (Sec. IV-C). *)
+  let slow_host =
+    {
+      I3.Host.refresh_period = 600_000.;
+      cache_ttl = 4_000.;
+      ack_grace = 1_200_000.;
+    }
+  in
+  let server_config =
+    { I3.Server.default_config with trigger_lifetime = 3_600_000. }
+  in
+  let d = build ~server_config ~seed:33 () in
+  let recv = I3.Dynamic.new_host d ~config:slow_host () in
+  let got = collect recv in
+  let id = I3.Host.new_private_id recv in
+  let backup = I3.Host.insert_trigger_with_backup recv id in
+  I3.Dynamic.run_for d 5_000.;
+  let primary_owner =
+    match I3.Dynamic.owners_of d id with
+    | [ o ] -> o
+    | l -> Alcotest.fail (Printf.sprintf "%d primary owners" (List.length l))
+  in
+  (match I3.Dynamic.owners_of d backup with
+  | [ o ] ->
+      Alcotest.(check bool) "backup stored on a different server" true
+        (I3.Server.addr o <> I3.Server.addr primary_owner)
+  | l -> Alcotest.fail (Printf.sprintf "%d backup owners" (List.length l)));
+  I3.Dynamic.kill_server d primary_owner;
+  (* ring heals around the dead server; nobody re-inserts the primary *)
+  I3.Dynamic.run_for d 40_000.;
+  let sender = I3.Dynamic.new_host d ~config:slow_host () in
+  I3.Host.send sender id "plain";
+  I3.Dynamic.run_for d 5_000.;
+  Alcotest.(check (list string)) "plain send is lost" [] (got ());
+  I3.Host.send_with_backup sender ~primary:id ~backup "fell-through";
+  I3.Dynamic.run_for d 5_000.;
+  Alcotest.(check (list string)) "backup delivers" [ "fell-through" ] (got ())
+
+(* --- determinism: one seed, one trajectory --- *)
+
+let test_reproducible () =
+  let m1 = scenario_partition ~seed:21 () in
+  let m2 = scenario_partition ~seed:21 () in
+  Alcotest.(check int) "same sent" m1.Eval.Recovery.sent m2.Eval.Recovery.sent;
+  Alcotest.(check int) "same delivered" m1.Eval.Recovery.delivered
+    m2.Eval.Recovery.delivered;
+  Alcotest.(check (option (float 0.0001)))
+    "same time-to-recovery" m1.Eval.Recovery.time_to_recovery_ms
+    m2.Eval.Recovery.time_to_recovery_ms
+
+(* --- bench: recovery-time numbers through Eval.Report --- *)
+
+let test_bench_report () =
+  let metrics =
+    [
+      scenario_partition ~seed:24 ();
+      scenario_kill_owner ~seed:25 ();
+      scenario_churn ~seed:26 ();
+    ]
+  in
+  Eval.Recovery.report metrics;
+  List.iter
+    (fun m -> Alcotest.(check bool) "scenario converged" true m.Eval.Recovery.converged)
+    metrics
+
+let matrix_case name scenario seed =
+  Alcotest.test_case (Printf.sprintf "%s (seed %d)" name seed) `Slow (fun () ->
+      ignore (scenario ~seed ()))
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "matrix",
+        List.concat_map
+          (fun seed ->
+            [
+              matrix_case "partition+heal" scenario_partition seed;
+              matrix_case "kill owner" scenario_kill_owner seed;
+              matrix_case "rolling churn" scenario_churn seed;
+            ])
+          [ 21; 22; 23 ] );
+      ( "link pathologies",
+        [
+          Alcotest.test_case "burst loss during stabilization" `Slow
+            test_burst_during_stabilization;
+          Alcotest.test_case "gray link between successors" `Slow
+            test_gray_link_between_successors;
+        ] );
+      ( "host recovery",
+        [
+          Alcotest.test_case "gateway rotation after ack_grace" `Slow
+            test_gateway_rotation_after_ack_grace;
+          Alcotest.test_case "backup trigger fall-through" `Slow
+            test_send_with_backup_fallthrough;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "same seed, same metrics" `Slow test_reproducible ] );
+      ( "bench",
+        [ Alcotest.test_case "recovery report" `Slow test_bench_report ] );
+    ]

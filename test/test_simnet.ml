@@ -180,9 +180,30 @@ let test_net_loss () =
 
 let test_net_loss_bad_rate () =
   let _, net = mk_net () in
-  Alcotest.check_raises "rate 1"
-    (Invalid_argument "Net.set_loss_rate: need 0 <= p < 1") (fun () ->
-      Net.set_loss_rate net 1.)
+  Alcotest.check_raises "rate > 1"
+    (Invalid_argument "Net.set_loss_rate: need 0 <= p <= 1") (fun () ->
+      Net.set_loss_rate net 1.5);
+  Alcotest.check_raises "negative rate"
+    (Invalid_argument "Net.set_loss_rate: need 0 <= p <= 1") (fun () ->
+      Net.set_loss_rate net (-0.1))
+
+let test_net_blackhole () =
+  (* p = 1 is a total blackhole: every message dropped, all counted. *)
+  let e, net = mk_net () in
+  Net.set_loss_rate net 1.;
+  let got = ref 0 in
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> ()) in
+  let b = Net.register net ~site:1 (fun ~src:_ _ -> incr got) in
+  for _ = 1 to 50 do
+    Net.send net ~src:a ~dst:b "x"
+  done;
+  Engine.run e;
+  Alcotest.(check int) "nothing delivered" 0 !got;
+  Alcotest.(check int) "all counted as loss" 50 (Net.stats net).Net.dropped_loss;
+  Net.set_loss_rate net 0.;
+  Net.send net ~src:a ~dst:b "y";
+  Engine.run e;
+  Alcotest.(check int) "delivery resumes" 1 !got
 
 let test_net_move () =
   let e, net = mk_net ~latency:(fun a b -> float_of_int (abs (a - b)) +. 1.) () in
@@ -241,6 +262,230 @@ let test_net_many_endpoints () =
   List.iter (fun dst -> Net.send net ~src:(List.hd addrs) ~dst "x") addrs;
   Engine.run e;
   Alcotest.(check int) "all delivered" 100 !count
+
+(* --- link-level faults --- *)
+
+let test_net_partition_and_heal () =
+  let e, net = mk_net () in
+  let got = ref 0 in
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> ()) in
+  let b = Net.register net ~site:1 (fun ~src:_ _ -> incr got) in
+  let c = Net.register net ~site:2 (fun ~src:_ _ -> incr got) in
+  let pid = Net.partition net [ 0; 1 ] in
+  Net.send net ~src:a ~dst:c "cross";
+  Net.send net ~src:a ~dst:b "inside";
+  Engine.run e;
+  Alcotest.(check int) "only the inside message arrives" 1 !got;
+  Alcotest.(check int) "drop counted as partition" 1
+    (Net.stats net).Net.dropped_partition;
+  Net.heal net pid;
+  Net.send net ~src:a ~dst:c "after heal";
+  Engine.run e;
+  Alcotest.(check int) "cross traffic resumes" 2 !got
+
+let test_net_partition_both_directions () =
+  let e, net = mk_net () in
+  let got = ref 0 in
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> incr got) in
+  let b = Net.register net ~site:5 (fun ~src:_ _ -> incr got) in
+  ignore (Net.partition net [ 0 ]);
+  Net.send net ~src:a ~dst:b "->";
+  Net.send net ~src:b ~dst:a "<-";
+  Engine.run e;
+  Alcotest.(check int) "cut both ways" 0 !got;
+  Net.heal_all net;
+  Net.send net ~src:a ~dst:b "->";
+  Net.send net ~src:b ~dst:a "<-";
+  Engine.run e;
+  Alcotest.(check int) "heal_all restores both ways" 2 !got
+
+let test_net_gray_link_one_way () =
+  let e, net = mk_net () in
+  let at_a = ref 0 and at_b = ref 0 in
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> incr at_a) in
+  let b = Net.register net ~site:1 (fun ~src:_ _ -> incr at_b) in
+  Net.set_link_down net ~src_site:0 ~dst_site:1;
+  Net.send net ~src:a ~dst:b "a->b";
+  Net.send net ~src:b ~dst:a "b->a";
+  Engine.run e;
+  Alcotest.(check int) "a->b dropped" 0 !at_b;
+  Alcotest.(check int) "b->a still works" 1 !at_a;
+  Alcotest.(check int) "counted as gray" 1 (Net.stats net).Net.dropped_gray;
+  Net.set_link_up net ~src_site:0 ~dst_site:1;
+  Net.send net ~src:a ~dst:b "a->b again";
+  Engine.run e;
+  Alcotest.(check int) "restored" 1 !at_b
+
+let test_net_burst_loss_extremes () =
+  let e, net = mk_net () in
+  let got = ref 0 in
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> ()) in
+  let b = Net.register net ~site:1 (fun ~src:_ _ -> incr got) in
+  (* Chain that enters Bad on the first message and never leaves. *)
+  Net.set_burst_loss net ~p_enter:1. ~p_exit:0. ();
+  for _ = 1 to 20 do
+    Net.send net ~src:a ~dst:b "x"
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all dropped in Bad state" 0 !got;
+  Alcotest.(check int) "counted as burst" 20 (Net.stats net).Net.dropped_burst;
+  Net.clear_burst_loss net;
+  Net.send net ~src:a ~dst:b "y";
+  Engine.run e;
+  Alcotest.(check int) "clear_burst_loss restores" 1 !got
+
+let test_net_burst_loss_bursty () =
+  (* With a real two-state chain, losses must cluster: compare the number
+     of loss runs against what the same loss count would give i.i.d. *)
+  let e, net = mk_net () in
+  let log = ref [] in
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> ()) in
+  let b = Net.register net ~site:1 (fun ~src:_ _ -> ()) in
+  Net.set_burst_loss net ~p_enter:0.05 ~p_exit:0.25 ();
+  for _ = 1 to 2000 do
+    let before = (Net.stats net).Net.dropped_burst in
+    Net.send net ~src:a ~dst:b "x";
+    log := ((Net.stats net).Net.dropped_burst = before) :: !log
+  done;
+  Engine.run e;
+  let outcomes = Array.of_list (List.rev !log) in
+  let losses = Array.fold_left (fun acc ok -> if ok then acc else acc + 1) 0 outcomes in
+  let runs = ref 0 in
+  Array.iteri
+    (fun i ok ->
+      if (not ok) && (i = 0 || outcomes.(i - 1)) then incr runs)
+    outcomes;
+  Alcotest.(check bool) "some loss happened" true (losses > 50);
+  (* Mean burst length 1/p_exit = 4: far fewer runs than losses. *)
+  Alcotest.(check bool) "losses are clustered" true
+    (float_of_int !runs < 0.6 *. float_of_int losses)
+
+let test_net_duplication () =
+  let e, net = mk_net () in
+  let got = ref 0 in
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> ()) in
+  let b = Net.register net ~site:1 (fun ~src:_ _ -> incr got) in
+  Net.set_duplicate_rate net 1.;
+  for _ = 1 to 10 do
+    Net.send net ~src:a ~dst:b "x"
+  done;
+  Engine.run e;
+  Alcotest.(check int) "every message delivered twice" 20 !got;
+  let st = Net.stats net in
+  Alcotest.(check int) "duplicates counted" 10 st.Net.duplicated;
+  Alcotest.(check int) "delivered counts copies" 20 st.Net.delivered
+
+let test_net_jitter_and_spike () =
+  let e, net = mk_net ~latency:(fun _ _ -> 10.) () in
+  let times = ref [] in
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> ()) in
+  let b = Net.register net ~site:1 (fun ~src:_ _ -> times := Engine.now e :: !times) in
+  Net.set_extra_latency net 5.;
+  Net.send net ~src:a ~dst:b "x";
+  Engine.run e;
+  (match !times with
+  | [ t ] -> Alcotest.check feq "fixed spike adds 5ms" 15. t
+  | _ -> Alcotest.fail "expected one delivery");
+  times := [];
+  Net.set_extra_latency net 0.;
+  Net.set_jitter net 8.;
+  let t0 = Engine.now e in
+  for _ = 1 to 100 do
+    Net.send net ~src:a ~dst:b "x"
+  done;
+  Engine.run e;
+  let ok =
+    List.for_all (fun t -> t >= t0 +. 10. && t < t0 +. 10. +. 8.) !times
+  in
+  Alcotest.(check bool) "jittered deliveries within [latency, latency+jitter)"
+    true ok;
+  Alcotest.(check bool) "jitter actually varies" true
+    (List.sort_uniq compare !times |> List.length > 1)
+
+(* --- fault schedule DSL --- *)
+
+let test_faults_schedule_drives_net () =
+  let e, net = mk_net () in
+  let got = ref 0 in
+  let a = Net.register net ~site:0 (fun ~src:_ _ -> ()) in
+  let b = Net.register net ~site:1 (fun ~src:_ _ -> incr got) in
+  Faults.install e
+    (Faults.net_driver net)
+    [
+      (10., Faults.Partition [ 0 ]);
+      (30., Faults.Heal);
+      (50., Faults.Loss 1.);
+      (70., Faults.Loss 0.);
+    ];
+  let send_at t = Engine.schedule e ~delay:t (fun () -> Net.send net ~src:a ~dst:b "x") in
+  send_at 5.;
+  (* delivered *)
+  send_at 15.;
+  (* partitioned *)
+  send_at 35.;
+  (* healed: delivered *)
+  send_at 55.;
+  (* blackholed *)
+  send_at 75.;
+  (* delivered *)
+  Engine.run e;
+  Alcotest.(check int) "schedule toggled faults on time" 3 !got;
+  let st = Net.stats net in
+  Alcotest.(check int) "one partition drop" 1 st.Net.dropped_partition;
+  Alcotest.(check int) "one loss drop" 1 st.Net.dropped_loss
+
+let test_faults_crash_restart_callbacks () =
+  let e, net = mk_net () in
+  let log = ref [] in
+  Faults.install e
+    (Faults.net_driver
+       ~crash:(fun i -> log := ("crash", i) :: !log)
+       ~restart:(fun i -> log := ("restart", i) :: !log)
+       net)
+    [ (20., Faults.Restart 3); (10., Faults.Crash 3) ];
+  Engine.run e;
+  Alcotest.(check (list (pair string int)))
+    "events fire in schedule order regardless of list order"
+    [ ("crash", 3); ("restart", 3) ]
+    (List.rev !log)
+
+let test_faults_churn_reproducible () =
+  let mk seed =
+    Faults.churn (Rng.create seed) ~victims:[ 0; 1; 2; 3 ] ~start:100.
+      ~spacing:50. ~downtime:200.
+  in
+  Alcotest.(check bool) "same seed, same schedule" true (mk 7L = mk 7L);
+  let s = mk 7L in
+  Alcotest.(check int) "one crash and one restart per victim" 8 (List.length s);
+  let crash_time = Hashtbl.create 4 and restart_time = Hashtbl.create 4 in
+  List.iter
+    (fun (t, e) ->
+      match e with
+      | Faults.Crash i -> Hashtbl.replace crash_time i t
+      | Faults.Restart i -> Hashtbl.replace restart_time i t
+      | _ -> Alcotest.fail "unexpected event kind")
+    s;
+  for i = 0 to 3 do
+    Alcotest.check feq "downtime respected"
+      (Hashtbl.find crash_time i +. 200.)
+      (Hashtbl.find restart_time i)
+  done;
+  let times = List.map fst s in
+  Alcotest.(check bool) "schedule sorted by time" true
+    (List.sort compare times = times)
+
+let test_net_endpoint_slots_independent () =
+  (* Spare capacity slots must not alias one another: crashing one
+     endpoint leaves every other endpoint up. *)
+  let _, net = mk_net () in
+  let addrs = List.init 40 (fun i -> Net.register net ~site:i (fun ~src:_ _ -> ())) in
+  Net.set_down net (List.nth addrs 17);
+  List.iteri
+    (fun i a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "endpoint %d up-state" i)
+        (i <> 17) (Net.is_up net a))
+    addrs
 
 let test_engine_cancel_inside_callback () =
   (* A timer that cancels itself on its first firing must not tick again. *)
@@ -306,10 +551,28 @@ let () =
             test_net_in_flight_survives_sender_death;
           Alcotest.test_case "random loss" `Quick test_net_loss;
           Alcotest.test_case "loss rate validation" `Quick test_net_loss_bad_rate;
+          Alcotest.test_case "blackhole (p = 1)" `Quick test_net_blackhole;
           Alcotest.test_case "mobility (move)" `Quick test_net_move;
           Alcotest.test_case "tap and stats" `Quick test_net_tap_and_stats;
           Alcotest.test_case "unknown address" `Quick test_net_unknown_addr;
           Alcotest.test_case "handler swap" `Quick test_net_handler_swap;
           Alcotest.test_case "endpoint growth" `Quick test_net_many_endpoints;
+          Alcotest.test_case "endpoint slots independent" `Quick
+            test_net_endpoint_slots_independent;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "partition and heal" `Quick test_net_partition_and_heal;
+          Alcotest.test_case "partition cuts both ways" `Quick
+            test_net_partition_both_directions;
+          Alcotest.test_case "gray link is one-way" `Quick test_net_gray_link_one_way;
+          Alcotest.test_case "burst loss extremes" `Quick test_net_burst_loss_extremes;
+          Alcotest.test_case "burst loss clusters" `Quick test_net_burst_loss_bursty;
+          Alcotest.test_case "duplication" `Quick test_net_duplication;
+          Alcotest.test_case "jitter and spike" `Quick test_net_jitter_and_spike;
+          Alcotest.test_case "schedule drives net" `Quick test_faults_schedule_drives_net;
+          Alcotest.test_case "crash/restart callbacks" `Quick
+            test_faults_crash_restart_callbacks;
+          Alcotest.test_case "churn reproducible" `Quick test_faults_churn_reproducible;
         ] );
     ]
