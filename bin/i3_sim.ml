@@ -38,6 +38,13 @@ let csv_arg =
     & opt (some string) None
     & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the series as CSV.")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:"Also write the series as a JSON array of objects.")
+
 let progress msg = Printf.eprintf "# %s\n%!" msg
 
 let kinds = function
@@ -46,7 +53,8 @@ let kinds = function
 
 (* --- fig8 --- *)
 
-let run_fig8 kind nodes servers measurements samples seed csv =
+let run_fig8 kind nodes servers measurements samples seed csv json =
+  let header = "topology" :: Eval.Latency_stretch.header in
   let all_rows = ref [] in
   List.iter
     (fun kind ->
@@ -63,29 +71,24 @@ let run_fig8 kind nodes servers measurements samples seed csv =
       let pts = Eval.Latency_stretch.run ~progress p in
       let rows =
         List.map
-          (fun pt ->
-            [
-              Topology.Model.kind_to_string kind;
-              string_of_int pt.Eval.Latency_stretch.samples;
-              Printf.sprintf "%.4f" pt.Eval.Latency_stretch.p90;
-              Printf.sprintf "%.4f" pt.Eval.Latency_stretch.p50;
-              Printf.sprintf "%.4f" pt.Eval.Latency_stretch.mean;
-            ])
-          pts
+          (fun row -> Topology.Model.kind_to_string kind :: row)
+          (Eval.Latency_stretch.rows pts)
       in
       all_rows := !all_rows @ rows;
       Eval.Report.table
         ~title:(Printf.sprintf "fig8 %s" (Topology.Model.kind_to_string kind))
-        ~header:[ "topology"; "samples"; "p90"; "p50"; "mean" ]
-        rows)
+        ~header rows)
     kind;
   Option.iter
     (fun path ->
-      Eval.Report.csv ~path
-        ~header:[ "topology"; "samples"; "p90"; "p50"; "mean" ]
-        !all_rows;
+      Eval.Report.csv ~path ~header !all_rows;
       progress (Printf.sprintf "wrote %s" path))
-    csv
+    csv;
+  Option.iter
+    (fun path ->
+      Eval.Report.json ~path ~header !all_rows;
+      progress (Printf.sprintf "wrote %s" path))
+    json
 
 let fig8_cmd =
   let servers =
@@ -108,10 +111,10 @@ let fig8_cmd =
   let doc = "Latency stretch vs. number of trigger samples (Fig. 8)." in
   Cmd.v (Cmd.info "fig8" ~doc)
     Term.(
-      const (fun kind nodes servers measurements samples seed csv ->
-          run_fig8 (kinds kind) nodes servers measurements samples seed csv)
+      const (fun kind nodes servers measurements samples seed csv json ->
+          run_fig8 (kinds kind) nodes servers measurements samples seed csv json)
       $ kind_arg $ nodes_arg $ servers $ measurements $ samples $ seed_arg
-      $ csv_arg)
+      $ csv_arg $ json_arg)
 
 (* --- fig9 --- *)
 

@@ -73,19 +73,41 @@ and network = {
   rng : Rng.t;
   mutable nodes : node list;
   mutable tokens : int;
+  label : string;
+  c_lookups : Obs.Metrics.counter;
+  c_failures : Obs.Metrics.counter;
+  c_timeouts : Obs.Metrics.counter;
+  c_probes : Obs.Metrics.counter;
+  h_hops : Obs.Metrics.histogram;
 }
 
-let create engine ~rng ~latency ?(config = default_config) () =
+let instances = ref 0
+
+let create ?(metrics = Obs.Metrics.default) engine ~rng ~latency
+    ?(config = default_config) () =
+  incr instances;
+  let label = "ring" ^ string_of_int !instances in
+  let labels = [ ("instance", label) ] in
+  let counter name = Obs.Metrics.counter metrics ~labels name in
   {
     engine;
-    net = Net.create engine ~rng ~latency ();
+    net = Net.create ~metrics ~label engine ~rng ~latency ();
     cfg = config;
     rng;
     nodes = [];
     tokens = 0;
+    label;
+    c_lookups = counter "chord.lookups";
+    c_failures = counter "chord.lookup_failures";
+    c_timeouts = counter "chord.rpc_timeouts";
+    c_probes = counter "chord.probes_sent";
+    h_hops =
+      Obs.Metrics.histogram metrics ~labels "chord.lookup_hops"
+        ~buckets:(Obs.Metrics.linear_buckets ~start:0. ~width:1. ~count:33);
   }
 
 let engine nw = nw.engine
+let instance_label nw = nw.label
 let set_loss_rate nw p = Net.set_loss_rate nw.net p
 let fault_driver nw = Faults.net_driver nw.net
 let net_stats nw = Net.stats nw.net
@@ -168,6 +190,9 @@ let finish_lookup n token result =
   match Hashtbl.find_opt n.pending token with
   | Some (Plookup l) ->
       Hashtbl.remove n.pending token;
+      (match result with
+      | Some _ -> Obs.Metrics.observe n.network.h_hops (float_of_int l.hops)
+      | None -> Obs.Metrics.incr n.network.c_failures);
       l.callback result
   | _ -> ()
 
@@ -189,6 +214,7 @@ and lookup_timeout n token asked =
   | Some (Plookup l) when l.asking.addr = asked.addr ->
       (* Peer did not answer: raise suspicion and retry — possibly the same
          peer, since the silence may just be loss. *)
+      Obs.Metrics.incr n.network.c_timeouts;
       suspect n asked.addr;
       l.hops <- l.hops + 1;
       (match local_candidate n l.key with
@@ -202,15 +228,19 @@ let lookup n key callback =
   let nw = n.network in
   if not n.alive then
     Engine.schedule nw.engine ~delay:0. (fun () -> callback None)
-  else
+  else begin
+    Obs.Metrics.incr nw.c_lookups;
     match successor n with
     | None ->
         (* Alone on the ring: every key is ours. *)
+        Obs.Metrics.observe nw.h_hops 0.;
         Engine.schedule nw.engine ~delay:0. (fun () ->
             callback (Some (self_peer n)))
     | Some succ ->
-        if Ring.between_oc ~low:n.id ~high:succ.id key then
+        if Ring.between_oc ~low:n.id ~high:succ.id key then begin
+          Obs.Metrics.observe nw.h_hops 0.;
           Engine.schedule nw.engine ~delay:0. (fun () -> callback (Some succ))
+        end
         else begin
           let token = fresh_token nw in
           let asking =
@@ -222,6 +252,7 @@ let lookup n key callback =
             (Plookup { key; hops = 0; asking; callback });
           lookup_ask n token
         end
+  end
 
 (* ---- message handling ---- *)
 
@@ -307,6 +338,7 @@ let handle_state n ~token ~(pred : peer option) ~(succs : peer list) =
    sits between us and our current one); if it is dead the probe times out
    quietly.  Used for graveyard rediscovery and to vet gossiped peers. *)
 let probe_peer n (p : peer) =
+  Obs.Metrics.incr n.network.c_probes;
   let token = fresh_token n.network in
   Hashtbl.replace n.pending token (Pprobe { buried = p });
   send n p.addr (Get_state { token; reply_to = n.addr });
@@ -395,6 +427,7 @@ let probe_graveyard n =
    node itself and the probe is a no-op. *)
 let rejoin_probe n =
   if Hashtbl.length n.contacts > 0 then begin
+    Obs.Metrics.incr n.network.c_lookups;
     let arr = Array.of_seq (Hashtbl.to_seq_values n.contacts) in
     let c = Rng.choose n.network.rng arr in
     let callback = function
@@ -446,6 +479,7 @@ let stabilize n =
             match Hashtbl.find_opt n.pending token with
             | Some (Pstabilize { asking }) ->
                 Hashtbl.remove n.pending token;
+                Obs.Metrics.incr n.network.c_timeouts;
                 suspect n asking.addr
             | _ -> ())
   end

@@ -36,14 +36,23 @@ type network
 type node
 
 val create :
+  ?metrics:Obs.Metrics.t ->
   Engine.t ->
   rng:Rng.t ->
   latency:(int -> int -> float) ->
   ?config:config ->
   unit ->
   network
+(** Protocol counters ([chord.lookups], [chord.lookup_failures],
+    [chord.rpc_timeouts], [chord.probes_sent] and the [chord.lookup_hops]
+    histogram) register in [metrics] (default {!Obs.Metrics.default})
+    under this ring's [instance] label; the underlying control-plane
+    {!Net} shares the same label. *)
 
 val engine : network -> Engine.t
+
+val instance_label : network -> string
+(** The [instance] label this ring's metrics carry (["ringN"]). *)
 
 val set_loss_rate : network -> float -> unit
 (** Inject uniform message loss on the underlying network (robustness

@@ -24,7 +24,13 @@ type point = {
   mean : float;
 }
 
-let run ?(progress = fun _ -> ()) p =
+let stretch_buckets =
+  (* stretch >= 1 by construction; fine resolution up to 4x, coarser tail *)
+  Array.append
+    (Obs.Metrics.linear_buckets ~start:1. ~width:0.1 ~count:31)
+    (Obs.Metrics.linear_buckets ~start:4.5 ~width:0.5 ~count:12)
+
+let run ?(progress = fun _ -> ()) ?metrics p =
   let rng = Rng.of_int p.seed in
   progress
     (Printf.sprintf "building %s topology (%d nodes)..."
@@ -69,6 +75,19 @@ let run ?(progress = fun _ -> ()) p =
           done;
           let s = !best_site in
           let stretch = (from_sender.(s) +. from_receiver.(s)) /. direct in
+          (match metrics with
+          | Some reg ->
+              let h =
+                Obs.Metrics.histogram reg "eval.stretch"
+                  ~labels:
+                    [
+                      ("topology", Topology.Model.kind_to_string p.kind);
+                      ("samples", string_of_int target);
+                    ]
+                  ~buckets:stretch_buckets
+              in
+              Obs.Metrics.observe h stretch
+          | None -> ());
           stretches.(si) := stretch :: !(stretches.(si)))
         counts
     end
@@ -84,3 +103,16 @@ let run ?(progress = fun _ -> ()) p =
            mean = Stats.mean xs;
          })
        counts)
+
+let header = [ "samples"; "p90"; "p50"; "mean" ]
+
+let rows pts =
+  List.map
+    (fun pt ->
+      [
+        string_of_int pt.samples;
+        Printf.sprintf "%.4f" pt.p90;
+        Printf.sprintf "%.4f" pt.p50;
+        Printf.sprintf "%.4f" pt.mean;
+      ])
+    pts

@@ -30,7 +30,17 @@ type point = {
   mean : float;
 }
 
-val run : ?progress:(string -> unit) -> params -> point list
+val run : ?progress:(string -> unit) -> ?metrics:Obs.Metrics.t -> params -> point list
 (** Sampling is nested (the 32-sample choice refines the 16-sample one on
     the same draw), matching how a real host would accumulate a pool of
-    sampled identifiers. *)
+    sampled identifiers.  With [metrics], every individual stretch is also
+    observed into the [eval.stretch] histogram (labels [topology] and
+    [samples]), so registry consumers see the full distribution, not just
+    the three summary points. *)
+
+val header : string list
+(** Column names shared by {!rows} and the CLI sinks. *)
+
+val rows : point list -> string list list
+(** Structured rows; callers choose the sink ({!Report.table},
+    {!Report.csv}, {!Report.json}). *)

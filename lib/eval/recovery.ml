@@ -46,9 +46,9 @@ type flow = {
   name : string;
   started_at : float;
   mutable stopped_at : float option;
-  mutable sent : int;
+  c_sent : Obs.Metrics.counter;
+  c_received : Obs.Metrics.counter;
   mutable seen : int; (* highest seq delivered, for duplicate suppression *)
-  mutable received : int;
   mutable recv_times : float list; (* reverse order *)
   mutable timer : Engine.timer option;
 }
@@ -56,12 +56,17 @@ type flow = {
 let flow_counter = ref 0
 
 let start_flow d ~sender ~receiver ?(period = 250.) ?name id =
+  (* The instance label stays unique even when two flows share a name, so
+     registry counters never alias across scenarios. *)
+  incr flow_counter;
   let name =
     match name with
     | Some n -> n
-    | None ->
-        incr flow_counter;
-        Printf.sprintf "flow%d" !flow_counter
+    | None -> Printf.sprintf "flow%d" !flow_counter
+  in
+  let metrics = I3.Dynamic.metrics d in
+  let labels =
+    [ ("flow", name); ("instance", string_of_int !flow_counter) ]
   in
   let engine = I3.Dynamic.engine d in
   let f =
@@ -70,9 +75,9 @@ let start_flow d ~sender ~receiver ?(period = 250.) ?name id =
       name;
       started_at = Engine.now engine;
       stopped_at = None;
-      sent = 0;
+      c_sent = Obs.Metrics.counter metrics ~labels "eval.flow.sent";
+      c_received = Obs.Metrics.counter metrics ~labels "eval.flow.received";
       seen = -1;
-      received = 0;
       recv_times = [];
       timer = None;
     }
@@ -86,15 +91,16 @@ let start_flow d ~sender ~receiver ?(period = 250.) ?name id =
            can flush stale copies; count each probe once. *)
         if seq > f.seen then begin
           f.seen <- seq;
-          f.received <- f.received + 1;
+          Obs.Metrics.incr f.c_received;
           f.recv_times <- Engine.now engine :: f.recv_times
         end
       end);
   f.timer <-
     Some
       (Engine.every engine ~phase:0.001 ~period (fun () ->
-           I3.Host.send sender id (Printf.sprintf "%s%d" tag f.sent);
-           f.sent <- f.sent + 1));
+           I3.Host.send sender id
+             (Printf.sprintf "%s%d" tag (Obs.Metrics.counter_value f.c_sent));
+           Obs.Metrics.incr f.c_sent));
   f
 
 let stop_flow f =
@@ -105,11 +111,11 @@ let stop_flow f =
   | None -> ());
   if f.stopped_at = None then f.stopped_at <- Some (Engine.now f.engine)
 
-let sent f = f.sent
-let received f = f.received
+let sent f = Obs.Metrics.counter_value f.c_sent
+let received f = Obs.Metrics.counter_value f.c_received
 
 let delivery_ratio f =
-  if f.sent = 0 then 1. else float_of_int f.received /. float_of_int f.sent
+  if sent f = 0 then 1. else float_of_int (received f) /. float_of_int (sent f)
 
 let time_to_recovery f ~after =
   List.fold_left
@@ -148,7 +154,7 @@ type metrics = {
 let metrics ~scenario ?fault_at ~converged (f : flow) =
   {
     scenario;
-    sent = f.sent;
+    sent = sent f;
     delivered = received f;
     delivery_ratio = delivery_ratio f;
     time_to_recovery_ms =
@@ -176,8 +182,11 @@ let row m =
     (if m.converged then "yes" else "NO");
   ]
 
+let rows ms = List.map row ms
+
 let report ms =
   Report.table ~title:"chaos scenarios: delivery ratio and time-to-recovery"
-    ~header (List.map row ms)
+    ~header (rows ms)
 
-let csv ~path ms = Report.csv ~path ~header (List.map row ms)
+let csv ~path ms = Report.csv ~path ~header (rows ms)
+let json ~path ms = Report.json ~path ~header (rows ms)

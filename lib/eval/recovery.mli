@@ -94,7 +94,15 @@ val metrics :
   scenario:string -> ?fault_at:float -> converged:bool -> flow -> metrics
 (** Snapshot a flow; [fault_at] anchors {!time_to_recovery}. *)
 
+val header : string list
+(** Column names shared by {!rows}, {!report}, {!csv} and {!json}. *)
+
+val rows : metrics list -> string list list
+(** Structured rows — callers pick the sink ({!Report.table},
+    {!Report.csv}, {!Report.json} or their own). *)
+
 val report : metrics list -> unit
 (** Print a {!Report.table} of the scenario matrix. *)
 
 val csv : path:string -> metrics list -> unit
+val json : path:string -> metrics list -> unit

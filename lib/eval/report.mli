@@ -6,6 +6,14 @@ val table : title:string -> header:string list -> string list list -> unit
 val csv : path:string -> header:string list -> string list list -> unit
 (** Write rows as CSV. *)
 
+val json : path:string -> header:string list -> string list list -> unit
+(** Write rows as a JSON array of objects keyed by [header]; cells that
+    parse as numbers are emitted as JSON numbers.  With {!table} and
+    {!csv} this completes the three sinks every experiment row list can
+    choose from. *)
+
+val row_to_json : header:string list -> string list -> Json.t
+
 val scalability_rows :
   hosts:float -> triggers_per_host:float -> servers:float -> refresh_s:float ->
   (string * string) list

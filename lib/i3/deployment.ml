@@ -16,6 +16,8 @@ type t = {
   latency : int -> int -> float;
   policy : Chord.Routing.policy;
   server_config : Server.config option;
+  metrics : Obs.Metrics.t;
+  tracer : Obs.Trace.t;
   state : ring_state;
   mutable ring : member array; (* current ring order *)
   mutable all_servers : Server.t array; (* creation order, incl. dead ones *)
@@ -50,7 +52,9 @@ let view_for state index =
   }
 
 let create ?(seed = 1) ?model ?(uniform_latency_ms = 5.)
-    ?(policy = Chord.Routing.Default) ?server_config ~n_servers () =
+    ?(policy = Chord.Routing.Default) ?server_config
+    ?(metrics = Obs.Metrics.default) ?(tracer = Obs.Trace.disabled)
+    ~n_servers () =
   if n_servers <= 0 then invalid_arg "Deployment.create: need servers";
   let rng = Rng.of_int seed in
   let engine = Engine.create () in
@@ -59,7 +63,8 @@ let create ?(seed = 1) ?model ?(uniform_latency_ms = 5.)
     | Some m -> fun a b -> if a = b then 0. else Topology.Model.latency m a b
     | None -> fun a b -> if a = b then 0. else uniform_latency_ms
   in
-  let net = Net.create engine ~rng:(Rng.split rng) ~latency () in
+  let net = Net.create ~metrics engine ~rng:(Rng.split rng) ~latency () in
+  Telemetry.install_net_tracer ~tracer net;
   let oracle = Chord.Oracle.random (Rng.split rng) ~n:n_servers in
   let sites =
     match model with
@@ -75,7 +80,7 @@ let create ?(seed = 1) ?model ?(uniform_latency_ms = 5.)
           Server.create ~engine ~net ~view:(view_for state index)
             ~site:sites.(i)
             ~id:(Chord.Oracle.id oracle i)
-            ?config:server_config ()
+            ?config:server_config ~metrics ~tracer ()
         in
         state.addrs.(i) <- Server.addr server;
         { server; index })
@@ -88,6 +93,8 @@ let create ?(seed = 1) ?model ?(uniform_latency_ms = 5.)
     latency;
     policy;
     server_config;
+    metrics;
+    tracer;
     state;
     ring;
     all_servers = Array.map (fun m -> m.server) ring;
@@ -95,6 +102,8 @@ let create ?(seed = 1) ?model ?(uniform_latency_ms = 5.)
 
 let engine t = t.engine
 let net t = t.net
+let tracer t = t.tracer
+let metrics t = t.metrics
 let rng t = t.rng
 let now t = Engine.now t.engine
 let run_for t d = Engine.run_for t.engine d
@@ -158,7 +167,7 @@ let add_server t ?site ?id () =
   let index = ref 0 in
   let server =
     Server.create ~engine:t.engine ~net:t.net ~view:(view_for t.state index)
-      ~site ~id ?config:t.server_config ()
+      ~site ~id ?config:t.server_config ~metrics:t.metrics ~tracer:t.tracer ()
   in
   t.all_servers <- Array.append t.all_servers [| server |];
   reconverge t (Array.append t.ring [| { server; index } |]);
@@ -183,7 +192,7 @@ let new_host t ?site ?config ?(n_gateways = 3) () =
     Array.to_list (Array.sub arr 0 (min n_gateways (Array.length arr)))
   in
   Host.create ~engine:t.engine ~net:t.net ~rng:(Rng.split t.rng) ~site
-    ~gateways ?config ()
+    ~gateways ?config ~tracer:t.tracer ()
 
 let total_triggers t =
   Array.fold_left

@@ -15,16 +15,26 @@ val create :
   ?uniform_latency_ms:float ->
   ?policy:Chord.Routing.policy ->
   ?server_config:Server.config ->
+  ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Trace.t ->
   n_servers:int ->
   unit ->
   t
 (** Build a deployment. With [model], servers are placed on eligible
     topology sites and message latencies follow shortest paths; without
     it, all endpoints share one site with a uniform [uniform_latency_ms]
-    (default 5 ms) — convenient for functional tests. *)
+    (default 5 ms) — convenient for functional tests.  All components
+    register their counters in [metrics] (default {!Obs.Metrics.default});
+    passing a live [tracer] turns on per-packet hop tracing across the
+    network, every server and every host created by {!new_host}. *)
 
 val engine : t -> Engine.t
 val net : t -> Message.t Net.t
+
+val tracer : t -> Obs.Trace.t
+(** The collector passed at creation ({!Obs.Trace.disabled} otherwise). *)
+
+val metrics : t -> Obs.Metrics.t
 val rng : t -> Rng.t
 val now : t -> float
 val run_for : t -> float -> unit

@@ -13,6 +13,8 @@ type t = {
   directory : (string, Packet.addr) Hashtbl.t;
   mutable members : member list;
   server_config : Server.config option;
+  metrics : Obs.Metrics.t;
+  tracer : Obs.Trace.t;
 }
 
 let fast_protocol_config =
@@ -25,7 +27,8 @@ let fast_protocol_config =
   }
 
 let create ?(seed = 1) ?(uniform_latency_ms = 5.) ?server_config
-    ?(protocol_config = fast_protocol_config) () =
+    ?(protocol_config = fast_protocol_config)
+    ?(metrics = Obs.Metrics.default) ?(tracer = Obs.Trace.disabled) () =
   let rng = Rng.of_int seed in
   let engine = Engine.create () in
   let latency a b = if a = b then 0. else uniform_latency_ms in
@@ -33,7 +36,8 @@ let create ?(seed = 1) ?(uniform_latency_ms = 5.) ?server_config
     Chord.Protocol.create engine ~rng:(Rng.split rng) ~latency
       ~config:protocol_config ()
   in
-  let data = Net.create engine ~rng:(Rng.split rng) ~latency () in
+  let data = Net.create ~metrics engine ~rng:(Rng.split rng) ~latency () in
+  Telemetry.install_net_tracer ~tracer data;
   {
     engine;
     rng;
@@ -42,9 +46,13 @@ let create ?(seed = 1) ?(uniform_latency_ms = 5.) ?server_config
     directory = Hashtbl.create 32;
     members = [];
     server_config;
+    metrics;
+    tracer;
   }
 
 let engine t = t.engine
+let tracer t = t.tracer
+let metrics t = t.metrics
 let run_for t d = Engine.run_for t.engine d
 let now t = Engine.now t.engine
 
@@ -79,7 +87,7 @@ let add_server t ?(site = 0) () =
   let server =
     Server.create ~engine:t.engine ~net:t.data ~view:(view_for t node) ~site
       ~id:(Chord.Protocol.node_id node)
-      ?config:t.server_config ()
+      ?config:t.server_config ~metrics:t.metrics ~tracer:t.tracer ()
   in
   Hashtbl.replace t.directory
     (Id.to_raw_string (Chord.Protocol.node_id node))
@@ -136,7 +144,7 @@ let new_host t ?(site = 0) ?config ?(n_gateways = 3) () =
     Array.to_list (Array.sub live 0 (min n_gateways (Array.length live)))
   in
   Host.create ~engine:t.engine ~net:t.data ~rng:(Rng.split t.rng) ~site
-    ~gateways ?config ()
+    ~gateways ?config ~tracer:t.tracer ()
 
 let total_triggers t =
   List.fold_left

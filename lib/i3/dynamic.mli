@@ -26,13 +26,23 @@ val create :
   ?uniform_latency_ms:float ->
   ?server_config:Server.config ->
   ?protocol_config:Chord.Protocol.config ->
+  ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Trace.t ->
   unit ->
   t
 (** An empty deployment. The default protocol config is sped up
     (2 s stabilization) so tests converge in little virtual time; pass
-    [Chord.Protocol.default_config] for the paper's 30 s periods. *)
+    [Chord.Protocol.default_config] for the paper's 30 s periods.
+    Counters register in [metrics] (default {!Obs.Metrics.default}); a
+    live [tracer] turns on per-packet tracing on the data plane, every
+    server and every host. *)
 
 val engine : t -> Engine.t
+
+val tracer : t -> Obs.Trace.t
+(** The collector passed at creation ({!Obs.Trace.disabled} otherwise). *)
+
+val metrics : t -> Obs.Metrics.t
 val run_for : t -> float -> unit
 val now : t -> float
 

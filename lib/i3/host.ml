@@ -28,6 +28,7 @@ type t = {
   cache : (string, cache_entry) Hashtbl.t; (* k-bit prefix -> server *)
   mutable receive : stack:Packet.stack -> payload:string -> unit;
   mutable refresher : Engine.timer option;
+  tracer : Obs.Trace.t;
 }
 
 let now t = Engine.now t.engine
@@ -78,7 +79,13 @@ let refresh_now t =
 
 let handle t ~src:_ (msg : Message.t) =
   match msg with
-  | Message.Deliver { stack; payload } -> t.receive ~stack ~payload
+  | Message.Deliver { stack; payload; trace } ->
+      (* The terminal event is recorded at the receiving host: a Deliver
+         message lost in flight is then a net-level drop, not a
+         delivery. *)
+      Obs.Trace.record t.tracer trace ~time:(now t) ~site:t.site
+        Obs.Trace.Deliver;
+      t.receive ~stack ~payload
   | Message.Challenge { trigger; token } -> (
       (* Only answer challenges for triggers we actually requested: an
          attacker pointing a trigger at us produces a challenge we never
@@ -110,7 +117,8 @@ let handle t ~src:_ (msg : Message.t) =
       (* Server-bound traffic; hosts ignore it. *)
       ()
 
-let create ~engine ~net ~rng ~site ~gateways ?(config = default_config) () =
+let create ~engine ~net ~rng ~site ~gateways ?(config = default_config)
+    ?(tracer = Obs.Trace.disabled) () =
   if gateways = [] then invalid_arg "Host.create: need at least one gateway";
   let t =
     {
@@ -126,6 +134,7 @@ let create ~engine ~net ~rng ~site ~gateways ?(config = default_config) () =
       cache = Hashtbl.create 16;
       receive = (fun ~stack:_ ~payload:_ -> ());
       refresher = None;
+      tracer;
     }
   in
   t.addr <- Net.register net ~site (fun ~src msg -> handle t ~src msg);
@@ -173,10 +182,23 @@ let active_triggers t = List.map (fun b -> b.trigger) t.bindings
 (* --- sending --- *)
 
 let send_packet t (p : Packet.t) =
+  (* Allocate a trace id at send time (unless the caller pre-traced the
+     packet); every later layer just carries it. *)
+  let p =
+    if p.Packet.trace <> Obs.Trace.none then p
+    else
+      match Obs.Trace.start t.tracer with
+      | id when id = Obs.Trace.none -> p
+      | id -> { p with Packet.trace = id }
+  in
+  Obs.Trace.record t.tracer p.Packet.trace ~time:(now t) ~site:t.site
+    Obs.Trace.Send;
   match p.Packet.stack with
   | Packet.Saddr a :: rest ->
       (* Head is already an IP address: plain IP delivery. *)
-      send_msg t a (Message.Deliver { stack = rest; payload = p.Packet.payload })
+      send_msg t a
+        (Message.Deliver
+           { stack = rest; payload = p.Packet.payload; trace = p.Packet.trace })
   | Packet.Sid head :: _ -> (
       match cached_server_for t head with
       | Some server -> send_msg t server (Message.Data p)

@@ -29,10 +29,13 @@ val create :
   site:int ->
   gateways:Packet.addr list ->
   ?config:config ->
+  ?tracer:Obs.Trace.t ->
   unit ->
   t
 (** Attach a host at a topology site. @raise Invalid_argument with no
-    gateways. *)
+    gateways.  With a [tracer] (default {!Obs.Trace.disabled}) every sent
+    packet gets a trace id (subject to the tracer's sampling) and every
+    delivery records the terminal [Deliver] event. *)
 
 val addr : t -> Packet.addr
 val site : t -> int

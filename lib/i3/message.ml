@@ -8,7 +8,7 @@ type t =
   | Cache_push of { triggers : (Trigger.t * float) list }
   | Pushback of { id : Id.t; dead : Id.t }
   | Replica of { trigger : Trigger.t; lifetime : float }
-  | Deliver of { stack : Packet.stack; payload : string }
+  | Deliver of { stack : Packet.stack; payload : string; trace : int }
 
 let pp ppf = function
   | Data p ->
@@ -30,6 +30,15 @@ let pp ppf = function
       Format.fprintf ppf "pushback %a !-> %a" Id.pp id Id.pp dead
   | Replica { trigger; lifetime } ->
       Format.fprintf ppf "replica %a (%.0f ms)" Trigger.pp trigger lifetime
-  | Deliver { stack; payload } ->
+  | Deliver { stack; payload; trace = _ } ->
       Format.fprintf ppf "deliver %a (%d B)" Packet.pp_stack stack
         (String.length payload)
+
+(* The trace id carried by a message, if the message participates in
+   per-packet tracing (data path only: control messages are untraced). *)
+let trace_of = function
+  | Data p -> if p.Packet.trace = 0 then None else Some p.Packet.trace
+  | Deliver { trace; _ } -> if trace = 0 then None else Some trace
+  | Insert _ | Remove _ | Challenge _ | Insert_ack _ | Cache_info _
+  | Cache_push _ | Pushback _ | Replica _ ->
+      None

@@ -28,8 +28,13 @@ type t =
       (** overlay-managed replication (Sec. IV-C, second solution): the
           responsible server mirrors each accepted trigger onto its
           immediate successor so a failure leaves no delivery gap *)
-  | Deliver of { stack : Packet.stack; payload : string }
+  | Deliver of { stack : Packet.stack; payload : string; trace : int }
       (** final IP hop from server to end-host: the rest of the stack is
           handed to the application (Sec. II-E) *)
 
 val pp : Format.formatter -> t -> unit
+
+val trace_of : t -> int option
+(** The {!Obs.Trace} id a message carries, when it participates in
+    per-packet tracing ([Data] and [Deliver] with a non-zero id; control
+    messages are untraced). *)

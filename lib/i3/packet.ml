@@ -36,14 +36,24 @@ type t = {
   sender : addr option;
   prev_trigger : (addr * Id.t) option;
   ttl : int;
+  trace : int;
 }
 
 let make ?(refresh = false) ?(match_required = false) ?sender
-    ?(ttl = default_ttl) ~stack ~payload () =
+    ?(ttl = default_ttl) ?(trace = 0) ~stack ~payload () =
   if stack = [] then invalid_arg "Packet.make: empty identifier stack";
   if List.length stack > max_stack_depth then
     invalid_arg "Packet.make: identifier stack too deep";
-  { stack; payload; refresh; match_required; sender; prev_trigger = None; ttl }
+  {
+    stack;
+    payload;
+    refresh;
+    match_required;
+    sender;
+    prev_trigger = None;
+    ttl;
+    trace;
+  }
 
 (* --- wire format ---
    Header (48 bytes):
@@ -56,7 +66,8 @@ let make ?(refresh = false) ?(match_required = false) ?sender
      8..11  payload length, big-endian
      12..19 sender address (or 0)
      20..27 previous-hop server address (or 0)
-     28..47 reserved (0)
+     28..35 trace id (or 0 = untraced)
+     36..47 reserved (0)
    Body: [32-byte prev trigger id if flagged] entries ([0x00 | id32] or
    [0x01 | addr8]) then payload. *)
 
@@ -104,7 +115,8 @@ let encode t =
   put_u64 buf (Int64.of_int (Option.value ~default:0 t.sender));
   put_u64 buf
     (Int64.of_int (match t.prev_trigger with Some (a, _) -> a | None -> 0));
-  Buffer.add_string buf (String.make 20 '\x00');
+  put_u64 buf (Int64.of_int t.trace);
+  Buffer.add_string buf (String.make 12 '\x00');
   (match t.prev_trigger with
   | Some (_, id) -> Buffer.add_string buf (Id.to_raw_string id)
   | None -> ());
@@ -153,6 +165,7 @@ let decode s =
   let payload_len = get_u32 s 8 in
   let sender = if flags land 4 <> 0 then Some (get_u64 s 12) else None in
   let prev_addr = get_u64 s 20 in
+  let trace = get_u64 s 28 in
   let pos = ref header_bytes in
   let* prev_trigger =
     if flags land 8 <> 0 then begin
@@ -192,4 +205,5 @@ let decode s =
       sender;
       prev_trigger;
       ttl;
+      trace;
     }

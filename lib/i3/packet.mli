@@ -45,6 +45,9 @@ type t = {
       (** provenance for pushback: the server that last applied a trigger
           and that trigger's identifier (Sec. IV-J2) *)
   ttl : int;  (** residual hop/rewrite budget; a transport-level loop stop *)
+  trace : int;
+      (** {!Obs.Trace} id carried end-to-end (wire bytes 28–35); [0] means
+          untraced and costs nothing *)
 }
 
 val make :
@@ -52,6 +55,7 @@ val make :
   ?match_required:bool ->
   ?sender:addr ->
   ?ttl:int ->
+  ?trace:int ->
   stack:stack ->
   payload:string ->
   unit ->

@@ -22,32 +22,67 @@ let default_config =
   }
 
 type stats = {
-  mutable data_received : int;
-  mutable data_forwarded : int;
-  mutable deliveries : int;
-  mutable matched_packets : int;
-  mutable drops : int;
-  mutable inserts_accepted : int;
-  mutable inserts_rejected : int;
-  mutable challenges_sent : int;
-  mutable pushbacks_sent : int;
-  mutable cache_hits : int;
-  mutable cache_pushes : int;
+  data_received : int;
+  data_forwarded : int;
+  deliveries : int;
+  matched_packets : int;
+  drops : int;
+  inserts_accepted : int;
+  inserts_rejected : int;
+  challenges_sent : int;
+  pushbacks_sent : int;
+  cache_hits : int;
+  cache_pushes : int;
 }
 
-let fresh_stats () =
+(* Registry-backed counters, keyed [i3.<event>] with this server's
+   [instance] label; drops and inserts fan out over a [cause]/[result]
+   label so the registry keeps per-cause detail the old lumped record
+   never had. *)
+type counters = {
+  c_received : Obs.Metrics.counter;
+  c_forwarded : Obs.Metrics.counter;
+  c_deliveries : Obs.Metrics.counter;
+  c_matched : Obs.Metrics.counter;
+  c_drop_ttl : Obs.Metrics.counter;
+  c_drop_empty : Obs.Metrics.counter;
+  c_drop_no_match : Obs.Metrics.counter;
+  c_drop_dead_end : Obs.Metrics.counter;
+  c_drop_overflow : Obs.Metrics.counter;
+  c_ins_accepted : Obs.Metrics.counter;
+  c_ins_rejected : Obs.Metrics.counter;
+  c_challenges : Obs.Metrics.counter;
+  c_pushbacks : Obs.Metrics.counter;
+  c_cache_hits : Obs.Metrics.counter;
+  c_cache_pushes : Obs.Metrics.counter;
+}
+
+let instances = ref 0
+
+let make_counters metrics =
+  incr instances;
+  let inst = ("instance", "srv" ^ string_of_int !instances) in
+  let counter ?(labels = []) name =
+    Obs.Metrics.counter metrics ~labels:(inst :: labels) name
+  in
+  let drop cause = counter ~labels:[ ("cause", cause) ] "i3.drops" in
+  let insert result = counter ~labels:[ ("result", result) ] "i3.inserts" in
   {
-    data_received = 0;
-    data_forwarded = 0;
-    deliveries = 0;
-    matched_packets = 0;
-    drops = 0;
-    inserts_accepted = 0;
-    inserts_rejected = 0;
-    challenges_sent = 0;
-    pushbacks_sent = 0;
-    cache_hits = 0;
-    cache_pushes = 0;
+    c_received = counter "i3.data_received";
+    c_forwarded = counter "i3.data_forwarded";
+    c_deliveries = counter "i3.deliveries";
+    c_matched = counter "i3.matched_packets";
+    c_drop_ttl = drop "ttl";
+    c_drop_empty = drop "empty_stack";
+    c_drop_no_match = drop "no_match";
+    c_drop_dead_end = drop "dead_end";
+    c_drop_overflow = drop "stack_overflow";
+    c_ins_accepted = insert "accepted";
+    c_ins_rejected = insert "rejected";
+    c_challenges = counter "i3.challenges_sent";
+    c_pushbacks = counter "i3.pushbacks_sent";
+    c_cache_hits = counter "i3.cache_hits";
+    c_cache_pushes = counter "i3.cache_pushes";
   }
 
 type ring_view = {
@@ -63,6 +98,7 @@ type t = {
   mutable view : ring_view;
   id : Id.t;
   mutable addr : Packet.addr;
+  site : int;
   cfg : config;
   table : Trigger_table.t;
   cache : Trigger_table.t;
@@ -70,7 +106,8 @@ type t = {
   (* hot-spot accounting: identifier -> (window start, matches in window) *)
   heat : (Id.t, float * int) Hashtbl.t;
   secret : string;
-  stats : stats;
+  c : counters;
+  tracer : Obs.Trace.t;
   mutable alive : bool;
   mutable sweeper : Engine.timer option;
 }
@@ -78,13 +115,33 @@ type t = {
 let addr t = t.addr
 let id t = t.id
 let config t = t.cfg
-let stats t = t.stats
 let triggers t = t.table
 let cached_triggers t = t.cache
 let replica_triggers t = t.replicas
 let is_alive t = t.alive
 
+let stats t =
+  let v = Obs.Metrics.counter_value in
+  {
+    data_received = v t.c.c_received;
+    data_forwarded = v t.c.c_forwarded;
+    deliveries = v t.c.c_deliveries;
+    matched_packets = v t.c.c_matched;
+    drops =
+      v t.c.c_drop_ttl + v t.c.c_drop_empty + v t.c.c_drop_no_match
+      + v t.c.c_drop_dead_end + v t.c.c_drop_overflow;
+    inserts_accepted = v t.c.c_ins_accepted;
+    inserts_rejected = v t.c.c_ins_rejected;
+    challenges_sent = v t.c.c_challenges;
+    pushbacks_sent = v t.c.c_pushbacks;
+    cache_hits = v t.c.c_cache_hits;
+    cache_pushes = v t.c.c_cache_pushes;
+  }
+
 let now t = Engine.now t.engine
+
+let trace_event t (p : Packet.t) kind =
+  Obs.Trace.record t.tracer p.Packet.trace ~time:(now t) ~site:t.site kind
 
 let is_responsible t i3_id = t.view.owns i3_id
 
@@ -93,7 +150,10 @@ let send t dst msg = Net.send t.net ~src:t.addr ~dst msg
 let forward_overlay t i3_id msg =
   match t.view.next_hop i3_id with
   | Some next ->
-      t.stats.data_forwarded <- t.stats.data_forwarded + 1;
+      Obs.Metrics.incr t.c.c_forwarded;
+      (match msg with
+      | Message.Data p -> trace_event t p Obs.Trace.Relay
+      | _ -> ());
       send t next msg;
       true
   | None -> false
@@ -110,7 +170,7 @@ let push_bucket t i3_id =
     in
     match t.view.predecessor_addr () with
     | Some pred when pred <> t.addr ->
-        t.stats.cache_pushes <- t.stats.cache_pushes + 1;
+        Obs.Metrics.incr t.c.c_cache_pushes;
         send t pred (Message.Cache_push { triggers = capped })
     | Some _ | None -> ()
   end
@@ -131,28 +191,33 @@ let note_match t i3_id =
 
 (* --- the Fig. 3 forwarding engine --- *)
 
-let drop t = t.stats.drops <- t.stats.drops + 1
+let drop t (p : Packet.t) counter cause =
+  Obs.Metrics.incr counter;
+  trace_event t p (Obs.Trace.Drop cause)
 
 let pushback_if_provenanced t (p : Packet.t) dead_id =
   match p.prev_trigger with
   | Some (server, trigger_id) ->
-      t.stats.pushbacks_sent <- t.stats.pushbacks_sent + 1;
+      Obs.Metrics.incr t.c.c_pushbacks;
       send t server (Message.Pushback { id = trigger_id; dead = dead_id })
   | None -> ()
 
 let rec process_packet t (p : Packet.t) =
-  if p.ttl <= 0 then drop t
+  if p.ttl <= 0 then drop t p t.c.c_drop_ttl "ttl"
   else
     match p.stack with
-    | [] -> drop t
+    | [] -> drop t p t.c.c_drop_empty "empty_stack"
     | Packet.Saddr a :: rest ->
-        t.stats.deliveries <- t.stats.deliveries + 1;
-        send t a (Message.Deliver { stack = rest; payload = p.payload })
+        Obs.Metrics.incr t.c.c_deliveries;
+        send t a
+          (Message.Deliver
+             { stack = rest; payload = p.payload; trace = p.trace })
     | Packet.Sid head :: rest ->
         if is_responsible t head then serve t ~table:t.table p head rest
         else if Trigger_table.find_matches t.cache ~now:(now t) head <> []
         then begin
-          t.stats.cache_hits <- t.stats.cache_hits + 1;
+          Obs.Metrics.incr t.c.c_cache_hits;
+          trace_event t p Obs.Trace.Cache_hit;
           serve t ~table:t.cache p head rest
         end
         else if not (forward_overlay t head (Message.Data p)) then
@@ -188,21 +253,23 @@ and serve t ~table (p : Packet.t) head rest =
   | [] ->
       if p.match_required then begin
         pushback_if_provenanced t p head;
-        drop t
+        drop t p t.c.c_drop_no_match "no_match"
       end
       else if rest = [] then begin
         (* Dead end: the chain that sent us here leads nowhere. *)
         pushback_if_provenanced t p head;
-        drop t
+        drop t p t.c.c_drop_dead_end "dead_end"
       end
       else process_packet t { p with stack = rest }
   | matches ->
-      t.stats.matched_packets <- t.stats.matched_packets + 1;
+      Obs.Metrics.incr t.c.c_matched;
+      trace_event t p Obs.Trace.Trigger_match;
       note_match t head;
       List.iter
         (fun (tr : Trigger.t) ->
           let stack = tr.Trigger.stack @ rest in
-          if List.length stack > Packet.max_stack_depth then drop t
+          if List.length stack > Packet.max_stack_depth then
+            drop t p t.c.c_drop_overflow "stack_overflow"
           else
             process_packet t
               {
@@ -219,7 +286,7 @@ let accept_insert t (trigger : Trigger.t) =
   Trigger_table.insert t.table ~now:(now t)
     ~expires:(now t +. t.cfg.trigger_lifetime)
     trigger;
-  t.stats.inserts_accepted <- t.stats.inserts_accepted + 1;
+  Obs.Metrics.incr t.c.c_ins_accepted;
   (if t.cfg.replicate then
      match t.view.successor_addr () with
      | Some succ when succ <> t.addr ->
@@ -245,18 +312,17 @@ let handle_insert t (trigger : Trigger.t) token =
         ~challenge_hosts:t.cfg.challenge_hosts ~secret:t.secret ~token trigger
     with
     | Security.Accept -> accept_insert t trigger
-    | Security.Reject_constraint ->
-        t.stats.inserts_rejected <- t.stats.inserts_rejected + 1
+    | Security.Reject_constraint -> Obs.Metrics.incr t.c.c_ins_rejected
     | Security.Needs_challenge -> (
         match trigger.Trigger.stack with
         | Packet.Saddr target :: _ ->
-            t.stats.challenges_sent <- t.stats.challenges_sent + 1;
+            Obs.Metrics.incr t.c.c_challenges;
             let token =
               Security.challenge_token ~secret:t.secret
                 ~id:trigger.Trigger.id ~target
             in
             send t target (Message.Challenge { trigger; token })
-        | _ -> t.stats.inserts_rejected <- t.stats.inserts_rejected + 1)
+        | _ -> Obs.Metrics.incr t.c.c_ins_rejected)
 
 let handle_remove t (trigger : Trigger.t) =
   if not (is_responsible t trigger.Trigger.id) then
@@ -294,7 +360,7 @@ let handle t ~src:_ (msg : Message.t) =
   if t.alive then
     match msg with
     | Message.Data p ->
-        t.stats.data_received <- t.stats.data_received + 1;
+        Obs.Metrics.incr t.c.c_received;
         process_packet t p
     | Message.Insert { trigger; token } -> handle_insert t trigger token
     | Message.Remove { trigger } -> handle_remove t trigger
@@ -311,7 +377,8 @@ let handle t ~src:_ (msg : Message.t) =
 
 let handle_message = handle
 
-let create ~engine ~net ~view ~site ~id ?(config = default_config) () =
+let create ~engine ~net ~view ~site ~id ?(config = default_config)
+    ?(metrics = Obs.Metrics.default) ?(tracer = Obs.Trace.disabled) () =
   let t =
     {
       engine;
@@ -319,13 +386,15 @@ let create ~engine ~net ~view ~site ~id ?(config = default_config) () =
       view;
       id;
       addr = -1;
+      site;
       cfg = config;
       table = Trigger_table.create ();
       cache = Trigger_table.create ();
       replicas = Trigger_table.create ();
       heat = Hashtbl.create 64;
       secret = Sha256.digest ("i3-server-secret:" ^ Id.to_raw_string id);
-      stats = fresh_stats ();
+      c = make_counters metrics;
+      tracer;
       alive = true;
       sweeper = None;
     }

@@ -40,18 +40,22 @@ val default_config : config
     must construct compliant triggers), hot-spot off, 5 s sweeps. *)
 
 type stats = {
-  mutable data_received : int;
-  mutable data_forwarded : int;  (** overlay hops taken by packets *)
-  mutable deliveries : int;  (** IP sends to end-hosts *)
-  mutable matched_packets : int;
-  mutable drops : int;
-  mutable inserts_accepted : int;
-  mutable inserts_rejected : int;
-  mutable challenges_sent : int;
-  mutable pushbacks_sent : int;
-  mutable cache_hits : int;  (** packets served from pushed triggers *)
-  mutable cache_pushes : int;
+  data_received : int;
+  data_forwarded : int;  (** overlay hops taken by packets *)
+  deliveries : int;  (** IP sends to end-hosts *)
+  matched_packets : int;
+  drops : int;  (** sum over drop causes; per-cause counts in the registry *)
+  inserts_accepted : int;
+  inserts_rejected : int;
+  challenges_sent : int;
+  pushbacks_sent : int;
+  cache_hits : int;  (** packets served from pushed triggers *)
+  cache_pushes : int;
 }
+(** Point-in-time snapshot assembled from the {!Obs.Metrics} registry
+    ([i3.*] counters carrying this server's [instance] label); kept as a
+    thin view so existing callers read unchanged.  New code should prefer
+    [Obs.Metrics.snapshot]. *)
 
 type ring_view = {
   owns : Id.t -> bool;
@@ -77,9 +81,14 @@ val create :
   site:int ->
   id:Id.t ->
   ?config:config ->
+  ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Trace.t ->
   unit ->
   t
-(** Register a server endpoint at [site] with the given ring view. *)
+(** Register a server endpoint at [site] with the given ring view.
+    Counters register in [metrics] (default {!Obs.Metrics.default});
+    [tracer] (default {!Obs.Trace.disabled}) receives per-packet relay /
+    cache-hit / trigger-match / drop events for traced packets. *)
 
 val set_view : t -> ring_view -> unit
 (** Install a new ring view after membership changed. *)

@@ -1,0 +1,19 @@
+(* Glue between the payload-agnostic network and per-packet tracing: the
+   network reports each message's fate to an observer; this observer pulls
+   the trace id out of i3 messages and records Enqueue / net-drop
+   events.  Shared by {!Deployment} and {!Dynamic}. *)
+
+let install_net_tracer ~tracer (net : Message.t Net.t) =
+  if Obs.Trace.enabled tracer then
+    Net.set_observer net (fun ~src ~dst:_ msg outcome ->
+        match Message.trace_of msg with
+        | None -> ()
+        | Some trace -> (
+            let time = Engine.now (Net.engine net) in
+            let site = Net.site net src in
+            match outcome with
+            | `Enqueue ->
+                Obs.Trace.record tracer trace ~time ~site Obs.Trace.Enqueue
+            | `Drop cause ->
+                Obs.Trace.record tracer trace ~time ~site
+                  (Obs.Trace.Drop ("net:" ^ cause))))

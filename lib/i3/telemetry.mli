@@ -1,0 +1,7 @@
+(** Attaches an {!Obs.Trace} collector to a network's observer hook: for
+    every message carrying a trace id ({!Message.trace_of}), an accepted
+    transmission records [Enqueue] and a network-level loss records
+    [Drop "net:<cause>"] — the terminal event for packets the fault model
+    eats in flight.  No-op when the tracer is disabled. *)
+
+val install_net_tracer : tracer:Obs.Trace.t -> Message.t Net.t -> unit

@@ -1,0 +1,138 @@
+let labels_to_string labels =
+  String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let print_aligned out rows =
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.mapi
+          (fun i cell ->
+            let prev = try List.nth acc i with _ -> 0 in
+            max prev (String.length cell))
+          row)
+      [] rows
+  in
+  List.iter
+    (fun row ->
+      let cells = List.mapi (fun i cell -> pad (List.nth widths i) cell) row in
+      output_string out (String.trim (String.concat "  " cells));
+      output_char out '\n')
+    rows
+
+let metrics_table ?(out = stdout) samples =
+  let rows =
+    [ "name"; "labels"; "value" ]
+    :: List.map
+         (fun (s : Metrics.sample) ->
+           [
+             s.Metrics.name;
+             labels_to_string s.Metrics.labels;
+             Metrics.value_to_string s.Metrics.value;
+           ])
+         samples
+  in
+  print_aligned out rows
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let metrics_csv ?(out = stdout) samples =
+  output_string out "name,labels,kind,value,count,sum,p50,p90,p99,max\n";
+  List.iter
+    (fun (s : Metrics.sample) ->
+      let f x = Printf.sprintf "%.6g" x in
+      let cells =
+        match s.Metrics.value with
+        | Metrics.Counter c ->
+            [ "counter"; string_of_int c; ""; ""; ""; ""; ""; "" ]
+        | Metrics.Gauge g -> [ "gauge"; f g; ""; ""; ""; ""; ""; "" ]
+        | Metrics.Histogram { count; sum; p50; p90; p99; max } ->
+            [
+              "histogram"; ""; string_of_int count; f sum; f p50; f p90; f p99;
+              f max;
+            ]
+      in
+      output_string out
+        (String.concat ","
+           (List.map csv_cell
+              (s.Metrics.name :: labels_to_string s.Metrics.labels :: cells)));
+      output_char out '\n')
+    samples
+
+let json_labels labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let json_float f = if Float.is_finite f then Json.Float f else Json.Null
+
+let sample_to_json (s : Metrics.sample) =
+  let open Json in
+  let value_fields =
+    match s.Metrics.value with
+    | Metrics.Counter c -> [ ("kind", String "counter"); ("value", Int c) ]
+    | Metrics.Gauge g -> [ ("kind", String "gauge"); ("value", json_float g) ]
+    | Metrics.Histogram { count; sum; p50; p90; p99; max } ->
+        [
+          ("kind", String "histogram");
+          ("count", Int count);
+          ("sum", json_float sum);
+          ("p50", json_float p50);
+          ("p90", json_float p90);
+          ("p99", json_float p99);
+          ("max", json_float max);
+        ]
+  in
+  Obj
+    (("name", String s.Metrics.name)
+    :: ("labels", json_labels s.Metrics.labels)
+    :: value_fields)
+
+let metrics_json_lines ~path samples =
+  Json.lines_to_file ~path (List.map sample_to_json samples)
+
+let event_to_json (e : Trace.event) =
+  let open Json in
+  Obj
+    [
+      ("trace", Int e.Trace.trace);
+      ("time_ms", Float e.Trace.time);
+      ("site", Int e.Trace.site);
+      ("event", String (Trace.kind_to_string e.Trace.kind));
+    ]
+
+let summary_to_json (s : Trace.summary) =
+  let open Json in
+  Obj
+    [
+      ("trace", Int s.Trace.s_trace);
+      ("sends", Int s.Trace.sends);
+      ("hops", Int s.Trace.hops);
+      ("relays", Int s.Trace.relays);
+      ("delivers", Int s.Trace.delivers);
+      ("drops", Int s.Trace.drops);
+      ( "drop_causes",
+        List (List.map (fun c -> String c) s.Trace.drop_causes) );
+      ("first_time_ms", Float s.Trace.first_time);
+      ("last_time_ms", Float s.Trace.last_time);
+    ]
+
+let trace_table ?(out = stdout) events =
+  let rows =
+    [ "trace"; "time_ms"; "site"; "event" ]
+    :: List.map
+         (fun (e : Trace.event) ->
+           [
+             string_of_int e.Trace.trace;
+             Printf.sprintf "%.3f" e.Trace.time;
+             string_of_int e.Trace.site;
+             Trace.kind_to_string e.Trace.kind;
+           ])
+         events
+  in
+  print_aligned out rows
+
+let trace_json_lines ~path events =
+  Json.lines_to_file ~path (List.map event_to_json events)

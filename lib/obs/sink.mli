@@ -1,0 +1,32 @@
+(** Render registry snapshots and trace sets.
+
+    One writer per output shape; callers pick the sink, producers return
+    data.  The JSON forms build on {!Json} — no external
+    dependencies. *)
+
+(** {1 Metrics} *)
+
+val metrics_table : ?out:out_channel -> Metrics.sample list -> unit
+(** Aligned [name labels value] table (labels rendered [k=v,k=v]). *)
+
+val metrics_csv : ?out:out_channel -> Metrics.sample list -> unit
+(** Header [name,labels,kind,value,count,sum,p50,p90,p99,max]; scalar
+    metrics leave histogram columns empty and vice versa. *)
+
+val sample_to_json : Metrics.sample -> Json.t
+
+val metrics_json_lines : path:string -> Metrics.sample list -> unit
+(** One JSON object per line per sample. *)
+
+(** {1 Traces} *)
+
+val event_to_json : Trace.event -> Json.t
+val summary_to_json : Trace.summary -> Json.t
+
+val trace_table : ?out:out_channel -> Trace.event list -> unit
+(** Aligned [trace time site event] listing. *)
+
+val trace_json_lines : path:string -> Trace.event list -> unit
+
+val labels_to_string : (string * string) list -> string
+(** ["k=v,k=v"]; [""] when empty. *)

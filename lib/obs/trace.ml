@@ -1,0 +1,160 @@
+type id = int
+
+let none = 0
+
+type kind =
+  | Send
+  | Enqueue
+  | Relay
+  | Cache_hit
+  | Trigger_match
+  | Deliver
+  | Drop of string
+
+type event = { trace : id; time : float; site : int; kind : kind }
+
+type t = {
+  ring : event array;  (* zero capacity <=> disabled *)
+  mutable write : int;  (* next slot, monotonically increasing *)
+  mutable next_id : int;
+  sample_every : int;
+  mutable skip : int;  (* countdown until the next sampled start *)
+}
+
+let dummy = { trace = none; time = 0.; site = -1; kind = Send }
+
+let disabled =
+  { ring = [||]; write = 0; next_id = 1; sample_every = 0; skip = 0 }
+
+let create ?(capacity = 65536) ?(sample_every = 1) () =
+  if capacity <= 0 then invalid_arg "Obs.Trace.create: capacity must be > 0";
+  if sample_every < 0 then
+    invalid_arg "Obs.Trace.create: sample_every must be >= 0";
+  if sample_every = 0 then disabled
+  else
+    {
+      ring = Array.make capacity dummy;
+      write = 0;
+      next_id = 1;
+      sample_every;
+      skip = 0;
+    }
+
+let enabled t = Array.length t.ring > 0
+
+let start t =
+  if not (enabled t) then none
+  else if t.skip > 0 then begin
+    t.skip <- t.skip - 1;
+    none
+  end
+  else begin
+    t.skip <- t.sample_every - 1;
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    id
+  end
+
+let record t trace ~time ~site kind =
+  if trace <> none && enabled t then begin
+    let n = Array.length t.ring in
+    t.ring.(t.write mod n) <- { trace; time; site; kind };
+    t.write <- t.write + 1
+  end
+
+let started t = t.next_id - 1
+let recorded t = t.write
+
+let events ?trace t =
+  let n = Array.length t.ring in
+  if n = 0 then []
+  else begin
+    let live = min t.write n in
+    let first = t.write - live in
+    let out = ref [] in
+    for i = first + live - 1 downto first do
+      let e = t.ring.(i mod n) in
+      match trace with
+      | Some id when e.trace <> id -> ()
+      | _ -> out := e :: !out
+    done;
+    !out
+  end
+
+type summary = {
+  s_trace : id;
+  sends : int;
+  hops : int;
+  relays : int;
+  delivers : int;
+  drops : int;
+  drop_causes : string list;
+  first_time : float;
+  last_time : float;
+}
+
+let summaries t =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun e ->
+      let s =
+        match Hashtbl.find_opt tbl e.trace with
+        | Some s -> s
+        | None ->
+            {
+              s_trace = e.trace;
+              sends = 0;
+              hops = 0;
+              relays = 0;
+              delivers = 0;
+              drops = 0;
+              drop_causes = [];
+              first_time = e.time;
+              last_time = e.time;
+            }
+      in
+      let s =
+        { s with first_time = Float.min s.first_time e.time;
+                 last_time = Float.max s.last_time e.time }
+      in
+      let s =
+        match e.kind with
+        | Send -> { s with sends = s.sends + 1 }
+        | Enqueue -> { s with hops = s.hops + 1 }
+        | Relay -> { s with relays = s.relays + 1 }
+        | Cache_hit | Trigger_match -> s
+        | Deliver -> { s with delivers = s.delivers + 1 }
+        | Drop cause ->
+            { s with drops = s.drops + 1; drop_causes = s.drop_causes @ [ cause ] }
+      in
+      Hashtbl.replace tbl e.trace s)
+    (events t);
+  Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+  |> List.sort (fun a b -> compare a.s_trace b.s_trace)
+
+let orphans ?started_before t =
+  summaries t
+  |> List.filter (fun s ->
+         s.delivers = 0 && s.drops = 0
+         && s.sends > 0 (* evicted history is incomplete, not orphaned *)
+         &&
+         match started_before with
+         | Some hi -> s.s_trace < hi
+         | None -> true)
+
+let kind_to_string = function
+  | Send -> "send"
+  | Enqueue -> "enqueue"
+  | Relay -> "relay"
+  | Cache_hit -> "cache_hit"
+  | Trigger_match -> "trigger_match"
+  | Deliver -> "deliver"
+  | Drop cause -> "drop:" ^ cause
+
+let reset t =
+  if enabled t then begin
+    Array.fill t.ring 0 (Array.length t.ring) dummy;
+    t.write <- 0;
+    t.next_id <- 1;
+    t.skip <- 0
+  end

@@ -1,0 +1,87 @@
+(** Per-packet hop tracing.
+
+    A trace id is allocated at send time ({!start}) and travels in the
+    packet header; every layer that touches the packet appends an event
+    ({!record}).  Storage is a fixed ring buffer, so a collector is cheap
+    enough to leave on; the {!sampling} knob thins allocation further when
+    even that is too much.
+
+    Id [0] ({!none}) means "untraced" — {!record} on it is a no-op, so the
+    hot path needs no branching at call sites. *)
+
+type id = int
+
+val none : id
+(** The null trace id carried by untraced packets. *)
+
+type kind =
+  | Send  (** packet handed to the stack by the source host *)
+  | Enqueue  (** accepted by the network for transmission *)
+  | Relay  (** forwarded one overlay hop toward the id's owner *)
+  | Cache_hit  (** answered from a trigger cache instead of routing *)
+  | Trigger_match  (** matched one or more triggers at the owner *)
+  | Deliver  (** handed to the receiving end host — terminal *)
+  | Drop of string  (** dropped, with cause — terminal *)
+
+type event = {
+  trace : id;
+  time : float;  (** virtual ms *)
+  site : int;  (** topology site of the component recording the event *)
+  kind : kind;
+}
+
+type t
+(** A collector. *)
+
+val disabled : t
+(** Records nothing, allocates nothing; {!start} returns {!none}. *)
+
+val create : ?capacity:int -> ?sample_every:int -> unit -> t
+(** Ring buffer of [capacity] events (default 65536).  [sample_every = n]
+    traces every n-th {!start} (default 1 = all; 0 behaves like
+    {!disabled}). *)
+
+val enabled : t -> bool
+
+val start : t -> id
+(** Allocate a trace id for a packet about to be sent, or {!none} when the
+    collector is disabled or sampling skips this packet.  Ids are positive
+    and unique per collector. *)
+
+val record : t -> id -> time:float -> site:int -> kind -> unit
+(** Append an event; no-op when [id = none] or the collector is
+    disabled. *)
+
+val started : t -> int
+(** Traces allocated so far (sampling skips excluded). *)
+
+val recorded : t -> int
+(** Events recorded so far (including any since overwritten). *)
+
+val events : ?trace:id -> t -> event list
+(** Events still in the ring, oldest first (filtered to one trace if
+    given). *)
+
+type summary = {
+  s_trace : id;
+  sends : int;
+  hops : int;  (** number of [Enqueue] events — network transmissions *)
+  relays : int;
+  delivers : int;
+  drops : int;
+  drop_causes : string list;
+  first_time : float;
+  last_time : float;
+}
+
+val summaries : t -> summary list
+(** One summary per trace id present in the ring, ascending id. *)
+
+val orphans : ?started_before:id -> t -> summary list
+(** Traces with no terminal event ([Deliver] or [Drop]).  Traces whose id
+    is >= [started_before] are excluded (they may legitimately still be in
+    flight), as are traces whose first event was already evicted from the
+    ring (their history is incomplete, not necessarily orphaned). *)
+
+val kind_to_string : kind -> string
+val reset : t -> unit

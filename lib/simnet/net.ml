@@ -19,6 +19,8 @@ type stats = {
   dropped_gray : int;
 }
 
+type outcome = [ `Enqueue | `Drop of string ]
+
 type partition_id = int
 
 module Int_set = Set.Make (Int)
@@ -35,10 +37,26 @@ type burst = {
   mutable bad : bool;
 }
 
+(* Counters live in an {!Obs.Metrics} registry, keyed [net.<event>] with an
+   instance label so several networks (data plane, control plane, tests)
+   coexist in one registry without mixing counts. *)
+type counters = {
+  c_sent : Obs.Metrics.counter;
+  c_delivered : Obs.Metrics.counter;
+  c_duplicated : Obs.Metrics.counter;
+  c_loss : Obs.Metrics.counter;
+  c_burst : Obs.Metrics.counter;
+  c_down : Obs.Metrics.counter;
+  c_partition : Obs.Metrics.counter;
+  c_gray : Obs.Metrics.counter;
+}
+
 type 'msg t = {
   engine : Engine.t;
   rng : Rng.t;
   latency : int -> int -> float;
+  label : string;
+  c : counters;
   mutable endpoints : 'msg endpoint array;
   mutable count : int;
   mutable loss_rate : float;
@@ -50,21 +68,41 @@ type 'msg t = {
   mutable jitter : float;
   mutable extra_latency : float;
   mutable tap : (src:addr -> dst:addr -> 'msg -> unit) option;
-  mutable sent : int;
-  mutable delivered : int;
-  mutable duplicated : int;
-  mutable dropped_loss : int;
-  mutable dropped_burst : int;
-  mutable dropped_down : int;
-  mutable dropped_partition : int;
-  mutable dropped_gray : int;
+  mutable observer : (src:addr -> dst:addr -> 'msg -> outcome -> unit) option;
 }
 
-let create engine ~rng ~latency () =
+let instances = ref 0
+
+let make_counters metrics label =
+  let counter ?(labels = []) name =
+    Obs.Metrics.counter metrics ~labels:(("instance", label) :: labels) name
+  in
+  let drop cause = counter ~labels:[ ("cause", cause) ] "net.dropped" in
+  {
+    c_sent = counter "net.sent";
+    c_delivered = counter "net.delivered";
+    c_duplicated = counter "net.duplicated";
+    c_loss = drop "loss";
+    c_burst = drop "burst";
+    c_down = drop "down";
+    c_partition = drop "partition";
+    c_gray = drop "gray";
+  }
+
+let create ?(metrics = Obs.Metrics.default) ?label engine ~rng ~latency () =
+  let label =
+    match label with
+    | Some l -> l
+    | None ->
+        incr instances;
+        "net" ^ string_of_int !instances
+  in
   {
     engine;
     rng;
     latency;
+    label;
+    c = make_counters metrics label;
     endpoints = [||];
     count = 0;
     loss_rate = 0.;
@@ -76,17 +114,11 @@ let create engine ~rng ~latency () =
     jitter = 0.;
     extra_latency = 0.;
     tap = None;
-    sent = 0;
-    delivered = 0;
-    duplicated = 0;
-    dropped_loss = 0;
-    dropped_burst = 0;
-    dropped_down = 0;
-    dropped_partition = 0;
-    dropped_gray = 0;
+    observer = None;
   }
 
 let engine t = t.engine
+let label t = t.label
 
 let endpoint t a =
   if a < 0 || a >= t.count then invalid_arg "Net: unknown address";
@@ -122,6 +154,7 @@ let set_loss_rate t p =
   t.loss_rate <- p
 
 let set_tap t f = t.tap <- Some f
+let set_observer t f = t.observer <- Some f
 
 (* --- link-level faults --- *)
 
@@ -189,47 +222,57 @@ let burst_says_drop t =
 
 (* --- sending --- *)
 
+let observe t ~src ~dst msg outcome =
+  match t.observer with Some f -> f ~src ~dst msg outcome | None -> ()
+
 let deliver t ~src ~dst (d : 'msg endpoint) msg =
   if d.up then begin
-    t.delivered <- t.delivered + 1;
+    Obs.Metrics.incr t.c.c_delivered;
     (match t.tap with Some f -> f ~src ~dst msg | None -> ());
     d.handler ~src msg
   end
-  else t.dropped_down <- t.dropped_down + 1
+  else begin
+    Obs.Metrics.incr t.c.c_down;
+    observe t ~src ~dst msg (`Drop "down")
+  end
 
 let send t ~src ~dst msg =
   let s = endpoint t src and d = endpoint t dst in
-  t.sent <- t.sent + 1;
-  if not s.up then t.dropped_down <- t.dropped_down + 1
-  else if partitioned t s.site d.site then
-    t.dropped_partition <- t.dropped_partition + 1
-  else if Hashtbl.mem t.gray (s.site, d.site) then
-    t.dropped_gray <- t.dropped_gray + 1
-  else if burst_says_drop t then t.dropped_burst <- t.dropped_burst + 1
+  Obs.Metrics.incr t.c.c_sent;
+  let drop counter cause =
+    Obs.Metrics.incr counter;
+    observe t ~src ~dst msg (`Drop cause)
+  in
+  if not s.up then drop t.c.c_down "down"
+  else if partitioned t s.site d.site then drop t.c.c_partition "partition"
+  else if Hashtbl.mem t.gray (s.site, d.site) then drop t.c.c_gray "gray"
+  else if burst_says_drop t then drop t.c.c_burst "burst"
   else if t.loss_rate > 0. && Rng.float t.rng 1. < t.loss_rate then
-    t.dropped_loss <- t.dropped_loss + 1
+    drop t.c.c_loss "loss"
   else begin
+    observe t ~src ~dst msg `Enqueue;
     let base = t.latency s.site d.site +. t.extra_latency in
     let jitter () = if t.jitter > 0. then Rng.float t.rng t.jitter else 0. in
     Engine.schedule t.engine ~delay:(base +. jitter ()) (fun () ->
         deliver t ~src ~dst d msg);
     if t.duplicate_rate > 0. && Rng.float t.rng 1. < t.duplicate_rate then begin
-      t.duplicated <- t.duplicated + 1;
+      Obs.Metrics.incr t.c.c_duplicated;
       Engine.schedule t.engine ~delay:(base +. jitter ()) (fun () ->
           deliver t ~src ~dst d msg)
     end
   end
 
 let stats t =
+  let v = Obs.Metrics.counter_value in
   {
-    sent = t.sent;
-    delivered = t.delivered;
-    duplicated = t.duplicated;
-    dropped_loss = t.dropped_loss;
-    dropped_burst = t.dropped_burst;
-    dropped_down = t.dropped_down;
-    dropped_partition = t.dropped_partition;
-    dropped_gray = t.dropped_gray;
+    sent = v t.c.c_sent;
+    delivered = v t.c.c_delivered;
+    duplicated = v t.c.c_duplicated;
+    dropped_loss = v t.c.c_loss;
+    dropped_burst = v t.c.c_burst;
+    dropped_down = v t.c.c_down;
+    dropped_partition = v t.c.c_partition;
+    dropped_gray = v t.c.c_gray;
   }
 
 let endpoint_count t = t.count

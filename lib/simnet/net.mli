@@ -23,10 +23,22 @@ type 'msg t
 (** A network carrying messages of type ['msg]. *)
 
 val create :
-  Engine.t -> rng:Rng.t -> latency:(int -> int -> float) -> unit -> 'msg t
-(** [latency] maps a pair of sites to one-way latency in ms. *)
+  ?metrics:Obs.Metrics.t ->
+  ?label:string ->
+  Engine.t ->
+  rng:Rng.t ->
+  latency:(int -> int -> float) ->
+  unit ->
+  'msg t
+(** [latency] maps a pair of sites to one-way latency in ms.  Accounting
+    registers under [net.*] in [metrics] (default {!Obs.Metrics.default})
+    with an [instance] label — [label] if given, else a fresh ["netN"] —
+    so independent networks never share counters. *)
 
 val engine : 'msg t -> Engine.t
+
+val label : 'msg t -> string
+(** The [instance] label this network's metrics carry. *)
 
 val register : 'msg t -> site:int -> (src:addr -> 'msg -> unit) -> addr
 (** Attach a new endpoint at a site with a receive handler; returns its
@@ -59,6 +71,20 @@ val set_loss_rate : 'msg t -> float -> unit
 
 val set_tap : 'msg t -> (src:addr -> dst:addr -> 'msg -> unit) -> unit
 (** Observe every successful delivery (tracing in tests). *)
+
+type outcome = [ `Enqueue | `Drop of string ]
+(** Fate decided by the network for one {!send}: accepted for
+    transmission, or dropped with a cause (["loss"], ["burst"], ["down"],
+    ["partition"], ["gray"]).  A message enqueued while its destination is
+    up can still die in flight if the destination goes down before
+    delivery — that surfaces as a second callback with [`Drop "down"] at
+    delivery time. *)
+
+val set_observer : 'msg t -> (src:addr -> dst:addr -> 'msg -> outcome -> unit) -> unit
+(** Observe the fate of every message as the network decides it.  This is
+    the hook {!Obs.Trace} integrations attach to: the network itself is
+    payload-agnostic, so the observer (which can inspect ['msg]) turns
+    outcomes into trace events. *)
 
 (** {1 Link-level faults}
 
@@ -118,7 +144,14 @@ val set_extra_latency : 'msg t -> float -> unit
 (** Fixed latency spike added to every delivery (congestion episode).
     Default 0. *)
 
-(** {1 Accounting} *)
+(** {1 Accounting}
+
+    All counters live in the {!Obs.Metrics} registry passed at creation
+    (names [net.sent], [net.delivered], [net.duplicated], [net.dropped]
+    with a [cause] label, each carrying this network's [instance] label);
+    {!snapshot} via [Obs.Metrics.snapshot] is the uniform read API.  The
+    [stats] record below is a thin per-instance view kept so existing
+    callers and tests read unchanged. *)
 
 type stats = {
   sent : int;

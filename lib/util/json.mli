@@ -1,0 +1,32 @@
+(** Minimal hand-rolled JSON tree and emitter — no external dependencies.
+
+    Only what the observability layer needs: build a value, render it
+    compactly (RFC 8259-valid output), write it to a file.  There is no
+    parser; machine consumers of [BENCH_i3.json] live outside this
+    repository. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+      (** non-finite floats are emitted as [null] (JSON has no NaN/inf) *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-escape the contents (no surrounding quotes): backslash,
+    quote and control characters; everything else is passed through, so
+    UTF-8 survives byte-for-byte. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). *)
+
+val to_file : path:string -> t -> unit
+(** Write the compact rendering plus a trailing newline. *)
+
+val lines_to_file : path:string -> t list -> unit
+(** JSON-lines: one compact value per line. *)

@@ -26,7 +26,8 @@ let repair_bound =
 (* Ten servers at ten distinct sites, so site-set partitions and gray
    links cut between servers (join order = site index). *)
 let build ?server_config ~seed () =
-  let d = I3.Dynamic.create ~seed ?server_config () in
+  let tracer = Obs.Trace.create ~capacity:(1 lsl 17) () in
+  let d = I3.Dynamic.create ~seed ?server_config ~tracer () in
   for site = 0 to 9 do
     ignore (I3.Dynamic.add_server d ~site ());
     I3.Dynamic.run_for d 2_000.
@@ -53,6 +54,27 @@ let start_probes d =
   I3.Dynamic.run_for d 5_000.;
   (recv, send, id, flow)
 
+(* Trace conservation: every traced packet's life must end in exactly one
+   Deliver or one Drop with a cause — a fault may delay or kill a packet,
+   but nothing may vanish from the books.  Checked after a drain so no
+   trace is legitimately still in flight. *)
+let assert_traces_conserved ~what d =
+  I3.Dynamic.run_for d 5_000.;
+  let tracer = I3.Dynamic.tracer d in
+  Alcotest.(check bool) (what ^ ": packets were traced") true
+    (Obs.Trace.started tracer > 0);
+  Alcotest.(check (list int)) (what ^ ": no orphaned traces") []
+    (List.map (fun s -> s.Obs.Trace.s_trace) (Obs.Trace.orphans tracer));
+  List.iter
+    (fun s ->
+      if s.Obs.Trace.sends > 0 then
+        Alcotest.(check int)
+          (Printf.sprintf "%s: trace %d terminates exactly once" what
+             s.Obs.Trace.s_trace)
+          1
+          (s.Obs.Trace.delivers + s.Obs.Trace.drops))
+    (Obs.Trace.summaries tracer)
+
 let check_recovered ~what ~seed d recv flow ~fault_at =
   let rng = probe_rng (seed + 1) in
   let conv = Eval.Recovery.converges_within ~budget:120_000. rng d in
@@ -69,6 +91,7 @@ let check_recovered ~what ~seed d recv flow ~fault_at =
   Alcotest.(check bool)
     (what ^ ": flow recovered after fault") true
     (Eval.Recovery.time_to_recovery flow ~after:fault_at <> None);
+  assert_traces_conserved ~what d;
   Eval.Recovery.metrics
     ~scenario:(Printf.sprintf "%s (seed %d)" what seed)
     ~fault_at ~converged:(conv <> None) flow

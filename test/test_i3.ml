@@ -236,6 +236,49 @@ let test_table_bucket () =
       Alcotest.(check (float 1e-9)) "remaining lifetime" 999. remaining)
     entries
 
+let test_table_tie_break () =
+  (* Two trigger ids whose prefix match with the packet id is equally long:
+     the tie goes to the smaller identifier, in either insertion order. *)
+  let r = Rng.copy rng0 in
+  let p = Id.random r in
+  let packet_id = Id.with_suffix p ~low_bits:8 "\x00" in
+  let smaller = Id.with_suffix p ~low_bits:8 "\x40" in
+  let bigger = Id.with_suffix p ~low_bits:8 "\x7f" in
+  (* both first differ from the packet id at the same bit (0x40 and 0x7f
+     share their leading 0 1 bits), so the prefix lengths really tie *)
+  List.iter
+    (fun entries ->
+      let t = table_with entries in
+      match I3.Trigger_table.find_matches t ~now:1. packet_id with
+      | [ tr ] ->
+          Alcotest.(check bool) "smaller id wins" true
+            (Id.equal tr.I3.Trigger.id smaller)
+      | l ->
+          Alcotest.fail
+            (Printf.sprintf "expected 1 match, got %d" (List.length l)))
+    [ [ (smaller, 1); (bigger, 2) ]; [ (bigger, 2); (smaller, 1) ] ]
+
+let test_table_bucket_entries_lifetime () =
+  let r = Rng.copy rng0 in
+  let p = Id.random r in
+  let a = Id.random_with_prefix r p and b = Id.random_with_prefix r p in
+  let t = I3.Trigger_table.create () in
+  I3.Trigger_table.insert t ~now:0. ~expires:500.
+    (I3.Trigger.to_host ~id:a ~owner:1);
+  I3.Trigger_table.insert t ~now:0. ~expires:1500.
+    (I3.Trigger.to_host ~id:b ~owner:2);
+  let remaining_of owner entries =
+    List.assoc owner
+      (List.map (fun (tr, rem) -> (tr.I3.Trigger.owner, rem)) entries)
+  in
+  let at_400 = I3.Trigger_table.bucket_entries t ~now:400. p in
+  Alcotest.(check int) "both alive at 400" 2 (List.length at_400);
+  Alcotest.(check (float 1e-9)) "a: 500 - 400" 100. (remaining_of 1 at_400);
+  Alcotest.(check (float 1e-9)) "b: 1500 - 400" 1100. (remaining_of 2 at_400);
+  let at_600 = I3.Trigger_table.bucket_entries t ~now:600. p in
+  Alcotest.(check int) "a expired by 600" 1 (List.length at_600);
+  Alcotest.(check (float 1e-9)) "b: 1500 - 600" 900. (remaining_of 2 at_600)
+
 let test_table_match_bruteforce =
   qtest ~count:100 "find_matches = brute force over stored ids"
     QCheck2.Gen.(int_range 1 100_000)
@@ -1031,6 +1074,9 @@ let () =
           Alcotest.test_case "remove" `Quick test_table_remove;
           Alcotest.test_case "remove_matching (pushback)" `Quick test_table_remove_matching;
           Alcotest.test_case "bucket" `Quick test_table_bucket;
+          Alcotest.test_case "equal-prefix tie-break" `Quick test_table_tie_break;
+          Alcotest.test_case "bucket_entries lifetimes" `Quick
+            test_table_bucket_entries_lifetime;
           test_table_match_bruteforce;
           test_table_model;
         ] );

@@ -1,0 +1,259 @@
+(* Tests for the observability layer: the metrics registry (handles,
+   canonical labels, histogram quantiles, snapshots), the per-packet trace
+   collector (ring, sampling, orphan detection) and the JSON emitter. *)
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* --- Obs.Metrics --- *)
+
+let test_counter_basics () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg "t.hits" in
+  Alcotest.(check int) "starts at 0" 0 (Obs.Metrics.counter_value c);
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:4 c;
+  Alcotest.(check int) "1 + 4" 5 (Obs.Metrics.counter_value c)
+
+let test_reregister_same_handle () =
+  let reg = Obs.Metrics.create () in
+  let a = Obs.Metrics.counter reg ~labels:[ ("x", "1"); ("y", "2") ] "t.c" in
+  (* same key with labels in the other order: must be the same handle *)
+  let b = Obs.Metrics.counter reg ~labels:[ ("y", "2"); ("x", "1") ] "t.c" in
+  Obs.Metrics.incr a;
+  Obs.Metrics.incr b;
+  Alcotest.(check int) "one underlying counter" 2 (Obs.Metrics.counter_value a);
+  (* a different label value is a different series *)
+  let c = Obs.Metrics.counter reg ~labels:[ ("x", "9"); ("y", "2") ] "t.c" in
+  Alcotest.(check int) "distinct series" 0 (Obs.Metrics.counter_value c)
+
+let test_kind_mismatch () =
+  let reg = Obs.Metrics.create () in
+  let _ = Obs.Metrics.counter reg "t.k" in
+  Alcotest.check_raises "counter reused as gauge"
+    (Invalid_argument "Obs.Metrics: t.k already registered as a counter")
+    (fun () -> ignore (Obs.Metrics.gauge reg "t.k"))
+
+let test_gauge () =
+  let reg = Obs.Metrics.create () in
+  let g = Obs.Metrics.gauge reg "t.g" in
+  Obs.Metrics.set g 2.5;
+  Obs.Metrics.add g 1.;
+  feq "set + add" 3.5 (Obs.Metrics.gauge_value g)
+
+let test_histogram_quantiles () =
+  let reg = Obs.Metrics.create () in
+  let h =
+    Obs.Metrics.histogram reg "t.h"
+      ~buckets:(Obs.Metrics.linear_buckets ~start:10. ~width:10. ~count:10)
+  in
+  for v = 1 to 100 do
+    Obs.Metrics.observe h (float_of_int v)
+  done;
+  Alcotest.(check int) "count" 100 (Obs.Metrics.hist_count h);
+  feq "sum" 5050. (Obs.Metrics.hist_sum h);
+  feq "mean" 50.5 (Obs.Metrics.hist_mean h);
+  (* 10 observations per 10-wide bucket: interpolation lands near v*q *)
+  Alcotest.(check (float 2.)) "p50" 50. (Obs.Metrics.quantile h 0.5);
+  Alcotest.(check (float 2.)) "p90" 90. (Obs.Metrics.quantile h 0.9);
+  (* quantiles clamp to the observed range *)
+  feq "q0 = min" 1. (Obs.Metrics.quantile h 0.);
+  feq "q1 = max" 100. (Obs.Metrics.quantile h 1.)
+
+let test_histogram_single_observation () =
+  let reg = Obs.Metrics.create () in
+  let h =
+    Obs.Metrics.histogram reg "t.h1"
+      ~buckets:(Obs.Metrics.linear_buckets ~start:1. ~width:1. ~count:8)
+  in
+  Obs.Metrics.observe h 3.;
+  (* clamped to [min, max]: a lone sample is every quantile *)
+  feq "p50 of one sample" 3. (Obs.Metrics.quantile h 0.5);
+  feq "p99 of one sample" 3. (Obs.Metrics.quantile h 0.99);
+  Alcotest.(check bool) "empty -> nan" true
+    (Float.is_nan
+       (Obs.Metrics.quantile
+          (Obs.Metrics.histogram reg "t.h2"
+             ~buckets:(Obs.Metrics.linear_buckets ~start:1. ~width:1. ~count:2))
+          0.5))
+
+let test_snapshot_and_find () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg ~labels:[ ("i", "a") ] "z.c" in
+  let _ = Obs.Metrics.counter reg ~labels:[ ("i", "b") ] "z.c" in
+  let g = Obs.Metrics.gauge reg "a.g" in
+  Obs.Metrics.incr ~by:7 c;
+  Obs.Metrics.set g 1.5;
+  let names = List.map (fun s -> s.Obs.Metrics.name) (Obs.Metrics.snapshot reg) in
+  Alcotest.(check (list string)) "sorted by name then labels"
+    [ "a.g"; "z.c"; "z.c" ] names;
+  let zs = Obs.Metrics.snapshot ~prefix:"z." reg in
+  Alcotest.(check int) "prefix filter" 2 (List.length zs);
+  (match Obs.Metrics.find reg ~labels:[ ("i", "a") ] "z.c" with
+  | Some (Obs.Metrics.Counter 7) -> ()
+  | _ -> Alcotest.fail "find z.c{i=a} = Counter 7");
+  Alcotest.(check bool) "find miss" true
+    (Obs.Metrics.find reg "nope" = None);
+  Obs.Metrics.reset reg;
+  Alcotest.(check int) "reset zeroes" 0 (Obs.Metrics.counter_value c)
+
+(* --- Obs.Trace --- *)
+
+let test_trace_ids_and_events () =
+  let t = Obs.Trace.create ~capacity:64 () in
+  let a = Obs.Trace.start t in
+  let b = Obs.Trace.start t in
+  Alcotest.(check bool) "ids positive and distinct" true (a > 0 && b > a);
+  Obs.Trace.record t a ~time:1. ~site:0 Obs.Trace.Send;
+  Obs.Trace.record t a ~time:2. ~site:0 Obs.Trace.Enqueue;
+  Obs.Trace.record t b ~time:3. ~site:1 Obs.Trace.Send;
+  Obs.Trace.record t a ~time:4. ~site:2 Obs.Trace.Deliver;
+  Obs.Trace.record t Obs.Trace.none ~time:5. ~site:0 Obs.Trace.Send;
+  Alcotest.(check int) "none is a no-op" 4 (Obs.Trace.recorded t);
+  Alcotest.(check int) "per-trace filter" 3
+    (List.length (Obs.Trace.events ~trace:a t));
+  let s =
+    List.find (fun s -> s.Obs.Trace.s_trace = a) (Obs.Trace.summaries t)
+  in
+  Alcotest.(check int) "hops = enqueues" 1 s.Obs.Trace.hops;
+  Alcotest.(check int) "delivered" 1 s.Obs.Trace.delivers;
+  feq "first_time" 1. s.Obs.Trace.first_time;
+  feq "last_time" 4. s.Obs.Trace.last_time
+
+let test_trace_disabled_and_sampling () =
+  Alcotest.(check int) "disabled start = none" Obs.Trace.none
+    (Obs.Trace.start Obs.Trace.disabled);
+  Obs.Trace.record Obs.Trace.disabled 1 ~time:0. ~site:0 Obs.Trace.Send;
+  Alcotest.(check int) "disabled records nothing" 0
+    (Obs.Trace.recorded Obs.Trace.disabled);
+  let t = Obs.Trace.create ~sample_every:2 () in
+  let ids = List.init 10 (fun _ -> Obs.Trace.start t) in
+  let traced = List.filter (fun id -> id <> Obs.Trace.none) ids in
+  Alcotest.(check int) "1 in 2 sampled" 5 (List.length traced);
+  Alcotest.(check int) "started counts sampled only" 5 (Obs.Trace.started t);
+  let off = Obs.Trace.create ~sample_every:0 () in
+  Alcotest.(check int) "sample_every 0 = off" Obs.Trace.none
+    (Obs.Trace.start off)
+
+let test_trace_orphans () =
+  let t = Obs.Trace.create ~capacity:64 () in
+  let done_ = Obs.Trace.start t in
+  let lost = Obs.Trace.start t in
+  let inflight = Obs.Trace.start t in
+  Obs.Trace.record t done_ ~time:1. ~site:0 Obs.Trace.Send;
+  Obs.Trace.record t done_ ~time:2. ~site:1 Obs.Trace.Deliver;
+  Obs.Trace.record t lost ~time:1. ~site:0 Obs.Trace.Send;
+  Obs.Trace.record t inflight ~time:9. ~site:0 Obs.Trace.Send;
+  let orphan_ids cutoff =
+    List.map
+      (fun s -> s.Obs.Trace.s_trace)
+      (Obs.Trace.orphans ~started_before:cutoff t)
+  in
+  Alcotest.(check (list int)) "terminated trace is not an orphan" [ lost ]
+    (orphan_ids inflight);
+  Alcotest.(check (list int)) "cutoff admits the in-flight one"
+    [ lost; inflight ]
+    (orphan_ids (inflight + 1));
+  (* drop is terminal too *)
+  Obs.Trace.record t lost ~time:3. ~site:0 (Obs.Trace.Drop "net:loss");
+  Alcotest.(check (list int)) "drop terminates" [ inflight ]
+    (orphan_ids (inflight + 1))
+
+let test_trace_ring_eviction () =
+  let t = Obs.Trace.create ~capacity:4 () in
+  let a = Obs.Trace.start t in
+  Obs.Trace.record t a ~time:0. ~site:0 Obs.Trace.Send;
+  let b = Obs.Trace.start t in
+  (* four more events push a's Send out of the ring *)
+  Obs.Trace.record t b ~time:1. ~site:0 Obs.Trace.Send;
+  Obs.Trace.record t b ~time:2. ~site:0 Obs.Trace.Enqueue;
+  Obs.Trace.record t b ~time:3. ~site:0 Obs.Trace.Relay;
+  Obs.Trace.record t b ~time:4. ~site:0 Obs.Trace.Enqueue;
+  Alcotest.(check int) "recorded counts evicted events" 5
+    (Obs.Trace.recorded t);
+  Alcotest.(check int) "ring holds capacity" 4
+    (List.length (Obs.Trace.events t));
+  (* a has no terminal event, but its history is incomplete, not orphaned *)
+  Alcotest.(check (list int)) "evicted history excluded from orphans" [ b ]
+    (List.map
+       (fun s -> s.Obs.Trace.s_trace)
+       (Obs.Trace.orphans ~started_before:(b + 1) t));
+  Obs.Trace.reset t;
+  Alcotest.(check int) "reset empties the ring" 0
+    (List.length (Obs.Trace.events t))
+
+(* --- Json --- *)
+
+let test_json_render () =
+  let j =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\nd");
+        ("i", Json.Int (-3));
+        ("f", Json.Float 2.5);
+        ("whole", Json.Float 4.);
+        ("nan", Json.Float Float.nan);
+        ("l", Json.List [ Json.Bool true; Json.Null ]);
+        ("o", Json.Obj []);
+      ]
+  in
+  Alcotest.(check string) "compact rendering"
+    "{\"s\":\"a\\\"b\\\\c\\nd\",\"i\":-3,\"f\":2.5,\"whole\":4.0,\"nan\":null,\"l\":[true,null],\"o\":{}}"
+    (Json.to_string j)
+
+let test_json_files () =
+  let path = Filename.temp_file "test_obs" ".json" in
+  Json.to_file ~path (Json.Obj [ ("ok", Json.Bool true) ]);
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "to_file" "{\"ok\":true}" line;
+  Json.lines_to_file ~path [ Json.Int 1; Json.Int 2 ];
+  let ic = open_in path in
+  let l1 = input_line ic in
+  let l2 = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check (pair string string)) "lines_to_file" ("1", "2") (l1, l2)
+
+let test_sink_render () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg ~labels:[ ("k", "v") ] "t.c" in
+  Obs.Metrics.incr ~by:3 c;
+  let sample = List.hd (Obs.Metrics.snapshot reg) in
+  Alcotest.(check string) "sample json"
+    "{\"name\":\"t.c\",\"labels\":{\"k\":\"v\"},\"kind\":\"counter\",\"value\":3}"
+    (Json.to_string (Obs.Sink.sample_to_json sample));
+  Alcotest.(check string) "labels_to_string" "k=v"
+    (Obs.Sink.labels_to_string sample.Obs.Metrics.labels)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "re-register = same handle" `Quick
+            test_reregister_same_handle;
+          Alcotest.test_case "kind mismatch rejected" `Quick test_kind_mismatch;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_histogram_quantiles;
+          Alcotest.test_case "single observation" `Quick
+            test_histogram_single_observation;
+          Alcotest.test_case "snapshot and find" `Quick test_snapshot_and_find;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ids and events" `Quick test_trace_ids_and_events;
+          Alcotest.test_case "disabled and sampling" `Quick
+            test_trace_disabled_and_sampling;
+          Alcotest.test_case "orphans" `Quick test_trace_orphans;
+          Alcotest.test_case "ring eviction" `Quick test_trace_ring_eviction;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "render" `Quick test_json_render;
+          Alcotest.test_case "files" `Quick test_json_files;
+          Alcotest.test_case "sink" `Quick test_sink_render;
+        ] );
+    ]
