@@ -305,6 +305,101 @@ let trigger_table_rates () =
   in
   (insert_rate, match_rate)
 
+(* --- control plane: spans + health over a no-fault Dynamic run --- *)
+
+let section_control_plane () =
+  print_endline "=== control plane: span latencies and health series ===";
+  print_endline
+    "a Dynamic (live-Chord) deployment with span collection and a health";
+  print_endline
+    "monitor scraping on the virtual clock; no faults, so every scrape";
+  print_endline "should judge Ok and the violation count must stay 0.";
+  let n_servers = if smoke then 6 else 16 in
+  let horizon = if smoke then 30_000. else 120_000. in
+  let metrics = Obs.Metrics.create () in
+  let spans = Obs.Span.create ~capacity:(1 lsl 14) () in
+  let d = I3.Dynamic.create ~seed:9 ~metrics ~spans () in
+  for i = 0 to n_servers - 1 do
+    ignore (I3.Dynamic.add_server d ~site:i ())
+  done;
+  I3.Dynamic.run_for d 6_000.;
+  (* Hosts on a 2 s refresh give the span ring plenty of
+     trigger-refresh round-trips inside the horizon. *)
+  let host_config =
+    { I3.Host.default_config with I3.Host.refresh_period = 2_000. }
+  in
+  let recv = I3.Dynamic.new_host d ~config:host_config () in
+  let send = I3.Dynamic.new_host d ~config:host_config () in
+  let id = I3.Host.new_private_id recv in
+  I3.Host.insert_trigger recv id;
+  let flow = Eval.Recovery.start_flow d ~sender:send ~receiver:recv id in
+  let rules =
+    Eval.Monitor.default_rules
+      ~flow_labels:(Eval.Recovery.flow_labels flow)
+      ~ring_label:(I3.Dynamic.ring_label d) ()
+    @ [
+        Eval.Monitor.lookup_p99_rule ~ok:5_000. ~degraded:20_000.
+          ~ring_label:(I3.Dynamic.ring_label d) ();
+      ]
+  in
+  let monitor = Eval.Monitor.create ~rules d in
+  I3.Dynamic.run_for d horizon;
+  Eval.Recovery.stop_flow flow;
+  Eval.Monitor.stop monitor;
+  let pct op =
+    let ds = Obs.Span.durations_ms ~op spans in
+    let q p = if Array.length ds = 0 then 0. else Stats.percentile p ds in
+    ( Array.length ds,
+      Json.Obj
+        [
+          ("count", Json.Int (Array.length ds));
+          ("p50_ms", Json.Float (q 50.));
+          ("p90_ms", Json.Float (q 90.));
+          ("p99_ms", Json.Float (q 99.));
+        ] )
+  in
+  let n_lookup, lookup_json = pct "chord.lookup" in
+  let n_refresh, refresh_json = pct "i3.trigger_refresh" in
+  let n_rpc, rpc_json = pct "chord.rpc" in
+  let health = Eval.Monitor.health monitor in
+  let ok, degraded, violated = Obs.Health.counts health in
+  Printf.printf "  spans: %d finished (%d lookups, %d rpcs, %d refreshes)\n"
+    (Obs.Span.finished spans) n_lookup n_rpc n_refresh;
+  Printf.printf "  health: %d scrapes -> %d ok / %d degraded / %d violated\n"
+    (ok + degraded + violated) ok degraded violated;
+  let series_rows =
+    Obs.Series.all (Obs.Health.store health)
+    |> List.filter (fun s ->
+           match Obs.Series.name s with
+           | "eval.flow.sent" | "eval.flow.received" | "chord.lookup_ms.p99" ->
+               true
+           | _ -> false)
+    |> List.map (Obs.Sink.series_to_json ~tail:16)
+  in
+  [
+    ( "spans",
+      Json.Obj
+        [
+          ("finished", Json.Int (Obs.Span.finished spans));
+          ("chord_lookup", lookup_json);
+          ("chord_rpc", rpc_json);
+          ("trigger_refresh", refresh_json);
+        ] );
+    ( "health",
+      Json.Obj
+        [
+          ("scrapes", Json.Int (ok + degraded + violated));
+          ("ok_scrapes", Json.Int ok);
+          ("degraded_scrapes", Json.Int degraded);
+          ("violated_scrapes", Json.Int violated);
+          ( "last_evaluations",
+            Json.List
+              (List.map Obs.Sink.evaluation_to_json (Obs.Health.last health))
+          );
+          ("series", Json.List series_rows);
+        ] );
+  ]
+
 let section_observability () =
   print_endline "=== observability: traced deployment run ===";
   print_endline
@@ -367,16 +462,7 @@ let section_observability () =
     (q 0.5) (q 0.9) (q 0.99);
   Printf.printf "  trigger table: %.3g inserts/s, %.3g matches/s\n" insert_rate
     match_rate;
-  let json =
-    Json.Obj
-      [
-        ("schema", Json.String "i3-bench/1");
-        ( "mode",
-          Json.String
-            (if smoke then "smoke"
-             else if paper_scale then "paper"
-             else "reduced") );
-        ("generated_at_unix", Json.Float (Unix.gettimeofday ()));
+  [
         ( "run",
           Json.Obj
             [
@@ -426,6 +512,20 @@ let section_observability () =
               ("events_recorded", Json.Int (Obs.Trace.recorded tracer));
             ] );
       ]
+
+let write_bench_json fields =
+  let json =
+    Json.Obj
+      ([
+         ("schema", Json.String "i3-bench/2");
+         ( "mode",
+           Json.String
+             (if smoke then "smoke"
+              else if paper_scale then "paper"
+              else "reduced") );
+         ("generated_at_unix", Json.Float (Unix.gettimeofday ()));
+       ]
+      @ fields)
   in
   Json.to_file ~path:bench_out json;
   Printf.printf "  wrote %s\n\n" bench_out
@@ -434,13 +534,20 @@ let () =
   Printf.printf "i3 reproduction benchmarks (%s%s scale)\n\n"
     (if smoke then "smoke, " else "")
     (if paper_scale then "paper" else "reduced");
-  if smoke then section_observability ()
-  else (
+  if smoke then begin
+    let obs = section_observability () in
+    let ctl = section_control_plane () in
+    write_bench_json (obs @ ctl)
+  end
+  else begin
     section_micro ();
     section_fig12 ();
     section_ablations ();
     section_scalability ();
-    section_observability ();
+    let obs = section_observability () in
+    let ctl = section_control_plane () in
+    write_bench_json (obs @ ctl);
     section_fig8 ();
-    section_fig9 ());
+    section_fig9 ()
+  end;
   print_endline "done."

@@ -237,6 +237,154 @@ let micro_cmd =
   Cmd.v (Cmd.info "micro" ~doc)
     Term.(const (fun seed csv -> run_micro seed csv) $ seed_arg $ csv_arg)
 
+(* --- health --- *)
+
+let print_row widths cells =
+  List.iteri
+    (fun i c -> Printf.printf "%s%-*s" (if i = 0 then "" else "  ") (List.nth widths i) c)
+    cells;
+  print_newline ()
+
+let run_health seed servers period horizon fault fault_at heal_at dump_path =
+  let metrics = Obs.Metrics.create () in
+  let spans = Obs.Span.create () in
+  let tracer = Obs.Trace.create () in
+  let d = I3.Dynamic.create ~seed ~metrics ~tracer ~spans () in
+  for i = 0 to servers - 1 do
+    ignore (I3.Dynamic.add_server d ~site:i ())
+  done;
+  (match
+     Eval.Recovery.converges_within ~budget:120_000. (Rng.of_int (seed + 1)) d
+   with
+  | Some ms ->
+      progress (Printf.sprintf "ring converged %.0f ms after last join" ms)
+  | None -> progress "warning: ring did not converge within 120 s");
+  (* Sped-up soft state so recovery fits in a short demo horizon. *)
+  let host_config =
+    {
+      I3.Host.refresh_period = 2_000.;
+      cache_ttl = 4_000.;
+      ack_grace = 5_000.;
+    }
+  in
+  let recv = I3.Dynamic.new_host d ~site:0 ~config:host_config () in
+  let send = I3.Dynamic.new_host d ~site:1 ~config:host_config () in
+  let id = I3.Host.new_private_id recv in
+  I3.Host.insert_trigger recv id;
+  I3.Dynamic.run_for d 1_000.;
+  let flow = Eval.Recovery.start_flow d ~sender:send ~receiver:recv id in
+  let rules =
+    Eval.Monitor.default_rules
+      ~flow_labels:(Eval.Recovery.flow_labels flow)
+      ~ring_label:(I3.Dynamic.ring_label d) ()
+  in
+  let monitor = Eval.Monitor.create ~period ~rules d in
+  let fault_abs = I3.Dynamic.now d +. fault_at in
+  (match fault with
+  | `None -> ()
+  | `Blackhole ->
+      progress "fault: total blackhole (loss=1.0) on both planes";
+      I3.Dynamic.inject d
+        [ (fault_at, Faults.Loss 1.0); (heal_at, Faults.Loss 0.0) ]
+  | `Partition ->
+      progress "fault: partition site 0 away; heal later";
+      I3.Dynamic.inject d
+        [ (fault_at, Faults.Partition [ 0 ]); (heal_at, Faults.Heal) ]
+  | `Kill ->
+      progress "fault: crash server 0, restart later";
+      I3.Dynamic.inject d
+        [ (fault_at, Faults.Crash 0); (heal_at, Faults.Restart 0) ]);
+  let header = Eval.Monitor.live_header monitor in
+  let widths = List.map (fun h -> max 14 (String.length h)) header in
+  print_row widths header;
+  print_row widths (List.map (fun w -> String.make w '-') widths);
+  let stop_at = I3.Dynamic.now d +. horizon in
+  let rec live () =
+    if I3.Dynamic.now d < stop_at then begin
+      I3.Dynamic.run_for d period;
+      print_row widths (Eval.Monitor.live_row monitor);
+      live ()
+    end
+  in
+  live ();
+  Eval.Recovery.stop_flow flow;
+  Eval.Monitor.stop monitor;
+  print_newline ();
+  if fault <> `None then begin
+    (match Eval.Monitor.time_to_detect monitor ~fault_at:fault_abs with
+    | Some t -> Printf.printf "monitor time-to-detect:  %.0f ms after the fault\n" t
+    | None -> print_endline "monitor never detected the fault");
+    (match Eval.Monitor.time_to_recover monitor ~fault_at:fault_abs with
+    | Some t -> Printf.printf "monitor time-to-recover: %.0f ms after the fault\n" t
+    | None -> print_endline "monitor never saw recovery");
+    match Eval.Recovery.time_to_recovery flow ~after:fault_abs with
+    | Some t ->
+        Printf.printf "ground-truth first delivery after fault: %.0f ms\n" t
+    | None -> print_endline "ground truth: flow never recovered"
+  end;
+  let dumps = Eval.Monitor.dumps monitor in
+  Printf.printf "flight-recorder dumps captured: %d\n" (List.length dumps);
+  Option.iter
+    (fun path ->
+      Json.to_file ~path (Json.List (List.map snd dumps));
+      progress (Printf.sprintf "wrote %s" path))
+    dump_path
+
+let health_cmd =
+  let servers =
+    Arg.(value & opt int 10 & info [ "servers" ] ~docv:"N" ~doc:"Ring size.")
+  in
+  let period =
+    Arg.(
+      value & opt float 500.
+      & info [ "period" ] ~docv:"MS" ~doc:"Scrape period (virtual ms).")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 40_000.
+      & info [ "horizon" ] ~docv:"MS" ~doc:"Virtual ms to run after setup.")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", `None);
+               ("blackhole", `Blackhole);
+               ("partition", `Partition);
+               ("kill", `Kill);
+             ])
+          `Blackhole
+      & info [ "fault" ] ~docv:"KIND"
+          ~doc:"Fault to inject: none, blackhole, partition or kill.")
+  in
+  let fault_at =
+    Arg.(
+      value & opt float 10_000.
+      & info [ "fault-at" ] ~docv:"MS" ~doc:"Fault offset from setup end.")
+  in
+  let heal_at =
+    Arg.(
+      value & opt float 22_000.
+      & info [ "heal-at" ] ~docv:"MS" ~doc:"Heal/restart offset from setup end.")
+  in
+  let dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"PATH"
+          ~doc:"Write captured flight-recorder dumps as a JSON array.")
+  in
+  let doc =
+    "Run the health monitor live over a chaos scenario: one probe flow, \
+     SLO verdicts per scrape, flight-recorder dumps on violation."
+  in
+  Cmd.v (Cmd.info "health" ~doc)
+    Term.(
+      const run_health $ seed_arg $ servers $ period $ horizon $ fault
+      $ fault_at $ heal_at $ dump)
+
 (* --- scale --- *)
 
 let run_scale hosts triggers servers refresh =
@@ -264,4 +412,7 @@ let scale_cmd =
 
 let () =
   let doc = "Experiment driver for the i3 reproduction." in
-  exit (Cmd.eval (Cmd.group (Cmd.info "i3_sim" ~doc) [ fig8_cmd; fig9_cmd; micro_cmd; scale_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "i3_sim" ~doc)
+          [ fig8_cmd; fig9_cmd; micro_cmd; scale_cmd; health_cmd ]))

@@ -37,9 +37,12 @@ type pending =
       mutable hops : int;
       mutable asking : peer;
       callback : peer option -> unit;
+      started : float;
+      span : Obs.Span.open_span;  (* root: the whole iterative lookup *)
+      mutable rpc : Obs.Span.open_span;  (* child: the in-flight step *)
     }
-  | Pstabilize of { asking : peer }
-  | Pprobe of { buried : peer }
+  | Pstabilize of { asking : peer; span : Obs.Span.open_span }
+  | Pprobe of { buried : peer; span : Obs.Span.open_span }
 
 type node = {
   network : network;
@@ -51,6 +54,7 @@ type node = {
   mutable alive : bool;
   mutable next_fix : int;
   mutable pred_heard : float;
+  mutable last_succ : int;  (* successor addr at last stabilize; -1 = none *)
   pending : (int, pending) Hashtbl.t;
   suspicion : (int, int) Hashtbl.t; (* peer addr -> consecutive timeouts *)
   graveyard : (int, peer) Hashtbl.t;
@@ -74,17 +78,20 @@ and network = {
   mutable nodes : node list;
   mutable tokens : int;
   label : string;
+  spans : Obs.Span.t;
   c_lookups : Obs.Metrics.counter;
   c_failures : Obs.Metrics.counter;
   c_timeouts : Obs.Metrics.counter;
   c_probes : Obs.Metrics.counter;
+  c_ring_changes : Obs.Metrics.counter;
   h_hops : Obs.Metrics.histogram;
+  h_lookup_ms : Obs.Metrics.histogram;
 }
 
 let instances = ref 0
 
-let create ?(metrics = Obs.Metrics.default) engine ~rng ~latency
-    ?(config = default_config) () =
+let create ?(metrics = Obs.Metrics.default) ?(spans = Obs.Span.disabled) engine
+    ~rng ~latency ?(config = default_config) () =
   incr instances;
   let label = "ring" ^ string_of_int !instances in
   let labels = [ ("instance", label) ] in
@@ -97,17 +104,23 @@ let create ?(metrics = Obs.Metrics.default) engine ~rng ~latency
     nodes = [];
     tokens = 0;
     label;
+    spans;
     c_lookups = counter "chord.lookups";
     c_failures = counter "chord.lookup_failures";
     c_timeouts = counter "chord.rpc_timeouts";
     c_probes = counter "chord.probes_sent";
+    c_ring_changes = counter "chord.ring_changes";
     h_hops =
       Obs.Metrics.histogram metrics ~labels "chord.lookup_hops"
         ~buckets:(Obs.Metrics.linear_buckets ~start:0. ~width:1. ~count:33);
+    h_lookup_ms =
+      Obs.Metrics.histogram metrics ~labels "chord.lookup_ms"
+        ~buckets:(Obs.Metrics.exponential_buckets ~start:1. ~factor:2. ~count:14);
   }
 
 let engine nw = nw.engine
 let instance_label nw = nw.label
+let spans nw = nw.spans
 let set_loss_rate nw p = Net.set_loss_rate nw.net p
 let fault_driver nw = Faults.net_driver nw.net
 let net_stats nw = Net.stats nw.net
@@ -190,9 +203,17 @@ let finish_lookup n token result =
   match Hashtbl.find_opt n.pending token with
   | Some (Plookup l) ->
       Hashtbl.remove n.pending token;
+      let nw = n.network in
+      let now = Engine.now nw.engine in
       (match result with
-      | Some _ -> Obs.Metrics.observe n.network.h_hops (float_of_int l.hops)
-      | None -> Obs.Metrics.incr n.network.c_failures);
+      | Some _ ->
+          Obs.Metrics.observe nw.h_hops (float_of_int l.hops);
+          Obs.Metrics.observe nw.h_lookup_ms (now -. l.started);
+          Obs.Span.finish nw.spans ~time:now l.span
+      | None ->
+          Obs.Metrics.incr nw.c_failures;
+          Obs.Span.finish nw.spans ~status:(Obs.Span.Error "exhausted")
+            ~time:now l.span);
       l.callback result
   | _ -> ()
 
@@ -203,6 +224,13 @@ let rec lookup_ask n token =
         finish_lookup n token None
       else begin
         let asked = l.asking in
+        let now = Engine.now n.network.engine in
+        let rpc =
+          Obs.Span.start n.network.spans ~parent:l.span ~time:now "chord.rpc"
+        in
+        Obs.Span.annotate rpc ~time:now
+          (Printf.sprintf "ask addr=%d hop=%d" asked.addr l.hops);
+        l.rpc <- rpc;
         send n asked.addr (Lookup_step { key = l.key; token; reply_to = n.addr });
         Engine.schedule n.network.engine ~delay:n.network.cfg.rpc_timeout
           (fun () -> lookup_timeout n token asked)
@@ -215,6 +243,9 @@ and lookup_timeout n token asked =
       (* Peer did not answer: raise suspicion and retry — possibly the same
          peer, since the silence may just be loss. *)
       Obs.Metrics.incr n.network.c_timeouts;
+      let now = Engine.now n.network.engine in
+      Obs.Span.annotate l.rpc ~time:now "timeout; retrying";
+      Obs.Span.finish n.network.spans ~status:Obs.Span.Timeout ~time:now l.rpc;
       suspect n asked.addr;
       l.hops <- l.hops + 1;
       (match local_candidate n l.key with
@@ -224,21 +255,29 @@ and lookup_timeout n token asked =
       | None -> finish_lookup n token None)
   | _ -> ()
 
-let lookup n key callback =
+let lookup ?trace n key callback =
   let nw = n.network in
   if not n.alive then
     Engine.schedule nw.engine ~delay:0. (fun () -> callback None)
   else begin
     Obs.Metrics.incr nw.c_lookups;
+    let now = Engine.now nw.engine in
+    let finish_immediate span =
+      Obs.Metrics.observe nw.h_hops 0.;
+      Obs.Metrics.observe nw.h_lookup_ms 0.;
+      Obs.Span.finish nw.spans ~time:now span
+    in
     match successor n with
     | None ->
         (* Alone on the ring: every key is ours. *)
-        Obs.Metrics.observe nw.h_hops 0.;
+        let span = Obs.Span.start nw.spans ?trace ~time:now "chord.lookup" in
+        finish_immediate span;
         Engine.schedule nw.engine ~delay:0. (fun () ->
             callback (Some (self_peer n)))
     | Some succ ->
         if Ring.between_oc ~low:n.id ~high:succ.id key then begin
-          Obs.Metrics.observe nw.h_hops 0.;
+          let span = Obs.Span.start nw.spans ?trace ~time:now "chord.lookup" in
+          finish_immediate span;
           Engine.schedule nw.engine ~delay:0. (fun () -> callback (Some succ))
         end
         else begin
@@ -248,8 +287,18 @@ let lookup n key callback =
             | Some p -> p
             | None -> succ
           in
+          let span = Obs.Span.start nw.spans ?trace ~time:now "chord.lookup" in
           Hashtbl.replace n.pending token
-            (Plookup { key; hops = 0; asking; callback });
+            (Plookup
+               {
+                 key;
+                 hops = 0;
+                 asking;
+                 callback;
+                 started = now;
+                 span;
+                 rpc = Obs.Span.null;
+               });
           lookup_ask n token
         end
   end
@@ -274,6 +323,9 @@ let handle_lookup_reply n ~token ~result =
   (match result with Done p | Next p -> remember n p);
   match Hashtbl.find_opt n.pending token with
   | Some (Plookup l) -> (
+      Obs.Span.finish n.network.spans
+        ~time:(Engine.now n.network.engine)
+        l.rpc;
       match result with
       | Done p -> finish_lookup n token (Some p)
       | Next p ->
@@ -299,7 +351,10 @@ let handle_state n ~token ~(pred : peer option) ~(succs : peer list) =
   Option.iter (remember n) pred;
   List.iter (remember n) succs;
   match Hashtbl.find_opt n.pending token with
-  | Some (Pprobe { buried }) ->
+  | Some (Pprobe { buried; span }) ->
+      Obs.Span.finish n.network.spans
+        ~time:(Engine.now n.network.engine)
+        span;
       (* A buried peer answered: it recovered, or a partition healed.
          Re-integrate it exactly as a stabilize round would — adopt it as
          successor if it sits between us and our current successor, and
@@ -316,7 +371,7 @@ let handle_state n ~token ~(pred : peer option) ~(succs : peer list) =
           n.succs <- truncate_succs n.network.cfg (buried :: n.succs)
       | Some _ -> ());
       notify n buried.addr
-  | Some (Pstabilize { asking }) ->
+  | Some (Pstabilize { asking; span }) ->
       Hashtbl.remove n.pending token;
       (* Adopt a closer successor if our successor's predecessor is between
          us and it. *)
@@ -330,6 +385,10 @@ let handle_state n ~token ~(pred : peer option) ~(succs : peer list) =
       in
       let chain = List.filter (fun (p : peer) -> p.addr <> n.addr) succs in
       n.succs <- truncate_succs n.network.cfg (new_succ :: chain);
+      let now = Engine.now n.network.engine in
+      Obs.Span.annotate span ~time:now
+        (Printf.sprintf "notify addr=%d" new_succ.addr);
+      Obs.Span.finish n.network.spans ~time:now span;
       notify n new_succ.addr
   | _ -> ()
 
@@ -340,10 +399,21 @@ let handle_state n ~token ~(pred : peer option) ~(succs : peer list) =
 let probe_peer n (p : peer) =
   Obs.Metrics.incr n.network.c_probes;
   let token = fresh_token n.network in
-  Hashtbl.replace n.pending token (Pprobe { buried = p });
+  let span =
+    Obs.Span.start n.network.spans
+      ~time:(Engine.now n.network.engine)
+      "chord.probe"
+  in
+  Hashtbl.replace n.pending token (Pprobe { buried = p; span });
   send n p.addr (Get_state { token; reply_to = n.addr });
   Engine.schedule n.network.engine ~delay:n.network.cfg.rpc_timeout (fun () ->
-      Hashtbl.remove n.pending token)
+      match Hashtbl.find_opt n.pending token with
+      | Some (Pprobe { span; _ }) ->
+          Hashtbl.remove n.pending token;
+          Obs.Span.finish n.network.spans ~status:Obs.Span.Timeout
+            ~time:(Engine.now n.network.engine)
+            span
+      | _ -> ())
 
 let handle_notify n ~(who : peer) ~(chain : peer list) =
   if who.addr <> n.addr then begin
@@ -441,14 +511,37 @@ let rejoin_probe n =
           notify n p.addr
       | _ -> ()
     in
+    let now = Engine.now n.network.engine in
+    let span = Obs.Span.start n.network.spans ~time:now "chord.lookup" in
+    Obs.Span.annotate span ~time:now "rejoin probe";
     let token = fresh_token n.network in
     Hashtbl.replace n.pending token
-      (Plookup { key = n.id; hops = 0; asking = c; callback });
+      (Plookup
+         {
+           key = n.id;
+           hops = 0;
+           asking = c;
+           callback;
+           started = now;
+           span;
+           rpc = Obs.Span.null;
+         });
     lookup_ask n token
   end
 
 let stabilize n =
   if n.alive then begin
+    (* Sample successor-pointer churn once per round: a converged ring
+       holds every pointer steady, so the network-wide rate of
+       [chord.ring_changes] is an in-band convergence signal the health
+       monitor can watch without oracle access. *)
+    (let cur =
+       match successor n with Some (p : peer) -> p.addr | None -> -1
+     in
+     if cur <> n.last_succ then begin
+       Obs.Metrics.incr n.network.c_ring_changes;
+       n.last_succ <- cur
+     end);
     probe_graveyard n;
     if
       n.pred = None
@@ -472,14 +565,22 @@ let stabilize n =
         | None -> ())
     | Some succ ->
         let token = fresh_token n.network in
-        Hashtbl.replace n.pending token (Pstabilize { asking = succ });
+        let span =
+          Obs.Span.start n.network.spans ~time:now "chord.stabilize"
+        in
+        Obs.Span.annotate span ~time:now
+          (Printf.sprintf "get_state addr=%d" succ.addr);
+        Hashtbl.replace n.pending token (Pstabilize { asking = succ; span });
         send n succ.addr (Get_state { token; reply_to = n.addr });
         Engine.schedule n.network.engine ~delay:n.network.cfg.rpc_timeout
           (fun () ->
             match Hashtbl.find_opt n.pending token with
-            | Some (Pstabilize { asking }) ->
+            | Some (Pstabilize { asking; span }) ->
                 Hashtbl.remove n.pending token;
                 Obs.Metrics.incr n.network.c_timeouts;
+                Obs.Span.finish n.network.spans ~status:Obs.Span.Timeout
+                  ~time:(Engine.now n.network.engine)
+                  span;
                 suspect n asking.addr
             | _ -> ())
   end
@@ -525,6 +626,7 @@ let start_node nw ?id ~site () =
       alive = true;
       next_fix = 0;
       pred_heard = Engine.now nw.engine;
+      last_succ = -1;
       pending = Hashtbl.create 16;
       suspicion = Hashtbl.create 8;
       graveyard = Hashtbl.create 8;

@@ -37,6 +37,7 @@ type node
 
 val create :
   ?metrics:Obs.Metrics.t ->
+  ?spans:Obs.Span.t ->
   Engine.t ->
   rng:Rng.t ->
   latency:(int -> int -> float) ->
@@ -44,15 +45,26 @@ val create :
   unit ->
   network
 (** Protocol counters ([chord.lookups], [chord.lookup_failures],
-    [chord.rpc_timeouts], [chord.probes_sent] and the [chord.lookup_hops]
-    histogram) register in [metrics] (default {!Obs.Metrics.default})
-    under this ring's [instance] label; the underlying control-plane
-    {!Net} shares the same label. *)
+    [chord.rpc_timeouts], [chord.probes_sent], [chord.ring_changes] —
+    successor-pointer flips sampled each stabilize round, an in-band
+    convergence signal — and the [chord.lookup_hops] /
+    [chord.lookup_ms] histograms) register in [metrics] (default
+    {!Obs.Metrics.default}) under this ring's [instance] label; the
+    underlying control-plane {!Net} shares the same label.
+
+    Control-plane operations emit causal spans into [spans] (default
+    {!Obs.Span.disabled}): a [chord.lookup] root per lookup with one
+    [chord.rpc] child per iterative step (timeouts and retries
+    annotated), [chord.stabilize] per stabilize round-trip and
+    [chord.probe] per liveness probe. *)
 
 val engine : network -> Engine.t
 
 val instance_label : network -> string
 (** The [instance] label this ring's metrics carry (["ringN"]). *)
+
+val spans : network -> Obs.Span.t
+(** The span collector handed to {!create}. *)
 
 val set_loss_rate : network -> float -> unit
 (** Inject uniform message loss on the underlying network (robustness
@@ -96,9 +108,11 @@ val local_next_hop : node -> Id.t -> peer option
     [None] when the node believes it owns the key.  This is the primitive
     a decentralized i3 server forwards packets with ({!I3.Dynamic}). *)
 
-val lookup : node -> Id.t -> (peer option -> unit) -> unit
+val lookup : ?trace:Obs.Trace.id -> node -> Id.t -> (peer option -> unit) -> unit
 (** Iterative lookup originated at a node; the callback fires with the key's
-    successor, or [None] if the hop budget or retries are exhausted. *)
+    successor, or [None] if the hop budget or retries are exhausted.
+    [trace] links the lookup's span to the data-plane packet trace that
+    provoked it. *)
 
 val kill : node -> unit
 (** Fail-stop the node: it stops responding; others detect it via RPC

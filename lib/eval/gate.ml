@@ -1,0 +1,115 @@
+type direction = Higher_better | Lower_better | Exact
+
+type check = {
+  key : string;
+  direction : direction;
+  rel_tol : float;
+  abs_tol : float;
+}
+
+let check ?(rel_tol = 0.) ?(abs_tol = 0.) ~direction key =
+  if rel_tol < 0. || abs_tol < 0. then
+    invalid_arg "Gate.check: negative tolerance";
+  { key; direction; rel_tol; abs_tol }
+
+type result = {
+  check : check;
+  baseline : float option;
+  current : float option;
+  ok : bool;
+  note : string;
+}
+
+let value_at json key = Option.bind (Json.path json key) Json.to_float_opt
+
+let allowance c baseline = (Float.abs baseline *. c.rel_tol) +. c.abs_tol
+
+let within c ~baseline ~current =
+  let slack = allowance c baseline in
+  match c.direction with
+  | Lower_better -> current <= baseline +. slack
+  | Higher_better -> current >= baseline -. slack
+  | Exact -> Float.abs (current -. baseline) <= slack
+
+let direction_to_string = function
+  | Higher_better -> "higher-better"
+  | Lower_better -> "lower-better"
+  | Exact -> "exact"
+
+let judge c ~baseline ~current =
+  match (baseline, current) with
+  | None, None ->
+      (* Checked key absent everywhere: the check list is stale. *)
+      { check = c; baseline; current; ok = false; note = "key missing from both files" }
+  | Some _, None ->
+      { check = c; baseline; current; ok = false; note = "missing from current run" }
+  | None, Some _ ->
+      (* A metric the baseline predates can't regress; flag for re-baseline. *)
+      { check = c; baseline; current; ok = true; note = "new metric (re-baseline to track)" }
+  | Some b, Some v ->
+      if within c ~baseline:b ~current:v then
+        { check = c; baseline; current; ok = true; note = "ok" }
+      else
+        let note =
+          Printf.sprintf "REGRESSION: %s moved %+.4g (%.4g -> %.4g), tolerance %.4g (%s)"
+            c.key (v -. b) b v (allowance c b)
+            (direction_to_string c.direction)
+        in
+        { check = c; baseline; current; ok = false; note }
+
+let compare_json ~baseline ~current checks =
+  List.map
+    (fun c ->
+      judge c ~baseline:(value_at baseline c.key) ~current:(value_at current c.key))
+    checks
+
+let mode_mismatch ~baseline ~current =
+  let mode j =
+    match Json.path j "mode" with Some (Json.String s) -> s | _ -> "?"
+  in
+  let b = mode baseline and c = mode current in
+  if b = c then None else Some (b, c)
+
+let passed results = List.for_all (fun r -> r.ok) results
+
+let render ?(out = stdout) results =
+  let fmt_opt = function
+    | Some v -> Printf.sprintf "%.6g" v
+    | None -> "-"
+  in
+  let width =
+    List.fold_left (fun w r -> max w (String.length r.check.key)) 8 results
+  in
+  List.iter
+    (fun r ->
+      Printf.fprintf out "  %s %-*s baseline=%-12s current=%-12s %s\n"
+        (if r.ok then "ok  " else "FAIL")
+        width r.check.key (fmt_opt r.baseline) (fmt_opt r.current) r.note)
+    results;
+  let fails = List.length (List.filter (fun r -> not r.ok) results) in
+  if fails = 0 then
+    Printf.fprintf out "  gate: %d checks passed\n" (List.length results)
+  else
+    Printf.fprintf out "  gate: %d of %d checks FAILED\n" fails
+      (List.length results)
+
+(* Only metrics that are deterministic functions of the seeds and the
+   virtual clock are gated.  Wall-clock numbers (trigger-table rates,
+   Bechamel timings, generated_at) vary by machine and would make the
+   gate flaky. *)
+let default_checks =
+  [
+    check "delivery.ratio" ~direction:Higher_better ~rel_tol:0.05;
+    check "routing_hops.p50" ~direction:Lower_better ~rel_tol:0.25 ~abs_tol:0.5;
+    check "routing_hops.p90" ~direction:Lower_better ~rel_tol:0.25 ~abs_tol:0.5;
+    check "routing_hops.p99" ~direction:Lower_better ~rel_tol:0.25 ~abs_tol:1.;
+    check "delivery.orphans" ~direction:Exact;
+    check "spans.chord_lookup.p50_ms" ~direction:Lower_better ~rel_tol:0.3
+      ~abs_tol:2.;
+    check "spans.chord_lookup.p99_ms" ~direction:Lower_better ~rel_tol:0.3
+      ~abs_tol:5.;
+    check "spans.trigger_refresh.p99_ms" ~direction:Lower_better ~rel_tol:0.3
+      ~abs_tol:5.;
+    check "health.violated_scrapes" ~direction:Exact;
+    check "health.degraded_scrapes" ~direction:Lower_better ~abs_tol:2.;
+  ]

@@ -1,0 +1,53 @@
+(** Perf-regression gate: diff a fresh [BENCH_i3.json] against a
+    checked-in baseline with per-metric tolerances.
+
+    Each {!check} names a dotted JSON path (resolved with {!Json.path})
+    and a direction: [Lower_better] fails when the current value exceeds
+    [baseline * (1 + rel_tol) + abs_tol]-style slack, [Higher_better]
+    when it falls below it, [Exact] when it strays beyond the slack in
+    either direction.  Missing-from-current is a failure (the bench
+    silently lost a metric); missing-from-baseline passes with a
+    re-baseline nudge (a new metric cannot regress).
+
+    {!default_checks} gates only metrics that are deterministic given
+    the bench seeds and the virtual clock — never wall-clock rates,
+    which vary by machine. *)
+
+type direction = Higher_better | Lower_better | Exact
+
+type check = {
+  key : string;  (** dotted path into the bench JSON, e.g. ["delivery.ratio"] *)
+  direction : direction;
+  rel_tol : float;  (** fraction of |baseline| allowed as drift *)
+  abs_tol : float;  (** absolute drift allowed on top *)
+}
+
+val check :
+  ?rel_tol:float -> ?abs_tol:float -> direction:direction -> string -> check
+(** Tolerances default to 0 (exact match required).
+    @raise Invalid_argument on negative tolerances. *)
+
+type result = {
+  check : check;
+  baseline : float option;
+  current : float option;
+  ok : bool;
+  note : string;  (** human-readable verdict, e.g. ["REGRESSION: ..."] *)
+}
+
+val compare_json : baseline:Json.t -> current:Json.t -> check list -> result list
+
+val mode_mismatch : baseline:Json.t -> current:Json.t -> (string * string) option
+(** The two files' top-level ["mode"] fields when they differ — comparing
+    a smoke run against a full baseline is meaningless and should fail
+    before any per-metric check. *)
+
+val passed : result list -> bool
+
+val render : ?out:out_channel -> result list -> unit
+(** One line per check: ok/FAIL, key, both values, note; then a summary
+    line. *)
+
+val default_checks : check list
+(** Deterministic metrics only: delivery ratio, routing-hop percentiles,
+    orphan count, span-latency percentiles, health verdict counts. *)

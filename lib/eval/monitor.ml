@@ -1,0 +1,192 @@
+(* A health monitor attached to a running deployment: an Engine-driven
+   scraper feeding Obs.Health, with flight-recorder dumps on violation.
+   The monitor only ever reads the registry the deployment writes — it
+   has no side channel to ground truth, which is exactly what makes its
+   detect/recover times honest. *)
+
+type t = {
+  engine : Engine.t;
+  health : Obs.Health.t;
+  period : float;
+  spans : Obs.Span.t;
+  tracer : Obs.Trace.t;
+  max_dumps : int;
+  dump_spans_tail : int;
+  dump_events_tail : int;
+  mutable dumps : (float * Json.t) list; (* newest first *)
+  mutable user_hook : Obs.Health.evaluation list -> unit;
+  mutable timer : Engine.timer option;
+}
+
+let default_window_ms = 2_000.
+
+let delivery_rule ?(window_ms = default_window_ms) ~flow_labels () =
+  (* In-flight probes drag the windowed ratio below 1 even on a healthy
+     deployment (a packet sent at the window's edge lands after it), so
+     the Ok threshold leaves generous headroom. *)
+  {
+    Obs.Health.rule = "delivery";
+    signal =
+      Obs.Health.Ratio
+        {
+          num = "eval.flow.received";
+          num_labels = flow_labels;
+          den = "eval.flow.sent";
+          den_labels = flow_labels;
+          window_ms;
+        };
+    bound = Obs.Health.At_least { ok = 0.8; degraded = 0.45 };
+  }
+
+let rpc_timeout_rule ?(window_ms = default_window_ms) ~ring_label () =
+  (* A healthy converged ring times out essentially never, so even a low
+     rate is suspicious; sustained timeouts mean a dead or unreachable
+     member. *)
+  {
+    Obs.Health.rule = "rpc-timeouts";
+    signal =
+      Obs.Health.Rate
+        {
+          metric = "chord.rpc_timeouts";
+          labels = [ ("instance", ring_label) ];
+          window_ms;
+        };
+    bound = Obs.Health.At_most { ok = 0.5; degraded = 4. };
+  }
+
+let ring_stable_rule ?(window_ms = 8_000.) ~ring_label () =
+  {
+    Obs.Health.rule = "ring-stable";
+    signal =
+      Obs.Health.Latest
+        { metric = "chord.ring_changes"; labels = [ ("instance", ring_label) ] };
+    bound = Obs.Health.Stable_within { eps = 0.; window_ms };
+  }
+
+let lookup_p99_rule ?(ok = 200.) ?(degraded = 2_000.) ~ring_label () =
+  (* The lookup histogram is cumulative, so once p99 crosses a threshold
+     it stays there for the rest of the run: a sticky rule, useful as a
+     pass/fail SLO over a whole experiment, not for recovery tracking. *)
+  {
+    Obs.Health.rule = "lookup-p99";
+    signal =
+      Obs.Health.Latest
+        {
+          metric = "chord.lookup_ms.p99";
+          labels = [ ("instance", ring_label) ];
+        };
+    bound = Obs.Health.At_most { ok; degraded };
+  }
+
+let default_rules ?window_ms ~flow_labels ~ring_label () =
+  [
+    delivery_rule ?window_ms ~flow_labels ();
+    rpc_timeout_rule ?window_ms ~ring_label ();
+  ]
+
+let flight_dump t ~at evals =
+  let store = Obs.Health.store t.health in
+  let tail n l =
+    let len = List.length l in
+    if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+  in
+  let spans =
+    if Obs.Span.enabled t.spans then tail t.dump_spans_tail (Obs.Span.spans t.spans)
+    else []
+  in
+  let events =
+    if Obs.Trace.enabled t.tracer then
+      tail t.dump_events_tail (Obs.Trace.events t.tracer)
+    else []
+  in
+  Obs.Sink.flight_record ~at ~reason:"health verdict entered Violated"
+    ~metrics:(Obs.Metrics.snapshot (Obs.Health.registry t.health))
+    ~series:(Obs.Series.all store) ~series_tail:32 ~spans ~events
+    ~evaluations:evals ()
+
+let create ?(period = 500.) ?phase ?(series_capacity = 1024)
+    ?(history_capacity = 4096) ?(max_dumps = 4) ?(dump_spans_tail = 64)
+    ?(dump_events_tail = 256) ~rules d =
+  let engine = I3.Dynamic.engine d in
+  let health =
+    Obs.Health.create ~series_capacity ~history_capacity ~rules
+      (I3.Dynamic.metrics d)
+  in
+  let t =
+    {
+      engine;
+      health;
+      period;
+      spans = I3.Dynamic.spans d;
+      tracer = I3.Dynamic.tracer d;
+      max_dumps;
+      dump_spans_tail;
+      dump_events_tail;
+      dumps = [];
+      user_hook = ignore;
+      timer = None;
+    }
+  in
+  Obs.Health.on_violation health (fun evals ->
+      let at = Engine.now engine in
+      if List.length t.dumps < t.max_dumps then
+        t.dumps <- (at, flight_dump t ~at evals) :: t.dumps;
+      t.user_hook evals);
+  t.timer <-
+    Some
+      (Engine.scraper engine ?phase ~period (fun ~time ->
+           ignore (Obs.Health.scrape health ~time)));
+  t
+
+let health t = t.health
+let period t = t.period
+let scrape_now t = Obs.Health.scrape t.health ~time:(Engine.now t.engine)
+
+let stop t =
+  match t.timer with
+  | Some timer ->
+      Engine.cancel timer;
+      t.timer <- None
+  | None -> ()
+
+let on_violation t hook = t.user_hook <- hook
+let dumps t = List.rev t.dumps
+
+let time_to_detect t ~fault_at =
+  Obs.Health.first_breach_after t.health fault_at
+  |> Option.map (fun at -> at -. fault_at)
+
+let time_to_recover t ~fault_at =
+  Option.bind (Obs.Health.first_breach_after t.health fault_at) (fun breach ->
+      Obs.Health.first_ok_after t.health breach
+      |> Option.map (fun at -> at -. fault_at))
+
+(* --- live rendering --- *)
+
+let live_header t =
+  "t (ms)" :: "overall"
+  :: List.map
+       (fun (r : Obs.Health.rule) -> r.Obs.Health.rule)
+       (Obs.Health.rules t.health)
+
+let live_row t =
+  let evals = Obs.Health.last t.health in
+  let cell (rule : Obs.Health.rule) =
+    match
+      List.find_opt
+        (fun (e : Obs.Health.evaluation) -> e.Obs.Health.rule = rule.Obs.Health.rule)
+        evals
+    with
+    | None -> "-"
+    | Some e ->
+        let v =
+          match e.Obs.Health.value with
+          | Some v -> Printf.sprintf "%.3g" v
+          | None -> "-"
+        in
+        Printf.sprintf "%s %s" v
+          (Obs.Health.verdict_to_string e.Obs.Health.verdict)
+  in
+  Printf.sprintf "%.0f" (Engine.now t.engine)
+  :: Obs.Health.verdict_to_string (Obs.Health.overall evals)
+  :: List.map cell (Obs.Health.rules t.health)

@@ -44,6 +44,7 @@ let triggers_conserved d hosts =
 type flow = {
   engine : Engine.t;
   name : string;
+  labels : (string * string) list;
   started_at : float;
   mutable stopped_at : float option;
   c_sent : Obs.Metrics.counter;
@@ -73,6 +74,7 @@ let start_flow d ~sender ~receiver ?(period = 250.) ?name id =
     {
       engine;
       name;
+      labels;
       started_at = Engine.now engine;
       stopped_at = None;
       c_sent = Obs.Metrics.counter metrics ~labels "eval.flow.sent";
@@ -111,6 +113,8 @@ let stop_flow f =
   | None -> ());
   if f.stopped_at = None then f.stopped_at <- Some (Engine.now f.engine)
 
+let flow_name f = f.name
+let flow_labels f = f.labels
 let sent f = Obs.Metrics.counter_value f.c_sent
 let received f = Obs.Metrics.counter_value f.c_received
 
@@ -149,9 +153,12 @@ type metrics = {
   time_to_recovery_ms : float option;
   longest_outage_ms : float;
   converged : bool;
+  detect_ms : float option;
+  monitor_ttr_ms : float option;
 }
 
-let metrics ~scenario ?fault_at ~converged (f : flow) =
+let metrics ~scenario ?fault_at ?detect_ms ?monitor_ttr_ms ~converged (f : flow)
+    =
   {
     scenario;
     sent = sent f;
@@ -161,13 +168,17 @@ let metrics ~scenario ?fault_at ~converged (f : flow) =
       Option.bind fault_at (fun at -> time_to_recovery f ~after:at);
     longest_outage_ms = longest_outage f;
     converged;
+    detect_ms;
+    monitor_ttr_ms;
   }
 
 let header =
   [
     "scenario"; "sent"; "delivered"; "ratio"; "ttr (ms)"; "outage (ms)";
-    "converged";
+    "converged"; "ttd (ms)"; "mon ttr (ms)";
   ]
+
+let opt_ms = function Some t -> Printf.sprintf "%.0f" t | None -> "-"
 
 let row m =
   [
@@ -175,11 +186,11 @@ let row m =
     string_of_int m.sent;
     string_of_int m.delivered;
     Printf.sprintf "%.3f" m.delivery_ratio;
-    (match m.time_to_recovery_ms with
-    | Some t -> Printf.sprintf "%.0f" t
-    | None -> "-");
+    opt_ms m.time_to_recovery_ms;
     Printf.sprintf "%.0f" m.longest_outage_ms;
     (if m.converged then "yes" else "NO");
+    opt_ms m.detect_ms;
+    opt_ms m.monitor_ttr_ms;
   ]
 
 let rows ms = List.map row ms

@@ -61,6 +61,13 @@ val start_flow :
 
 val stop_flow : flow -> unit
 
+val flow_name : flow -> string
+
+val flow_labels : flow -> (string * string) list
+(** The labels the flow's [eval.flow.sent] / [eval.flow.received]
+    counters carry in the registry — what a {!Monitor} delivery rule
+    filters by. *)
+
 val sent : flow -> int
 val received : flow -> int
 (** Distinct probe packets received (duplicates from the fault layer and
@@ -88,11 +95,26 @@ type metrics = {
   time_to_recovery_ms : float option;
   longest_outage_ms : float;
   converged : bool;
+  detect_ms : float option;
+      (** the monitor's time-to-detect: fault instant to first
+          non-[Ok] health verdict (ground truth is instantaneous; the
+          monitor only sees the next scrape) *)
+  monitor_ttr_ms : float option;
+      (** the monitor's time-to-recover: fault instant to the first
+          [Ok] verdict after the first breach *)
 }
 
 val metrics :
-  scenario:string -> ?fault_at:float -> converged:bool -> flow -> metrics
-(** Snapshot a flow; [fault_at] anchors {!time_to_recovery}. *)
+  scenario:string ->
+  ?fault_at:float ->
+  ?detect_ms:float ->
+  ?monitor_ttr_ms:float ->
+  converged:bool ->
+  flow ->
+  metrics
+(** Snapshot a flow; [fault_at] anchors {!time_to_recovery}.
+    [detect_ms] / [monitor_ttr_ms] come from a {!Monitor} when one
+    watched the scenario. *)
 
 val header : string list
 (** Column names shared by {!rows}, {!report}, {!csv} and {!json}. *)

@@ -26,7 +26,7 @@ let table ~title ~header rows =
 
 let csv ~path ~header rows =
   let oc = open_out path in
-  let emit row = output_string oc (String.concat "," row ^ "\n") in
+  let emit row = output_string oc (Obs.Sink.csv_row row ^ "\n") in
   emit header;
   List.iter emit rows;
   close_out oc

@@ -18,6 +18,7 @@ type t = {
   server_config : Server.config option;
   metrics : Obs.Metrics.t;
   tracer : Obs.Trace.t;
+  spans : Obs.Span.t;
   state : ring_state;
   mutable ring : member array; (* current ring order *)
   mutable all_servers : Server.t array; (* creation order, incl. dead ones *)
@@ -54,7 +55,7 @@ let view_for state index =
 let create ?(seed = 1) ?model ?(uniform_latency_ms = 5.)
     ?(policy = Chord.Routing.Default) ?server_config
     ?(metrics = Obs.Metrics.default) ?(tracer = Obs.Trace.disabled)
-    ~n_servers () =
+    ?(spans = Obs.Span.disabled) ~n_servers () =
   if n_servers <= 0 then invalid_arg "Deployment.create: need servers";
   let rng = Rng.of_int seed in
   let engine = Engine.create () in
@@ -95,6 +96,7 @@ let create ?(seed = 1) ?model ?(uniform_latency_ms = 5.)
     server_config;
     metrics;
     tracer;
+    spans;
     state;
     ring;
     all_servers = Array.map (fun m -> m.server) ring;
@@ -192,7 +194,7 @@ let new_host t ?site ?config ?(n_gateways = 3) () =
     Array.to_list (Array.sub arr 0 (min n_gateways (Array.length arr)))
   in
   Host.create ~engine:t.engine ~net:t.net ~rng:(Rng.split t.rng) ~site
-    ~gateways ?config ~tracer:t.tracer ()
+    ~gateways ?config ~tracer:t.tracer ~spans:t.spans ()
 
 let total_triggers t =
   Array.fold_left

@@ -17,6 +17,7 @@ val create :
   ?server_config:Server.config ->
   ?metrics:Obs.Metrics.t ->
   ?tracer:Obs.Trace.t ->
+  ?spans:Obs.Span.t ->
   n_servers:int ->
   unit ->
   t
@@ -26,7 +27,9 @@ val create :
     (default 5 ms) — convenient for functional tests.  All components
     register their counters in [metrics] (default {!Obs.Metrics.default});
     passing a live [tracer] turns on per-packet hop tracing across the
-    network, every server and every host created by {!new_host}. *)
+    network, every server and every host created by {!new_host}; a live
+    [spans] collector records each host's trigger insert/refresh
+    round-trip spans. *)
 
 val engine : t -> Engine.t
 val net : t -> Message.t Net.t

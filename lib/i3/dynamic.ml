@@ -15,6 +15,7 @@ type t = {
   server_config : Server.config option;
   metrics : Obs.Metrics.t;
   tracer : Obs.Trace.t;
+  spans : Obs.Span.t;
 }
 
 let fast_protocol_config =
@@ -28,12 +29,13 @@ let fast_protocol_config =
 
 let create ?(seed = 1) ?(uniform_latency_ms = 5.) ?server_config
     ?(protocol_config = fast_protocol_config)
-    ?(metrics = Obs.Metrics.default) ?(tracer = Obs.Trace.disabled) () =
+    ?(metrics = Obs.Metrics.default) ?(tracer = Obs.Trace.disabled)
+    ?(spans = Obs.Span.disabled) () =
   let rng = Rng.of_int seed in
   let engine = Engine.create () in
   let latency a b = if a = b then 0. else uniform_latency_ms in
   let control =
-    Chord.Protocol.create engine ~rng:(Rng.split rng) ~latency
+    Chord.Protocol.create ~metrics ~spans engine ~rng:(Rng.split rng) ~latency
       ~config:protocol_config ()
   in
   let data = Net.create ~metrics engine ~rng:(Rng.split rng) ~latency () in
@@ -48,11 +50,14 @@ let create ?(seed = 1) ?(uniform_latency_ms = 5.) ?server_config
     server_config;
     metrics;
     tracer;
+    spans;
   }
 
 let engine t = t.engine
 let tracer t = t.tracer
 let metrics t = t.metrics
+let spans t = t.spans
+let ring_label t = Chord.Protocol.instance_label t.control
 let run_for t d = Engine.run_for t.engine d
 let now t = Engine.now t.engine
 
@@ -144,7 +149,7 @@ let new_host t ?(site = 0) ?config ?(n_gateways = 3) () =
     Array.to_list (Array.sub live 0 (min n_gateways (Array.length live)))
   in
   Host.create ~engine:t.engine ~net:t.data ~rng:(Rng.split t.rng) ~site
-    ~gateways ?config ~tracer:t.tracer ()
+    ~gateways ?config ~tracer:t.tracer ~spans:t.spans ()
 
 let total_triggers t =
   List.fold_left

@@ -28,14 +28,17 @@ val create :
   ?protocol_config:Chord.Protocol.config ->
   ?metrics:Obs.Metrics.t ->
   ?tracer:Obs.Trace.t ->
+  ?spans:Obs.Span.t ->
   unit ->
   t
 (** An empty deployment. The default protocol config is sped up
     (2 s stabilization) so tests converge in little virtual time; pass
     [Chord.Protocol.default_config] for the paper's 30 s periods.
-    Counters register in [metrics] (default {!Obs.Metrics.default}); a
-    live [tracer] turns on per-packet tracing on the data plane, every
-    server and every host. *)
+    Counters — including the control ring's — register in [metrics]
+    (default {!Obs.Metrics.default}); a live [tracer] turns on
+    per-packet tracing on the data plane, every server and every host; a
+    live [spans] collector records control-plane span trees (Chord
+    lookups/RPCs/stabilization and host trigger round-trips). *)
 
 val engine : t -> Engine.t
 
@@ -43,6 +46,15 @@ val tracer : t -> Obs.Trace.t
 (** The collector passed at creation ({!Obs.Trace.disabled} otherwise). *)
 
 val metrics : t -> Obs.Metrics.t
+
+val spans : t -> Obs.Span.t
+(** The span collector passed at creation ({!Obs.Span.disabled}
+    otherwise). *)
+
+val ring_label : t -> string
+(** The [instance] label of the control ring's metrics (["ringN"]) —
+    what a health monitor filters [chord.*] series by. *)
+
 val run_for : t -> float -> unit
 val now : t -> float
 

@@ -11,6 +11,9 @@ type binding = {
   mutable trigger : Trigger.t;
   mutable token : string option;  (* challenge response, once earned *)
   mutable last_ack : float;
+  mutable span : Obs.Span.open_span;
+      (* the in-flight insert/refresh round-trip; closed Ok by Insert_ack,
+         or Timeout by the next refresh round if the ack never came *)
 }
 
 type cache_entry = { server : Packet.addr; mutable expires : float }
@@ -29,6 +32,12 @@ type t = {
   mutable receive : stack:Packet.stack -> payload:string -> unit;
   mutable refresher : Engine.timer option;
   tracer : Obs.Trace.t;
+  spans : Obs.Span.t;
+  first_packet : (string, Obs.Span.open_span) Hashtbl.t;
+      (* prefix -> span covering "first packet to an uncached prefix":
+         opened on the gateway detour, closed when the responsible
+         server's address lands in the cache.  Links the control-plane
+         work to the provoking packet's data-plane trace id. *)
 }
 
 let now t = Engine.now t.engine
@@ -73,9 +82,25 @@ let refresh_now t =
   let time = now t in
   List.iter
     (fun b ->
-      if time -. b.last_ack > t.cfg.ack_grace then rotate_gateway t b;
+      (* Close out an unacknowledged previous round-trip before opening
+         the next one (no-op if the ack already closed it). *)
+      Obs.Span.finish t.spans ~status:Obs.Span.Timeout ~time b.span;
+      let rotated = time -. b.last_ack > t.cfg.ack_grace in
+      if rotated then rotate_gateway t b;
+      b.span <- Obs.Span.start t.spans ~time "i3.trigger_refresh";
+      if rotated then
+        Obs.Span.annotate b.span ~time
+          (Printf.sprintf "ack overdue; rotate to gateway addr=%d" (gateway t));
       insert_binding t b)
     t.bindings
+
+let close_first_packet t prefix =
+  let k = prefix_key prefix in
+  match Hashtbl.find_opt t.first_packet k with
+  | Some sp ->
+      Hashtbl.remove t.first_packet k;
+      Obs.Span.finish t.spans ~time:(now t) sp
+  | None -> ()
 
 let handle t ~src:_ (msg : Message.t) =
   match msg with
@@ -96,6 +121,7 @@ let handle t ~src:_ (msg : Message.t) =
       with
       | Some b ->
           b.token <- Some token;
+          Obs.Span.annotate b.span ~time:(now t) "challenged; re-insert";
           insert_binding t b
       | None -> ())
   | Message.Insert_ack { trigger; server } -> (
@@ -105,20 +131,23 @@ let handle t ~src:_ (msg : Message.t) =
       with
       | Some b ->
           b.last_ack <- now t;
+          Obs.Span.finish t.spans ~time:(now t) b.span;
           Hashtbl.replace t.cache
             (prefix_key trigger.Trigger.id)
-            { server; expires = now t +. t.cfg.cache_ttl }
+            { server; expires = now t +. t.cfg.cache_ttl };
+          close_first_packet t trigger.Trigger.id
       | None -> ())
   | Message.Cache_info { prefix; server } ->
       Hashtbl.replace t.cache (prefix_key prefix)
-        { server; expires = now t +. t.cfg.cache_ttl }
+        { server; expires = now t +. t.cfg.cache_ttl };
+      close_first_packet t prefix
   | Message.Data _ | Message.Insert _ | Message.Remove _
   | Message.Cache_push _ | Message.Pushback _ | Message.Replica _ ->
       (* Server-bound traffic; hosts ignore it. *)
       ()
 
 let create ~engine ~net ~rng ~site ~gateways ?(config = default_config)
-    ?(tracer = Obs.Trace.disabled) () =
+    ?(tracer = Obs.Trace.disabled) ?(spans = Obs.Span.disabled) () =
   if gateways = [] then invalid_arg "Host.create: need at least one gateway";
   let t =
     {
@@ -135,6 +164,8 @@ let create ~engine ~net ~rng ~site ~gateways ?(config = default_config)
       receive = (fun ~stack:_ ~payload:_ -> ());
       refresher = None;
       tracer;
+      spans;
+      first_packet = Hashtbl.create 8;
     }
   in
   t.addr <- Net.register net ~site (fun ~src msg -> handle t ~src msg);
@@ -149,8 +180,11 @@ let create ~engine ~net ~rng ~site ~gateways ?(config = default_config)
 (* --- triggers --- *)
 
 let add_binding t trigger =
-  let b = { trigger; token = None; last_ack = now t } in
+  let b =
+    { trigger; token = None; last_ack = now t; span = Obs.Span.null }
+  in
   t.bindings <- b :: t.bindings;
+  b.span <- Obs.Span.start t.spans ~time:(now t) "i3.trigger_insert";
   insert_binding t b
 
 let insert_trigger t id = add_binding t (Trigger.to_host ~id ~owner:t.addr)
@@ -171,6 +205,8 @@ let remove_trigger t id =
   t.bindings <- rest;
   List.iter
     (fun b ->
+      Obs.Span.finish t.spans ~status:(Obs.Span.Error "removed") ~time:(now t)
+        b.span;
       let dst =
         match cached_server_for t id with Some s -> s | None -> gateway t
       in
@@ -203,6 +239,23 @@ let send_packet t (p : Packet.t) =
       match cached_server_for t head with
       | Some server -> send_msg t server (Message.Data p)
       | None ->
+          (if Obs.Span.enabled t.spans then begin
+             (* First packet toward an uncached prefix: span the gateway
+                detour until [Cache_info] resolves the prefix, linked to
+                this packet's data-plane trace. *)
+             let k = prefix_key head in
+             if not (Hashtbl.mem t.first_packet k) then begin
+               let time = now t in
+               let sp =
+                 Obs.Span.start t.spans ~trace:p.Packet.trace ~time
+                   "i3.first_packet"
+               in
+               Obs.Span.annotate sp ~time
+                 (Printf.sprintf "uncached prefix; via gateway addr=%d"
+                    (gateway t));
+               Hashtbl.add t.first_packet k sp
+             end
+           end);
           send_msg t (gateway t)
             (Message.Data { p with Packet.refresh = true }))
   | [] -> invalid_arg "Host.send: empty stack"
@@ -241,5 +294,9 @@ let move t ~new_site =
       b.trigger <-
         Trigger.make ~id:b.trigger.Trigger.id ~stack ~owner:new_addr;
       b.token <- None;
+      Obs.Span.finish t.spans ~status:(Obs.Span.Error "moved") ~time:(now t)
+        b.span;
+      b.span <- Obs.Span.start t.spans ~time:(now t) "i3.trigger_insert";
+      Obs.Span.annotate b.span ~time:(now t) "re-insert after move";
       insert_binding t b)
     t.bindings

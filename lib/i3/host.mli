@@ -30,12 +30,22 @@ val create :
   gateways:Packet.addr list ->
   ?config:config ->
   ?tracer:Obs.Trace.t ->
+  ?spans:Obs.Span.t ->
   unit ->
   t
 (** Attach a host at a topology site. @raise Invalid_argument with no
     gateways.  With a [tracer] (default {!Obs.Trace.disabled}) every sent
     packet gets a trace id (subject to the tracer's sampling) and every
-    delivery records the terminal [Deliver] event. *)
+    delivery records the terminal [Deliver] event.
+
+    With a [spans] collector (default {!Obs.Span.disabled}) the host
+    emits control-plane spans: one [i3.trigger_insert] /
+    [i3.trigger_refresh] per insert round-trip (closed by the server's
+    ack, or [Timeout] at the next refresh round; challenges and gateway
+    rotations annotated), and one [i3.first_packet] per gateway detour
+    toward an uncached prefix, linked to the provoking packet's
+    data-plane trace id and closed when the responsible server's address
+    lands in the sender cache. *)
 
 val addr : t -> Packet.addr
 val site : t -> int

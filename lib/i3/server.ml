@@ -59,9 +59,8 @@ type counters = {
 
 let instances = ref 0
 
-let make_counters metrics =
-  incr instances;
-  let inst = ("instance", "srv" ^ string_of_int !instances) in
+let make_counters metrics inst =
+  let inst = ("instance", inst) in
   let counter ?(labels = []) name =
     Obs.Metrics.counter metrics ~labels:(inst :: labels) name
   in
@@ -106,7 +105,9 @@ type t = {
   (* hot-spot accounting: identifier -> (window start, matches in window) *)
   heat : (Id.t, float * int) Hashtbl.t;
   secret : string;
-  c : counters;
+  metrics : Obs.Metrics.t;
+  instance : string;  (* this server's [instance] label value *)
+  mutable c : counters;
   tracer : Obs.Trace.t;
   mutable alive : bool;
   mutable sweeper : Engine.timer option;
@@ -114,6 +115,7 @@ type t = {
 
 let addr t = t.addr
 let id t = t.id
+let instance_label t = t.instance
 let config t = t.cfg
 let triggers t = t.table
 let cached_triggers t = t.cache
@@ -379,6 +381,8 @@ let handle_message = handle
 
 let create ~engine ~net ~view ~site ~id ?(config = default_config)
     ?(metrics = Obs.Metrics.default) ?(tracer = Obs.Trace.disabled) () =
+  incr instances;
+  let instance = "srv" ^ string_of_int !instances in
   let t =
     {
       engine;
@@ -393,7 +397,9 @@ let create ~engine ~net ~view ~site ~id ?(config = default_config)
       replicas = Trigger_table.create ();
       heat = Hashtbl.create 64;
       secret = Sha256.digest ("i3-server-secret:" ^ Id.to_raw_string id);
-      c = make_counters metrics;
+      metrics;
+      instance;
+      c = make_counters metrics instance;
       tracer;
       alive = true;
       sweeper = None;
@@ -408,6 +414,12 @@ let set_view t view = t.view <- view
 let kill t =
   t.alive <- false;
   Net.set_down t.net t.addr;
+  (* A dead process exports nothing: deregister this instance's samples
+     so snapshots and the health monitor don't read ghost values frozen
+     at their pre-crash counts.  The handles in [t.c] stay harmlessly
+     writable until [restart] replaces them. *)
+  Obs.Metrics.remove_where t.metrics (fun ~name:_ ~labels ->
+      List.mem ("instance", t.instance) labels);
   match t.sweeper with
   | Some timer ->
       Engine.cancel timer;
@@ -419,7 +431,9 @@ let restart t =
   t.alive <- true;
   Net.set_up t.net t.addr;
   (* Fail-stop recovery: stored soft state died with the process; hosts
-     re-populate it on their next refresh (Sec. IV-C). *)
+     re-populate it on their next refresh (Sec. IV-C).  Counters restart
+     from zero with the process (kill deregistered the old samples). *)
+  t.c <- make_counters t.metrics t.instance;
   Trigger_table.clear t.table;
   Trigger_table.clear t.cache;
   Trigger_table.clear t.replicas;

@@ -95,6 +95,10 @@ val set_view : t -> ring_view -> unit
 
 val addr : t -> Packet.addr
 val id : t -> Id.t
+
+val instance_label : t -> string
+(** The [instance] label value this server's metrics carry (["srvN"]). *)
+
 val config : t -> config
 val stats : t -> stats
 val triggers : t -> Trigger_table.t
@@ -110,12 +114,15 @@ val is_responsible : t -> Id.t -> bool
 
 val kill : t -> unit
 (** Fail-stop: stop answering; stored triggers die with the server (hosts
-    re-insert them on refresh — Sec. IV-C). *)
+    re-insert them on refresh — Sec. IV-C).  The server's per-instance
+    metrics are removed from the registry so snapshots don't read ghost
+    values from a dead process. *)
 
 val restart : t -> unit
 (** Recover a killed server at the same address with empty trigger
     tables (fail-stop semantics: soft state did not survive); hosts
-    re-populate them on their next refresh.  @raise Invalid_argument if
+    re-populate them on their next refresh.  Counters re-register from
+    zero, matching the fail-stop story.  @raise Invalid_argument if
     the server is alive. *)
 
 val is_alive : t -> bool

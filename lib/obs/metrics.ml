@@ -211,6 +211,17 @@ let snapshot ?prefix reg =
 let find reg ?(labels = []) name =
   Option.map read (Hashtbl.find_opt reg.tbl (key name labels))
 
+let remove reg ?(labels = []) name = Hashtbl.remove reg.tbl (key name labels)
+
+let remove_where reg pred =
+  let doomed =
+    Hashtbl.fold
+      (fun k _ acc ->
+        if pred ~name:k.k_name ~labels:k.k_labels then k :: acc else acc)
+      reg.tbl []
+  in
+  List.iter (Hashtbl.remove reg.tbl) doomed
+
 let reset reg =
   Hashtbl.iter
     (fun _ m ->

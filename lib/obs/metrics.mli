@@ -100,6 +100,17 @@ val find :
 val reset : t -> unit
 (** Zero every registered metric (handles stay valid).  For tests. *)
 
+val remove : t -> ?labels:(string * string) list -> string -> unit
+(** Drop one metric from the registry.  Outstanding handles keep working
+    (they are plain records) but the sample no longer appears in
+    {!snapshot} — and a later re-registration under the same key starts
+    from zero.  Used by component teardown so a dead instance's gauges
+    don't linger as ghosts. *)
+
+val remove_where : t -> (name:string -> labels:(string * string) list -> bool) -> unit
+(** Drop every metric matching the predicate, e.g. all samples carrying a
+    given ["instance"] label when that instance is killed. *)
+
 val value_to_string : value -> string
 (** Short human rendering: ["42"], ["3.14"],
     ["n=100 p50=4 p90=7 p99=9"]. *)

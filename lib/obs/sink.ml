@@ -35,10 +35,14 @@ let metrics_table ?(out = stdout) samples =
   in
   print_aligned out rows
 
+(* RFC 4180: quote any cell containing a comma, quote, CR or LF; double
+   embedded quotes. *)
 let csv_cell s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
+
+let csv_row cells = String.concat "," (List.map csv_cell cells)
 
 let metrics_csv ?(out = stdout) samples =
   output_string out "name,labels,kind,value,count,sum,p50,p90,p99,max\n";
@@ -136,3 +140,113 @@ let trace_table ?(out = stdout) events =
 
 let trace_json_lines ~path events =
   Json.lines_to_file ~path (List.map event_to_json events)
+
+let trace_summaries_csv ?(out = stdout) summaries =
+  output_string out
+    "trace,sends,hops,relays,delivers,drops,drop_causes,first_ms,last_ms\n";
+  List.iter
+    (fun (s : Trace.summary) ->
+      output_string out
+        (csv_row
+           [
+             string_of_int s.Trace.s_trace;
+             string_of_int s.Trace.sends;
+             string_of_int s.Trace.hops;
+             string_of_int s.Trace.relays;
+             string_of_int s.Trace.delivers;
+             string_of_int s.Trace.drops;
+             String.concat "," s.Trace.drop_causes;
+             Printf.sprintf "%.3f" s.Trace.first_time;
+             Printf.sprintf "%.3f" s.Trace.last_time;
+           ]);
+      output_char out '\n')
+    summaries
+
+(* Spans *)
+
+let span_to_json (s : Span.span) =
+  let open Json in
+  Obj
+    [
+      ("span", Int s.Span.span);
+      ("parent", Int s.Span.parent);
+      ("trace", Int s.Span.trace);
+      ("op", String s.Span.op);
+      ("start_ms", Float s.Span.start_time);
+      ("end_ms", Float s.Span.end_time);
+      ("duration_ms", Float (s.Span.end_time -. s.Span.start_time));
+      ("status", String (Span.status_to_string s.Span.status));
+      ( "annotations",
+        List
+          (List.map
+             (fun (at, note) ->
+               Obj [ ("at_ms", Float at); ("note", String note) ])
+             s.Span.annotations) );
+    ]
+
+let span_table ?(out = stdout) spans =
+  let rows =
+    [ "span"; "parent"; "trace"; "op"; "start_ms"; "dur_ms"; "status"; "notes" ]
+    :: List.map
+         (fun (s : Span.span) ->
+           [
+             string_of_int s.Span.span;
+             string_of_int s.Span.parent;
+             string_of_int s.Span.trace;
+             s.Span.op;
+             Printf.sprintf "%.3f" s.Span.start_time;
+             Printf.sprintf "%.3f" (s.Span.end_time -. s.Span.start_time);
+             Span.status_to_string s.Span.status;
+             String.concat "; " (List.map snd s.Span.annotations);
+           ])
+         spans
+  in
+  print_aligned out rows
+
+(* Series and health *)
+
+let series_to_json ?tail (s : Series.t) =
+  let pts = Series.points s in
+  let pts =
+    match tail with
+    | Some n when List.length pts > n ->
+        List.filteri (fun i _ -> i >= List.length pts - n) pts
+    | _ -> pts
+  in
+  let open Json in
+  Obj
+    [
+      ("name", String (Series.name s));
+      ("labels", json_labels (Series.labels s));
+      ( "points",
+        List
+          (List.map
+             (fun (p : Series.point) ->
+               List [ Float p.Series.at; json_float p.Series.value ])
+             pts) );
+    ]
+
+let evaluation_to_json (e : Health.evaluation) =
+  let open Json in
+  Obj
+    [
+      ("rule", String e.Health.rule);
+      ("at_ms", Float e.Health.at);
+      ( "value",
+        match e.Health.value with Some v -> json_float v | None -> Null );
+      ("verdict", String (Health.verdict_to_string e.Health.verdict));
+    ]
+
+let flight_record ~at ~reason ?(metrics = []) ?(series = []) ?(series_tail = 32)
+    ?(spans = []) ?(events = []) ?(evaluations = []) () =
+  let open Json in
+  Obj
+    [
+      ("at_ms", Float at);
+      ("reason", String reason);
+      ("evaluations", List (List.map evaluation_to_json evaluations));
+      ("metrics", List (List.map sample_to_json metrics));
+      ("series", List (List.map (series_to_json ~tail:series_tail) series));
+      ("spans", List (List.map span_to_json spans));
+      ("traces", List (List.map event_to_json events));
+    ]

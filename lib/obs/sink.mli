@@ -28,5 +28,49 @@ val trace_table : ?out:out_channel -> Trace.event list -> unit
 
 val trace_json_lines : path:string -> Trace.event list -> unit
 
+val trace_summaries_csv : ?out:out_channel -> Trace.summary list -> unit
+(** Header
+    [trace,sends,hops,relays,delivers,drops,drop_causes,first_ms,last_ms];
+    drop causes are comma-joined inside one RFC-4180-quoted cell. *)
+
+(** {1 Spans} *)
+
+val span_to_json : Span.span -> Json.t
+
+val span_table : ?out:out_channel -> Span.span list -> unit
+(** Aligned [span parent trace op start dur status notes] listing. *)
+
+(** {1 Series and health} *)
+
+val series_to_json : ?tail:int -> Series.t -> Json.t
+(** [{name; labels; points: [[at_ms, value]...]}], optionally only the
+    last [tail] points. *)
+
+val evaluation_to_json : Health.evaluation -> Json.t
+
+val flight_record :
+  at:float ->
+  reason:string ->
+  ?metrics:Metrics.sample list ->
+  ?series:Series.t list ->
+  ?series_tail:int ->
+  ?spans:Span.span list ->
+  ?events:Trace.event list ->
+  ?evaluations:Health.evaluation list ->
+  unit ->
+  Json.t
+(** Assemble a flight-recorder dump: what the monitor saw ([evaluations]),
+    the registry at the moment of violation ([metrics]), the recent past
+    ([series] tails, finished [spans], trace [events]). *)
+
+(** {1 CSV primitives} *)
+
+val csv_cell : string -> string
+(** RFC-4180 escaping: cells containing commas, quotes, CR or LF are
+    quoted with embedded quotes doubled; anything else passes through. *)
+
+val csv_row : string list -> string
+(** Comma-join of {!csv_cell}-escaped cells (no trailing newline). *)
+
 val labels_to_string : (string * string) list -> string
 (** ["k=v,k=v"]; [""] when empty. *)

@@ -1,0 +1,148 @@
+type id = int
+
+let none = 0
+
+type status = Ok | Timeout | Error of string
+
+type span = {
+  span : id;
+  parent : id;
+  trace : Trace.id;
+  op : string;
+  start_time : float;
+  end_time : float;
+  status : status;
+  annotations : (float * string) list;
+}
+
+type open_span = {
+  o_span : id;
+  o_parent : id;
+  o_trace : Trace.id;
+  o_op : string;
+  o_start : float;
+  mutable o_notes : (float * string) list;  (* newest first *)
+  mutable o_done : bool;
+}
+
+type t = {
+  ring : span array;  (* zero capacity <=> disabled *)
+  mutable write : int;  (* next slot, monotonically increasing *)
+  mutable next_id : int;
+}
+
+let dummy_span =
+  {
+    span = none;
+    parent = none;
+    trace = Trace.none;
+    op = "";
+    start_time = 0.;
+    end_time = 0.;
+    status = Ok;
+    annotations = [];
+  }
+
+let dead_handle =
+  {
+    o_span = none;
+    o_parent = none;
+    o_trace = Trace.none;
+    o_op = "";
+    o_start = 0.;
+    o_notes = [];
+    o_done = true;
+  }
+
+let null = dead_handle
+
+let disabled = { ring = [||]; write = 0; next_id = 1 }
+
+let create ?(capacity = 8192) () =
+  if capacity <= 0 then invalid_arg "Obs.Span.create: capacity must be > 0";
+  { ring = Array.make capacity dummy_span; write = 0; next_id = 1 }
+
+let enabled t = Array.length t.ring > 0
+
+let start t ?parent ?(trace = Trace.none) ~time op =
+  if not (enabled t) then dead_handle
+  else begin
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    let parent_id =
+      match parent with Some p -> p.o_span | None -> none
+    in
+    {
+      o_span = id;
+      o_parent = parent_id;
+      o_trace = trace;
+      o_op = op;
+      o_start = time;
+      o_notes = [];
+      o_done = false;
+    }
+  end
+
+let span_id sp = sp.o_span
+
+let annotate sp ~time note =
+  if sp.o_span <> none && not sp.o_done then
+    sp.o_notes <- (time, note) :: sp.o_notes
+
+let is_finished sp = sp.o_done
+
+let finish t ?(status = Ok) ~time sp =
+  if sp.o_span <> none && not sp.o_done then begin
+    sp.o_done <- true;
+    let n = Array.length t.ring in
+    if n > 0 then begin
+      t.ring.(t.write mod n) <-
+        {
+          span = sp.o_span;
+          parent = sp.o_parent;
+          trace = sp.o_trace;
+          op = sp.o_op;
+          start_time = sp.o_start;
+          end_time = time;
+          status;
+          annotations = List.rev sp.o_notes;
+        };
+      t.write <- t.write + 1
+    end
+  end
+
+let started t = t.next_id - 1
+let finished t = t.write
+
+let spans ?op t =
+  let n = Array.length t.ring in
+  if n = 0 then []
+  else begin
+    let live = min t.write n in
+    let first = t.write - live in
+    let out = ref [] in
+    for i = first + live - 1 downto first do
+      let s = t.ring.(i mod n) in
+      match op with
+      | Some o when s.op <> o -> ()
+      | _ -> out := s :: !out
+    done;
+    !out
+  end
+
+let durations_ms ?op t =
+  spans ?op t
+  |> List.map (fun s -> s.end_time -. s.start_time)
+  |> Array.of_list
+
+let status_to_string = function
+  | Ok -> "ok"
+  | Timeout -> "timeout"
+  | Error e -> "error:" ^ e
+
+let reset t =
+  if enabled t then begin
+    Array.fill t.ring 0 (Array.length t.ring) dummy_span;
+    t.write <- 0;
+    t.next_id <- 1
+  end

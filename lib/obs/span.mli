@@ -1,0 +1,88 @@
+(** Causal span trees for control-plane operations.
+
+    A span covers one logical operation — a Chord lookup, a single RPC
+    round-trip, a trigger refresh — with a start and end on the virtual
+    clock, a status, and free-form timestamped annotations.  Spans nest:
+    each carries its parent's id, so a lookup's per-hop RPCs hang off the
+    lookup root.  A span may also carry a data-plane {!Trace.id}, linking
+    the control-plane work back to the packet that provoked it.
+
+    Mirrors {!Trace}: finished spans land in a fixed ring buffer, handles
+    on the {!disabled} collector are free no-ops, so instrumentation can
+    stay unconditional at call sites. *)
+
+type id = int
+
+val none : id
+(** Null span id: the parent of roots, and the id of every handle issued
+    by a disabled collector. *)
+
+type status =
+  | Ok
+  | Timeout  (** the operation's peer never answered *)
+  | Error of string
+
+type span = {
+  span : id;
+  parent : id;  (** {!none} for roots *)
+  trace : Trace.id;  (** provoking data-plane trace, or [Trace.none] *)
+  op : string;  (** e.g. ["chord.lookup"], ["chord.rpc"] *)
+  start_time : float;  (** virtual ms *)
+  end_time : float;
+  status : status;
+  annotations : (float * string) list;  (** chronological *)
+}
+
+type open_span
+(** Handle for an operation still in flight. *)
+
+val null : open_span
+(** A dead, already-finished handle — {!annotate} and {!finish} on it are
+    no-ops.  Useful as the initial value of a mutable handle field. *)
+
+type t
+(** A collector. *)
+
+val disabled : t
+(** Records nothing; {!start} returns a dead handle. *)
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer of [capacity] finished spans (default 8192). *)
+
+val enabled : t -> bool
+
+val start :
+  t -> ?parent:open_span -> ?trace:Trace.id -> time:float -> string -> open_span
+(** Open a span for operation [op].  [parent] nests it under an open span;
+    [trace] links it to a data-plane packet trace. *)
+
+val span_id : open_span -> id
+(** The handle's id ({!none} iff issued by a disabled collector). *)
+
+val annotate : open_span -> time:float -> string -> unit
+(** Attach a timestamped note (retry, challenge, gateway rotation...).
+    No-op on a dead or already-finished handle. *)
+
+val finish : t -> ?status:status -> time:float -> open_span -> unit
+(** Close the span and push it into the ring.  Idempotent: finishing an
+    already-finished (or dead) handle is a no-op, so "close if still open"
+    needs no bookkeeping at call sites. *)
+
+val is_finished : open_span -> bool
+
+val started : t -> int
+(** Spans opened so far. *)
+
+val finished : t -> int
+(** Spans closed so far (including any since evicted from the ring). *)
+
+val spans : ?op:string -> t -> span list
+(** Finished spans still in the ring, oldest first (filtered to one
+    operation name if given). *)
+
+val durations_ms : ?op:string -> t -> float array
+(** [end_time - start_time] of each ring-resident finished span, in finish
+    order — feed to [Stats.percentile]. *)
+
+val status_to_string : status -> string
+val reset : t -> unit

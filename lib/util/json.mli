@@ -1,9 +1,10 @@
-(** Minimal hand-rolled JSON tree and emitter — no external dependencies.
+(** Minimal hand-rolled JSON tree, emitter and parser — no external
+    dependencies.
 
     Only what the observability layer needs: build a value, render it
-    compactly (RFC 8259-valid output), write it to a file.  There is no
-    parser; machine consumers of [BENCH_i3.json] live outside this
-    repository. *)
+    compactly (RFC 8259-valid output), write it to a file — and read one
+    back, so the bench regression gate can diff a fresh [BENCH_i3.json]
+    against the checked-in baseline. *)
 
 type t =
   | Null
@@ -30,3 +31,29 @@ val to_file : path:string -> t -> unit
 
 val lines_to_file : path:string -> t list -> unit
 (** JSON-lines: one compact value per line. *)
+
+(** {1 Parsing} *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse one JSON value (surrounding whitespace allowed).  Numbers
+    without ['.'] or an exponent become [Int] (falling back to [Float]
+    beyond [int] range); [\u] escapes decode to UTF-8, surrogate pairs
+    combined.  @raise Parse_error on malformed or trailing input. *)
+
+val of_string_opt : string -> t option
+
+val of_file : path:string -> t
+(** @raise Parse_error on malformed content, [Sys_error] on I/O. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on missing field or non-object. *)
+
+val path : t -> string -> t option
+(** [path v "a.b.c"] descends nested objects by dotted key. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] as a float; [None] otherwise. *)

@@ -6,8 +6,10 @@
 let qtest ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
 
+(* Private registry per deployment: parallel test binaries must not
+   share Obs.Metrics.default. *)
 let deployment ?(seed = 101) ?(n_servers = 16) () =
-  I3.Deployment.create ~seed ~n_servers ()
+  I3.Deployment.create ~metrics:(Obs.Metrics.create ()) ~seed ~n_servers ()
 
 let collect host =
   let log = ref [] in

@@ -24,10 +24,15 @@ let repair_bound =
   +. chaos_host_config.I3.Host.ack_grace
 
 (* Ten servers at ten distinct sites, so site-set partitions and gray
-   links cut between servers (join order = site index). *)
+   links cut between servers (join order = site index).  Each deployment
+   gets a private registry (dune runtest isolation: parallel scenarios
+   must never share Obs.Metrics.default) and a span collector, so the
+   monitor's flight dumps have control-plane history to capture. *)
 let build ?server_config ~seed () =
   let tracer = Obs.Trace.create ~capacity:(1 lsl 17) () in
-  let d = I3.Dynamic.create ~seed ?server_config ~tracer () in
+  let metrics = Obs.Metrics.create () in
+  let spans = Obs.Span.create ~capacity:(1 lsl 13) () in
+  let d = I3.Dynamic.create ~seed ?server_config ~metrics ~tracer ~spans () in
   for site = 0 to 9 do
     ignore (I3.Dynamic.add_server d ~site ());
     I3.Dynamic.run_for d 2_000.
@@ -42,8 +47,11 @@ let collect host =
   I3.Host.on_receive host (fun ~stack:_ ~payload -> log := payload :: !log);
   fun () -> List.rev !log
 
-(* A rendezvous pair with a kept-refreshed trigger and a running probe
-   flow, the measurement substrate of every scenario. *)
+(* A rendezvous pair with a kept-refreshed trigger, a running probe flow,
+   and a health monitor watching that flow and the control ring — the
+   measurement substrate of every scenario.  The monitor reads only the
+   registry, never the simulator's ground truth, so its detect/recover
+   times can be compared against Eval.Recovery's oracle. *)
 let start_probes d =
   let recv = I3.Dynamic.new_host d ~config:chaos_host_config () in
   let send = I3.Dynamic.new_host d ~config:chaos_host_config () in
@@ -51,8 +59,16 @@ let start_probes d =
   I3.Host.insert_trigger recv id;
   I3.Dynamic.run_for d 3_000.;
   let flow = Eval.Recovery.start_flow d ~sender:send ~receiver:recv id in
+  let monitor =
+    Eval.Monitor.create
+      ~rules:
+        (Eval.Monitor.default_rules
+           ~flow_labels:(Eval.Recovery.flow_labels flow)
+           ~ring_label:(I3.Dynamic.ring_label d) ())
+      d
+  in
   I3.Dynamic.run_for d 5_000.;
-  (recv, send, id, flow)
+  (recv, send, id, flow, monitor)
 
 (* Trace conservation: every traced packet's life must end in exactly one
    Deliver or one Drop with a cause — a fault may delay or kill a packet,
@@ -75,7 +91,7 @@ let assert_traces_conserved ~what d =
           (s.Obs.Trace.delivers + s.Obs.Trace.drops))
     (Obs.Trace.summaries tracer)
 
-let check_recovered ~what ~seed d recv flow ~fault_at =
+let check_recovered ~what ~seed d recv flow monitor ~fault_at =
   let rng = probe_rng (seed + 1) in
   let conv = Eval.Recovery.converges_within ~budget:120_000. rng d in
   Alcotest.(check bool) (what ^ ": ring re-converged") true (conv <> None);
@@ -87,6 +103,31 @@ let check_recovered ~what ~seed d recv flow ~fault_at =
     (what ^ ": triggers conserved") true
     (Eval.Recovery.triggers_conserved d [ recv ]);
   I3.Dynamic.run_for d 3_000.;
+  (* Monitor vs oracle — the bounded observability gap.  Detection may
+     lag the fault only by propagation plus a rule window plus a scrape
+     period; and by the moment the oracle has just proven recovery (ring
+     re-converged, triggers conserved, drain elapsed), the monitor's own
+     history must already contain an Ok verdict after its first breach,
+     i.e. monitor-recovery never trails the ground-truth proof point. *)
+  let detect = Eval.Monitor.time_to_detect monitor ~fault_at in
+  let mon_ttr = Eval.Monitor.time_to_recover monitor ~fault_at in
+  Alcotest.(check bool)
+    (what ^ ": monitor detected the fault") true (detect <> None);
+  (match detect with
+  | Some t ->
+      Alcotest.(check bool)
+        (what ^ ": detection lag bounded") true
+        (t >= 0. && t <= 15_000.)
+  | None -> ());
+  Alcotest.(check bool)
+    (what ^ ": monitor verdict recovered by the oracle's proof point") true
+    (mon_ttr <> None);
+  (match (detect, mon_ttr) with
+  | Some t, Some r ->
+      Alcotest.(check bool)
+        (what ^ ": recovery verdict follows detection") true (r >= t)
+  | _ -> ());
+  Eval.Monitor.stop monitor;
   Eval.Recovery.stop_flow flow;
   Alcotest.(check bool)
     (what ^ ": flow recovered after fault") true
@@ -94,7 +135,8 @@ let check_recovered ~what ~seed d recv flow ~fault_at =
   assert_traces_conserved ~what d;
   Eval.Recovery.metrics
     ~scenario:(Printf.sprintf "%s (seed %d)" what seed)
-    ~fault_at ~converged:(conv <> None) flow
+    ~fault_at ?detect_ms:detect ?monitor_ttr_ms:mon_ttr
+    ~converged:(conv <> None) flow
 
 (* --- scenario: partition the ring in half, then heal --- *)
 
@@ -102,7 +144,7 @@ let scenario_partition ~seed () =
   let d = build ~seed () in
   Alcotest.(check bool) "initial convergence" true
     (Eval.Recovery.ring_converged (probe_rng seed) d);
-  let recv, _send, _id, flow = start_probes d in
+  let recv, _send, _id, flow, monitor = start_probes d in
   let fault_at = I3.Dynamic.now d in
   I3.Dynamic.inject d
     [ (0., Faults.Partition [ 0; 1; 2; 3; 4 ]); (20_000., Faults.Heal) ];
@@ -113,7 +155,9 @@ let scenario_partition ~seed () =
   Alcotest.(check bool) "split into two sub-rings" false
     (Eval.Recovery.ring_converged (probe_rng seed) d);
   I3.Dynamic.run_for d 10_000.;
-  let m = check_recovered ~what:"partition+heal" ~seed d recv flow ~fault_at in
+  let m =
+    check_recovered ~what:"partition+heal" ~seed d recv flow monitor ~fault_at
+  in
   let dropped =
     (I3.Dynamic.data_net_stats d).Net.dropped_partition
     + (I3.Dynamic.control_net_stats d).Net.dropped_partition
@@ -125,7 +169,7 @@ let scenario_partition ~seed () =
 
 let scenario_kill_owner ~seed () =
   let d = build ~seed () in
-  let recv, _send, id, flow = start_probes d in
+  let recv, _send, id, flow, monitor = start_probes d in
   let victim =
     match I3.Dynamic.owners_of d id with
     | [ o ] -> o
@@ -138,13 +182,13 @@ let scenario_kill_owner ~seed () =
      server's triggers must be deliverable again within the paper's
      [refresh_period + ack_grace] repair bound of the heal. *)
   I3.Dynamic.run_for d 20_000.;
-  check_recovered ~what:"kill owner" ~seed d recv flow ~fault_at
+  check_recovered ~what:"kill owner" ~seed d recv flow monitor ~fault_at
 
 (* --- scenario: rolling crash/restart storm over the schedule DSL --- *)
 
 let scenario_churn ~seed () =
   let d = build ~seed () in
-  let recv, _send, _id, flow = start_probes d in
+  let recv, _send, _id, flow, monitor = start_probes d in
   let fault_at = I3.Dynamic.now d in
   let storm =
     Faults.churn
@@ -154,13 +198,40 @@ let scenario_churn ~seed () =
   I3.Dynamic.inject d storm;
   (* last crash at 2s + 2*6s = 14s, last restart 8s later; let it land *)
   I3.Dynamic.run_for d 30_000.;
-  check_recovered ~what:"rolling churn" ~seed d recv flow ~fault_at
+  check_recovered ~what:"rolling churn" ~seed d recv flow monitor ~fault_at
+
+(* --- scenario: total blackhole, the flight recorder must fire --- *)
+
+let scenario_blackhole ~seed () =
+  let d = build ~seed () in
+  let recv, _send, _id, flow, monitor = start_probes d in
+  let fault_at = I3.Dynamic.now d in
+  I3.Dynamic.inject d [ (0., Faults.Loss 1.0); (12_000., Faults.Loss 0.0) ];
+  I3.Dynamic.run_for d 20_000.;
+  (* Nothing gets through, so the windowed delivery ratio falls straight
+     to zero: the rule must reach Violated (not merely Degraded), and the
+     Ok->Violated edge must capture a flight record carrying real
+     control-plane history, not empty shells. *)
+  let _ok, _deg, violated = Obs.Health.counts (Eval.Monitor.health monitor) in
+  Alcotest.(check bool) "monitor reached Violated" true (violated > 0);
+  (match Eval.Monitor.dumps monitor with
+  | [] -> Alcotest.fail "no flight-recorder dump captured"
+  | (dump_at, dump) :: _ ->
+      Alcotest.(check bool) "dump captured after the fault" true
+        (dump_at >= fault_at);
+      List.iter
+        (fun key ->
+          match Json.path dump key with
+          | Some (Json.List (_ :: _)) -> ()
+          | _ -> Alcotest.fail (Printf.sprintf "dump section %s is empty" key))
+        [ "evaluations"; "metrics"; "series"; "spans"; "traces" ]);
+  check_recovered ~what:"blackhole" ~seed d recv flow monitor ~fault_at
 
 (* --- scenario: burst loss while the ring is still stabilizing --- *)
 
 let test_burst_during_stabilization () =
   let seed = 41 in
-  let d = I3.Dynamic.create ~seed () in
+  let d = I3.Dynamic.create ~metrics:(Obs.Metrics.create ()) ~seed () in
   (* Gilbert–Elliott bursts from the very first join, lifted at 30 s. *)
   I3.Dynamic.inject d
     [
@@ -192,7 +263,7 @@ let test_burst_during_stabilization () =
 let test_gray_link_between_successors () =
   let seed = 42 in
   let d = build ~seed () in
-  let recv, _send, _id, flow = start_probes d in
+  let recv, _send, _id, flow, monitor = start_probes d in
   (* Ring-adjacent pair: sort live servers by identifier; join order is
      the site index. *)
   let by_id =
@@ -225,7 +296,7 @@ let test_gray_link_between_successors () =
      + (I3.Dynamic.control_net_stats d).Net.dropped_gray
     > 0);
   I3.Dynamic.run_for d 5_000.;
-  ignore (check_recovered ~what:"gray link" ~seed d recv flow ~fault_at)
+  ignore (check_recovered ~what:"gray link" ~seed d recv flow monitor ~fault_at)
 
 (* --- satellite: gateway rotation after ack_grace expiry --- *)
 
@@ -235,7 +306,10 @@ let test_gateway_rotation_after_ack_grace () =
      refresh tick past [ack_grace] must rotate the host to its next
      gateway (Sec. IV-C) — deterministically, unlike the dynamic ring
      where healing races the grace period. *)
-  let dep = I3.Deployment.create ~seed:51 ~n_servers:4 () in
+  let dep =
+    I3.Deployment.create ~metrics:(Obs.Metrics.create ()) ~seed:51
+      ~n_servers:4 ()
+  in
   let host =
     I3.Deployment.new_host dep ~config:chaos_host_config ~n_gateways:3 ()
   in
@@ -343,6 +417,7 @@ let () =
               matrix_case "partition+heal" scenario_partition seed;
               matrix_case "kill owner" scenario_kill_owner seed;
               matrix_case "rolling churn" scenario_churn seed;
+              matrix_case "blackhole" scenario_blackhole seed;
             ])
           [ 21; 22; 23 ] );
       ( "link pathologies",

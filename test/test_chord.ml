@@ -358,7 +358,12 @@ let test_routing_candidate_counts () =
 let mk_proto ?(latency = fun _ _ -> 10.) ?(seed = 1) () =
   let engine = Engine.create () in
   let rng = Rng.create (Int64.of_int seed) in
-  let nw = Chord.Protocol.create engine ~rng ~latency () in
+  (* private registry: parallel test binaries must not share
+     Obs.Metrics.default *)
+  let nw =
+    Chord.Protocol.create engine ~rng ~latency
+      ~metrics:(Obs.Metrics.create ()) ()
+  in
   (engine, rng, nw)
 
 let grow_ring engine rng nw n =

@@ -4,8 +4,10 @@
    (Sec. IV-H) and failure recovery (Sec. IV-C) all emergent rather than
    oracle-driven. *)
 
+(* Private registry per deployment: parallel test binaries must not
+   share Obs.Metrics.default. *)
 let build ?(seed = 5) ?(n = 12) () =
-  let d = I3.Dynamic.create ~seed () in
+  let d = I3.Dynamic.create ~metrics:(Obs.Metrics.create ()) ~seed () in
   for _ = 1 to n do
     ignore (I3.Dynamic.add_server d ());
     I3.Dynamic.run_for d 3_000.
@@ -132,7 +134,7 @@ let test_multicast_over_dynamic_ring () =
     logs
 
 let test_concurrent_joins_converge () =
-  let d = I3.Dynamic.create ~seed:12 () in
+  let d = I3.Dynamic.create ~metrics:(Obs.Metrics.create ()) ~seed:12 () in
   ignore (I3.Dynamic.add_server d ());
   I3.Dynamic.run_for d 1_000.;
   (* nine servers join in the same instant *)

@@ -7,6 +7,13 @@ let qtest ?(count = 200) name gen prop =
 
 let rng0 = Rng.create 987654321L
 
+(* Every deployment gets a private registry: test binaries run in
+   parallel under `dune runtest` and must not share (or leak counters
+   into) Obs.Metrics.default. *)
+let deployment ?model ?server_config ~seed ~n_servers () =
+  I3.Deployment.create ~metrics:(Obs.Metrics.create ()) ?model ?server_config
+    ~seed ~n_servers ()
+
 (* --- Packet --- *)
 
 let gen_packet =
@@ -499,7 +506,7 @@ let sum_stats d f =
     (I3.Deployment.servers d)
 
 let test_e2e_rendezvous () =
-  let d = I3.Deployment.create ~seed:11 ~n_servers:16 () in
+  let d = deployment ~seed:11 ~n_servers:16 () in
   let recv = I3.Deployment.new_host d () in
   let send = I3.Deployment.new_host d () in
   let got = collect recv in
@@ -511,7 +518,7 @@ let test_e2e_rendezvous () =
   Alcotest.(check (list string)) "delivered" [ "hello" ] (got ())
 
 let test_e2e_no_trigger_no_delivery () =
-  let d = I3.Deployment.create ~seed:12 ~n_servers:16 () in
+  let d = deployment ~seed:12 ~n_servers:16 () in
   let send = I3.Deployment.new_host d () in
   I3.Host.send send (I3.Host.new_private_id send) "void";
   I3.Deployment.run_for d 500.;
@@ -519,7 +526,7 @@ let test_e2e_no_trigger_no_delivery () =
     (sum_stats d (fun s -> s.I3.Server.drops))
 
 let test_e2e_sender_cache () =
-  let d = I3.Deployment.create ~seed:13 ~n_servers:32 () in
+  let d = deployment ~seed:13 ~n_servers:32 () in
   let recv = I3.Deployment.new_host d () in
   let send = I3.Deployment.new_host d () in
   let (_ : unit -> string list) = collect recv in
@@ -542,7 +549,7 @@ let test_e2e_sender_cache () =
 
 let test_e2e_cache_expires () =
   let cfg = { I3.Host.default_config with I3.Host.cache_ttl = 1_000. } in
-  let d = I3.Deployment.create ~seed:14 ~n_servers:8 () in
+  let d = deployment ~seed:14 ~n_servers:8 () in
   let recv = I3.Deployment.new_host d () in
   let send = I3.Deployment.new_host d ~config:cfg () in
   let id = I3.Host.new_private_id recv in
@@ -555,7 +562,7 @@ let test_e2e_cache_expires () =
   Alcotest.(check bool) "expired" true (I3.Host.cached_server_for send id = None)
 
 let test_e2e_longest_prefix_anycast () =
-  let d = I3.Deployment.create ~seed:15 ~n_servers:16 () in
+  let d = deployment ~seed:15 ~n_servers:16 () in
   let r1 = I3.Deployment.new_host d () in
   let r2 = I3.Deployment.new_host d () in
   let send = I3.Deployment.new_host d () in
@@ -577,7 +584,7 @@ let test_e2e_longest_prefix_anycast () =
   Alcotest.(check (list string)) "r2 got its packet" [ "to-r2" ] (got2 ())
 
 let test_e2e_stack_pop_fallthrough () =
-  let d = I3.Deployment.create ~seed:16 ~n_servers:16 () in
+  let d = deployment ~seed:16 ~n_servers:16 () in
   let recv = I3.Deployment.new_host d () in
   let send = I3.Deployment.new_host d () in
   let got = collect recv in
@@ -590,7 +597,7 @@ let test_e2e_stack_pop_fallthrough () =
   Alcotest.(check (list string)) "fallthrough" [ "fallback" ] (got ())
 
 let test_e2e_match_required_drops () =
-  let d = I3.Deployment.create ~seed:17 ~n_servers:16 () in
+  let d = deployment ~seed:17 ~n_servers:16 () in
   let recv = I3.Deployment.new_host d () in
   let send = I3.Deployment.new_host d () in
   let got = collect recv in
@@ -606,7 +613,7 @@ let test_e2e_match_required_drops () =
 
 let test_e2e_soft_state_expiry () =
   let cfg = { I3.Host.default_config with I3.Host.refresh_period = 1e12 } in
-  let d = I3.Deployment.create ~seed:18 ~n_servers:8 () in
+  let d = deployment ~seed:18 ~n_servers:8 () in
   let recv = I3.Deployment.new_host d ~config:cfg () in
   let send = I3.Deployment.new_host d () in
   let got = collect recv in
@@ -621,7 +628,7 @@ let test_e2e_soft_state_expiry () =
   Alcotest.(check (list string)) "only the first arrives" [ "while-alive" ] (got ())
 
 let test_e2e_refresh_keeps_alive () =
-  let d = I3.Deployment.create ~seed:19 ~n_servers:8 () in
+  let d = deployment ~seed:19 ~n_servers:8 () in
   let recv = I3.Deployment.new_host d () in
   let send = I3.Deployment.new_host d () in
   let got = collect recv in
@@ -633,7 +640,7 @@ let test_e2e_refresh_keeps_alive () =
   Alcotest.(check (list string)) "alive after 200s" [ "later" ] (got ())
 
 let test_e2e_remove_trigger () =
-  let d = I3.Deployment.create ~seed:20 ~n_servers:8 () in
+  let d = deployment ~seed:20 ~n_servers:8 () in
   let recv = I3.Deployment.new_host d () in
   let send = I3.Deployment.new_host d () in
   let got = collect recv in
@@ -648,7 +655,7 @@ let test_e2e_remove_trigger () =
   Alcotest.(check int) "no triggers stored" 0 (I3.Deployment.total_triggers d)
 
 let test_e2e_mobility () =
-  let d = I3.Deployment.create ~seed:21 ~n_servers:16 () in
+  let d = deployment ~seed:21 ~n_servers:16 () in
   let recv = I3.Deployment.new_host d () in
   let send = I3.Deployment.new_host d () in
   let got = collect recv in
@@ -666,7 +673,7 @@ let test_e2e_mobility () =
   Alcotest.(check (list string)) "sender oblivious" [ "before"; "after" ] (got ())
 
 let test_e2e_backup_trigger_failover () =
-  let d = I3.Deployment.create ~seed:22 ~n_servers:32 () in
+  let d = deployment ~seed:22 ~n_servers:32 () in
   let recv = I3.Deployment.new_host d () in
   let got = collect recv in
   let primary = I3.Host.new_private_id recv in
@@ -682,7 +689,7 @@ let test_e2e_backup_trigger_failover () =
   Alcotest.(check (list string)) "delivered via backup" [ "survives" ] (got ())
 
 let test_e2e_failover_refresh_recovers_primary () =
-  let d = I3.Deployment.create ~seed:23 ~n_servers:32 () in
+  let d = deployment ~seed:23 ~n_servers:32 () in
   let host_cfg = { I3.Host.default_config with I3.Host.ack_grace = 40_000. } in
   let recv = I3.Deployment.new_host d ~config:host_cfg () in
   let got = collect recv in
@@ -707,7 +714,7 @@ let test_e2e_failover_refresh_recovers_primary () =
   Alcotest.(check (list string)) "traffic resumes" [ "recovered" ] (got ())
 
 let test_e2e_gateway_rotation () =
-  let d = I3.Deployment.create ~seed:24 ~n_servers:8 () in
+  let d = deployment ~seed:24 ~n_servers:8 () in
   let dead = I3.Deployment.server d 0 and live = I3.Deployment.server d 1 in
   I3.Server.kill dead;
   let host =
@@ -735,7 +742,7 @@ let test_e2e_gateway_rotation () =
     <> [])
 
 let test_e2e_ttl_stops_loops () =
-  let d = I3.Deployment.create ~seed:25 ~n_servers:16 () in
+  let d = deployment ~seed:25 ~n_servers:16 () in
   let h = I3.Deployment.new_host d () in
   let r = Rng.create 3L in
   let a = Id.random r and b = Id.random r in
@@ -749,7 +756,7 @@ let test_e2e_ttl_stops_loops () =
     (sum_stats d (fun s -> s.I3.Server.drops))
 
 let test_e2e_stack_depth_cap () =
-  let d = I3.Deployment.create ~seed:26 ~n_servers:16 () in
+  let d = deployment ~seed:26 ~n_servers:16 () in
   let recv = I3.Deployment.new_host d () in
   let send = I3.Deployment.new_host d () in
   let got = collect recv in
@@ -768,7 +775,7 @@ let test_e2e_stack_depth_cap () =
 
 let test_e2e_constraints_enforced () =
   let cfg = { I3.Server.default_config with I3.Server.check_constraints = true } in
-  let d = I3.Deployment.create ~seed:27 ~n_servers:16 ~server_config:cfg () in
+  let d = deployment ~seed:27 ~n_servers:16 ~server_config:cfg () in
   let h = I3.Deployment.new_host d () in
   let r = Rng.create 6L in
   let target = Id.random r in
@@ -783,7 +790,7 @@ let test_e2e_constraints_enforced () =
 
 let test_e2e_challenges () =
   let cfg = { I3.Server.default_config with I3.Server.challenge_hosts = true } in
-  let d = I3.Deployment.create ~seed:28 ~n_servers:16 ~server_config:cfg () in
+  let d = deployment ~seed:28 ~n_servers:16 ~server_config:cfg () in
   let recv = I3.Deployment.new_host d () in
   let send = I3.Deployment.new_host d () in
   let got = collect recv in
@@ -799,7 +806,7 @@ let test_e2e_challenges () =
 
 let test_e2e_reflection_defense () =
   let cfg = { I3.Server.default_config with I3.Server.challenge_hosts = true } in
-  let d = I3.Deployment.create ~seed:29 ~n_servers:16 ~server_config:cfg () in
+  let d = deployment ~seed:29 ~n_servers:16 ~server_config:cfg () in
   let victim = I3.Deployment.new_host d () in
   let attacker = I3.Deployment.new_host d () in
   let r = Rng.create 8L in
@@ -817,7 +824,7 @@ let test_e2e_reflection_defense () =
   Alcotest.(check int) "no trigger installed" 0 (I3.Deployment.total_triggers d)
 
 let test_e2e_pushback () =
-  let d = I3.Deployment.create ~seed:30 ~n_servers:16 () in
+  let d = deployment ~seed:30 ~n_servers:16 () in
   let h = I3.Deployment.new_host d () in
   let r = Rng.create 9L in
   let x = Id.random r and nowhere = Id.random r in
@@ -839,7 +846,7 @@ let test_e2e_hot_spot_cache () =
       hot_spot_window = 10_000.;
     }
   in
-  let d = I3.Deployment.create ~seed:31 ~n_servers:16 ~server_config:cfg () in
+  let d = deployment ~seed:31 ~n_servers:16 ~server_config:cfg () in
   let recv = I3.Deployment.new_host d () in
   let send = I3.Deployment.new_host d () in
   let (_ : unit -> string list) = collect recv in
@@ -868,7 +875,7 @@ let test_e2e_hot_spot_cache () =
 let test_e2e_addr_head_is_plain_ip () =
   (* A stack whose head is already an address bypasses the overlay
      entirely: the host sends straight to the peer (Sec. II-E). *)
-  let d = I3.Deployment.create ~seed:36 ~n_servers:8 () in
+  let d = deployment ~seed:36 ~n_servers:8 () in
   let recv = I3.Deployment.new_host d () in
   let send = I3.Deployment.new_host d () in
   let got = collect recv in
@@ -881,7 +888,7 @@ let test_e2e_addr_head_is_plain_ip () =
 let test_e2e_trigger_rewrite_carries_rest_of_stack () =
   (* After a trigger fires, the receiver sees the rest of the packet's
      identifier stack (what service composition relies on). *)
-  let d = I3.Deployment.create ~seed:37 ~n_servers:8 () in
+  let d = deployment ~seed:37 ~n_servers:8 () in
   let recv = I3.Deployment.new_host d () in
   let send = I3.Deployment.new_host d () in
   let seen_stack = ref None in
@@ -902,7 +909,7 @@ let test_e2e_trigger_rewrite_carries_rest_of_stack () =
 
 let test_e2e_replication_no_gap () =
   let cfg = { I3.Server.default_config with I3.Server.replicate = true } in
-  let d = I3.Deployment.create ~seed:32 ~n_servers:32 ~server_config:cfg () in
+  let d = deployment ~seed:32 ~n_servers:32 ~server_config:cfg () in
   let recv = I3.Deployment.new_host d () in
   let got = collect recv in
   let id = I3.Host.new_private_id recv in
@@ -927,7 +934,7 @@ let test_e2e_replication_no_gap () =
 let test_e2e_replication_gap_without () =
   (* Control experiment: identical scenario, replication off — the packet
      in the post-failure window is lost (paper Sec. IV-C's motivation). *)
-  let d = I3.Deployment.create ~seed:32 ~n_servers:32 () in
+  let d = deployment ~seed:32 ~n_servers:32 () in
   let recv = I3.Deployment.new_host d () in
   let got = collect recv in
   let id = I3.Host.new_private_id recv in
@@ -942,7 +949,7 @@ let test_e2e_replication_gap_without () =
 
 let test_e2e_replica_expires () =
   let cfg = { I3.Server.default_config with I3.Server.replicate = true } in
-  let d = I3.Deployment.create ~seed:33 ~n_servers:16 ~server_config:cfg () in
+  let d = deployment ~seed:33 ~n_servers:16 ~server_config:cfg () in
   let host_cfg = { I3.Host.default_config with I3.Host.refresh_period = 1e12 } in
   let recv = I3.Deployment.new_host d ~config:host_cfg () in
   let id = I3.Host.new_private_id recv in
@@ -959,7 +966,7 @@ let test_e2e_replica_expires () =
     = [])
 
 let test_e2e_add_server_trigger_migrates () =
-  let d = I3.Deployment.create ~seed:34 ~n_servers:8 () in
+  let d = deployment ~seed:34 ~n_servers:8 () in
   let recv = I3.Deployment.new_host d () in
   let got = collect recv in
   let id = I3.Host.new_private_id recv in
@@ -997,7 +1004,7 @@ let test_e2e_add_server_trigger_migrates () =
     (got ())
 
 let test_e2e_add_server_stale_cache_redirect () =
-  let d = I3.Deployment.create ~seed:35 ~n_servers:8 () in
+  let d = deployment ~seed:35 ~n_servers:8 () in
   let recv = I3.Deployment.new_host d () in
   let (_ : unit -> string list) = collect recv in
   let send = I3.Deployment.new_host d () in
@@ -1022,7 +1029,7 @@ let test_sample_nearby_id () =
      than a random one (the Sec. IV-E heuristic; Fig. 8 at scale). *)
   let rng = Rng.create 77L in
   let model = Topology.Model.build rng Topology.Model.Transit_stub ~n:400 in
-  let d = I3.Deployment.create ~seed:38 ~model ~n_servers:64 () in
+  let d = deployment ~seed:38 ~model ~n_servers:64 () in
   let host = I3.Deployment.new_host d () in
   let dist id =
     let server = I3.Deployment.responsible_server d id in

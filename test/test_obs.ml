@@ -181,6 +181,358 @@ let test_trace_ring_eviction () =
   Alcotest.(check int) "reset empties the ring" 0
     (List.length (Obs.Trace.events t))
 
+let test_metrics_remove () =
+  let reg = Obs.Metrics.create () in
+  let a = Obs.Metrics.counter reg ~labels:[ ("instance", "srv1") ] "t.c" in
+  let b = Obs.Metrics.counter reg ~labels:[ ("instance", "srv2") ] "t.c" in
+  Obs.Metrics.incr ~by:3 a;
+  Obs.Metrics.incr ~by:5 b;
+  Obs.Metrics.remove reg ~labels:[ ("instance", "srv1") ] "t.c";
+  Alcotest.(check int) "srv1 gone" 1 (List.length (Obs.Metrics.snapshot reg));
+  Alcotest.(check bool) "find miss after remove" true
+    (Obs.Metrics.find reg ~labels:[ ("instance", "srv1") ] "t.c" = None);
+  (* the old handle still works, it's just unregistered *)
+  Obs.Metrics.incr a;
+  Alcotest.(check int) "orphan handle keeps counting" 4
+    (Obs.Metrics.counter_value a);
+  (* re-registration starts a fresh series from zero *)
+  let a' = Obs.Metrics.counter reg ~labels:[ ("instance", "srv1") ] "t.c" in
+  Alcotest.(check int) "re-register from zero" 0 (Obs.Metrics.counter_value a')
+
+let test_metrics_remove_where () =
+  let reg = Obs.Metrics.create () in
+  let _ = Obs.Metrics.counter reg ~labels:[ ("instance", "srv1") ] "t.x" in
+  let _ = Obs.Metrics.gauge reg ~labels:[ ("instance", "srv1") ] "t.y" in
+  let keep = Obs.Metrics.counter reg ~labels:[ ("instance", "srv2") ] "t.x" in
+  Obs.Metrics.incr keep;
+  Obs.Metrics.remove_where reg (fun ~name:_ ~labels ->
+      List.mem ("instance", "srv1") labels);
+  let names =
+    List.map
+      (fun s -> (s.Obs.Metrics.name, s.Obs.Metrics.labels))
+      (Obs.Metrics.snapshot reg)
+  in
+  Alcotest.(check int) "only srv2 left" 1 (List.length names);
+  Alcotest.(check bool) "srv2 survives" true
+    (Obs.Metrics.find reg ~labels:[ ("instance", "srv2") ] "t.x"
+    = Some (Obs.Metrics.Counter 1))
+
+(* --- Obs.Span --- *)
+
+let test_span_tree () =
+  let t = Obs.Span.create ~capacity:16 () in
+  let root = Obs.Span.start t ~time:10. "chord.lookup" in
+  let child = Obs.Span.start t ~parent:root ~trace:42 ~time:11. "chord.rpc" in
+  Obs.Span.annotate child ~time:12. "ask addr=3";
+  Obs.Span.finish t ~time:15. child;
+  Obs.Span.finish t ~status:(Obs.Span.Error "exhausted") ~time:20. root;
+  Alcotest.(check int) "started" 2 (Obs.Span.started t);
+  Alcotest.(check int) "finished" 2 (Obs.Span.finished t);
+  (match Obs.Span.spans t with
+  | [ c; r ] ->
+      Alcotest.(check string) "child op" "chord.rpc" c.Obs.Span.op;
+      Alcotest.(check int) "child parent = root"
+        (Obs.Span.span_id root) c.Obs.Span.parent;
+      Alcotest.(check int) "trace link" 42 c.Obs.Span.trace;
+      feq "child duration" 4. (c.Obs.Span.end_time -. c.Obs.Span.start_time);
+      Alcotest.(check int) "one annotation" 1
+        (List.length c.Obs.Span.annotations);
+      Alcotest.(check int) "root is a root" Obs.Span.none r.Obs.Span.parent;
+      Alcotest.(check bool) "root errored" true
+        (r.Obs.Span.status = Obs.Span.Error "exhausted")
+  | l -> Alcotest.failf "expected 2 finished spans, got %d" (List.length l));
+  Alcotest.(check int) "op filter" 1
+    (List.length (Obs.Span.spans ~op:"chord.rpc" t));
+  Alcotest.(check (array (float 1e-9))) "durations" [| 4. |]
+    (Obs.Span.durations_ms ~op:"chord.rpc" t)
+
+let test_span_finish_idempotent () =
+  let t = Obs.Span.create ~capacity:8 () in
+  let sp = Obs.Span.start t ~time:1. "op" in
+  Alcotest.(check bool) "open" false (Obs.Span.is_finished sp);
+  Obs.Span.finish t ~status:Obs.Span.Timeout ~time:2. sp;
+  Alcotest.(check bool) "finished" true (Obs.Span.is_finished sp);
+  (* second finish must not record again or change the status *)
+  Obs.Span.finish t ~time:99. sp;
+  Obs.Span.annotate sp ~time:99. "late note";
+  Alcotest.(check int) "one finished span" 1 (Obs.Span.finished t);
+  match Obs.Span.spans t with
+  | [ s ] ->
+      Alcotest.(check bool) "status kept" true
+        (s.Obs.Span.status = Obs.Span.Timeout);
+      feq "end time kept" 2. s.Obs.Span.end_time;
+      Alcotest.(check int) "late annotation dropped" 0
+        (List.length s.Obs.Span.annotations)
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+let test_span_disabled_and_null () =
+  let sp = Obs.Span.start Obs.Span.disabled ~time:0. "op" in
+  Alcotest.(check int) "disabled handle has id none" Obs.Span.none
+    (Obs.Span.span_id sp);
+  Obs.Span.annotate sp ~time:1. "ignored";
+  Obs.Span.finish Obs.Span.disabled ~time:2. sp;
+  Alcotest.(check int) "disabled records nothing" 0
+    (Obs.Span.finished Obs.Span.disabled);
+  Alcotest.(check bool) "disabled reports disabled" false
+    (Obs.Span.enabled Obs.Span.disabled);
+  let t = Obs.Span.create () in
+  Obs.Span.annotate Obs.Span.null ~time:1. "ignored";
+  Obs.Span.finish t ~time:2. Obs.Span.null;
+  Alcotest.(check int) "null handle is inert" 0 (Obs.Span.finished t)
+
+let test_span_ring_capacity () =
+  let t = Obs.Span.create ~capacity:3 () in
+  for i = 1 to 5 do
+    let sp = Obs.Span.start t ~time:(float_of_int i) "op" in
+    Obs.Span.finish t ~time:(float_of_int i +. 0.5) sp
+  done;
+  Alcotest.(check int) "finished counts evictions" 5 (Obs.Span.finished t);
+  let resident = Obs.Span.spans t in
+  Alcotest.(check int) "ring holds capacity" 3 (List.length resident);
+  Alcotest.(check (list (float 1e-9))) "oldest first, newest kept"
+    [ 3.; 4.; 5. ]
+    (List.map (fun s -> s.Obs.Span.start_time) resident);
+  Obs.Span.reset t;
+  Alcotest.(check int) "reset empties" 0 (List.length (Obs.Span.spans t))
+
+(* --- Obs.Series --- *)
+
+let test_series_windows () =
+  let st = Obs.Series.store ~capacity:8 () in
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg "t.c" in
+  for i = 1 to 5 do
+    Obs.Metrics.incr ~by:i c;
+    Obs.Series.scrape st ~time:(float_of_int (i * 100)) reg
+  done;
+  let s = Option.get (Obs.Series.get st "t.c") in
+  Alcotest.(check int) "5 points" 5 (Obs.Series.length s);
+  (* counter values: 1, 3, 6, 10, 15 at t = 100..500 *)
+  feq "latest" 15. (Option.get (Obs.Series.latest s)).Obs.Series.value;
+  feq "delta over [300,500]" 9.
+    (Option.get (Obs.Series.delta_over s ~now:500. ~window_ms:200.));
+  feq "rate over [300,500]" 45.
+    (Option.get (Obs.Series.rate_per_sec s ~now:500. ~window_ms:200.));
+  (match Obs.Series.min_max_over s ~now:500. ~window_ms:200. with
+  | Some (lo, hi) ->
+      feq "min in window" 6. lo;
+      feq "max in window" 15. hi
+  | None -> Alcotest.fail "window should not be empty");
+  Alcotest.(check bool) "delta needs two points" true
+    (Obs.Series.delta_over s ~now:500. ~window_ms:50. = None)
+
+let test_series_ring_and_histograms () =
+  let st = Obs.Series.store ~capacity:4 () in
+  let reg = Obs.Metrics.create () in
+  let h =
+    Obs.Metrics.histogram reg "t.h"
+      ~buckets:(Obs.Metrics.linear_buckets ~start:1. ~width:1. ~count:8)
+  in
+  (* first scrape with an empty histogram: only .count appears *)
+  Obs.Series.scrape st ~time:0. reg;
+  Alcotest.(check bool) "empty hist has no quantile series" true
+    (Obs.Series.get st "t.h.p99" = None);
+  feq "empty hist count point" 0.
+    (Option.get (Obs.Series.latest (Option.get (Obs.Series.get st "t.h.count"))))
+      .Obs.Series.value;
+  for i = 1 to 6 do
+    Obs.Metrics.observe h (float_of_int i);
+    Obs.Series.scrape st ~time:(float_of_int i) reg
+  done;
+  let count = Option.get (Obs.Series.get st "t.h.count") in
+  Alcotest.(check int) "ring capped" 4 (Obs.Series.length count);
+  feq "count tracks" 6. (Option.get (Obs.Series.latest count)).Obs.Series.value;
+  Alcotest.(check bool) "p50 series exists once observed" true
+    (Obs.Series.get st "t.h.p50" <> None);
+  Alcotest.(check int) "scrapes counted" 7 (Obs.Series.scrapes st)
+
+(* --- Obs.Health --- *)
+
+let scrape_feed reg health data =
+  (* data: (time, sent_increment, received_increment) list *)
+  let s = Obs.Metrics.counter reg "f.sent" in
+  let r = Obs.Metrics.counter reg "f.received" in
+  List.map
+    (fun (time, ds, dr) ->
+      Obs.Metrics.incr ~by:ds s;
+      Obs.Metrics.incr ~by:dr r;
+      (time, Obs.Health.scrape health ~time))
+    data
+
+let ratio_rule window_ms =
+  {
+    Obs.Health.rule = "delivery";
+    signal =
+      Obs.Health.Ratio
+        {
+          num = "f.received";
+          num_labels = [];
+          den = "f.sent";
+          den_labels = [];
+          window_ms;
+        };
+    bound = Obs.Health.At_least { ok = 0.9; degraded = 0.5 };
+  }
+
+let test_health_verdict_transitions () =
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Health.create ~rules:[ ratio_rule 1_000. ] reg in
+  let episodes = ref 0 in
+  Obs.Health.on_violation h (fun evals ->
+      incr episodes;
+      Alcotest.(check bool) "hook sees the breaching evaluations" true
+        (List.exists
+           (fun (e : Obs.Health.evaluation) ->
+             e.Obs.Health.verdict = Obs.Health.Violated)
+           evals));
+  (* 600 ms spacing under a 1000 ms window: each scrape's window holds
+     exactly the previous and the current point, so the windowed ratio is
+     the per-interval delivered/sent. *)
+  let verdicts =
+    scrape_feed reg h
+      [
+        (0., 0, 0) (* single point: no delta, no data *);
+        (600., 4, 4) (* 4/4 = 1.0: Ok *);
+        (1200., 4, 3) (* 3/4 = 0.75: Degraded *);
+        (1800., 4, 1) (* 1/4 = 0.25: Violated (episode 1) *);
+        (2400., 4, 1) (* still 0.25: Violated, same episode *);
+        (3000., 4, 4) (* recovered: Ok *);
+        (3600., 4, 4) (* Ok *);
+        (4200., 4, 0) (* 0/4: Violated (episode 2) *);
+      ]
+    |> List.map (fun (_, evals) -> Obs.Health.overall evals)
+  in
+  let expect =
+    [
+      Obs.Health.Ok; Obs.Health.Ok; Obs.Health.Degraded; Obs.Health.Violated;
+      Obs.Health.Violated; Obs.Health.Ok; Obs.Health.Ok; Obs.Health.Violated;
+    ]
+  in
+  List.iteri
+    (fun i (got, want) ->
+      Alcotest.(check string)
+        (Printf.sprintf "scrape %d" i)
+        (Obs.Health.verdict_to_string want)
+        (Obs.Health.verdict_to_string got))
+    (List.combine verdicts expect);
+  Alcotest.(check int) "edge-triggered: one hook call per episode" 2 !episodes;
+  let ok, degraded, violated = Obs.Health.counts h in
+  Alcotest.(check (list int)) "history counts" [ 4; 1; 3 ]
+    [ ok; degraded; violated ];
+  (match Obs.Health.first_breach_after h 100. with
+  | Some t -> feq "first breach" 1200. t
+  | None -> Alcotest.fail "expected a breach");
+  match Obs.Health.first_ok_after h 1200. with
+  | Some t -> feq "first ok after breach" 3000. t
+  | None -> Alcotest.fail "expected recovery"
+
+let test_health_stable_rule_and_validation () =
+  let reg = Obs.Metrics.create () in
+  let stable =
+    {
+      Obs.Health.rule = "ring-stable";
+      signal = Obs.Health.Latest { metric = "t.g"; labels = [] };
+      bound = Obs.Health.Stable_within { eps = 0.5; window_ms = 1_000. };
+    }
+  in
+  let h = Obs.Health.create ~rules:[ stable ] reg in
+  let g = Obs.Metrics.gauge reg "t.g" in
+  Obs.Metrics.set g 3.;
+  ignore (Obs.Health.scrape h ~time:0.);
+  Obs.Metrics.set g 3.2;
+  ignore (Obs.Health.scrape h ~time:500.);
+  Alcotest.(check string) "within eps" "ok"
+    (Obs.Health.verdict_to_string (Obs.Health.overall (Obs.Health.last h)));
+  Obs.Metrics.set g 9.;
+  ignore (Obs.Health.scrape h ~time:900.);
+  Alcotest.(check string) "jump breaks stability" "violated"
+    (Obs.Health.verdict_to_string (Obs.Health.overall (Obs.Health.last h)));
+  (* malformed rules are rejected at create *)
+  Alcotest.(check bool) "inverted At_least rejected" true
+    (try
+       ignore
+         (Obs.Health.create
+            ~rules:
+              [
+                {
+                  Obs.Health.rule = "bad";
+                  signal = Obs.Health.Latest { metric = "x"; labels = [] };
+                  bound = Obs.Health.At_least { ok = 0.1; degraded = 0.9 };
+                };
+              ]
+            reg);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "Stable_within over Rate rejected" true
+    (try
+       ignore
+         (Obs.Health.create
+            ~rules:
+              [
+                {
+                  Obs.Health.rule = "bad";
+                  signal =
+                    Obs.Health.Rate
+                      { metric = "x"; labels = []; window_ms = 100. };
+                  bound = Obs.Health.Stable_within { eps = 1.; window_ms = 100. };
+                };
+              ]
+            reg);
+       false
+     with Invalid_argument _ -> true)
+
+let test_health_missing_data_is_ok () =
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Health.create ~rules:[ ratio_rule 500. ] reg in
+  let evals = Obs.Health.scrape h ~time:0. in
+  (match evals with
+  | [ e ] ->
+      Alcotest.(check bool) "no data -> no value" true (e.Obs.Health.value = None);
+      Alcotest.(check string) "no data -> ok" "ok"
+        (Obs.Health.verdict_to_string e.Obs.Health.verdict)
+  | l -> Alcotest.failf "expected 1 evaluation, got %d" (List.length l));
+  Alcotest.(check int) "history records the scrape" 1
+    (List.length (Obs.Health.history h))
+
+(* --- Trace.orphans across ring wraparound --- *)
+
+let test_trace_orphans_wraparound () =
+  let t = Obs.Trace.create ~capacity:8 () in
+  (* Old trace whose whole history (including its Send) will be evicted. *)
+  let ancient = Obs.Trace.start t in
+  Obs.Trace.record t ancient ~time:0. ~site:0 Obs.Trace.Send;
+  (* Force > 2 full wraparounds of the 8-slot ring. *)
+  let finished = ref [] in
+  for i = 1 to 9 do
+    let tr = Obs.Trace.start t in
+    Obs.Trace.record t tr ~time:(float_of_int i) ~site:0 Obs.Trace.Send;
+    Obs.Trace.record t tr ~time:(float_of_int i +. 0.5) ~site:1
+      Obs.Trace.Deliver;
+    finished := tr :: !finished
+  done;
+  let lost = Obs.Trace.start t in
+  Obs.Trace.record t lost ~time:100. ~site:0 Obs.Trace.Send;
+  let inflight = Obs.Trace.start t in
+  Obs.Trace.record t inflight ~time:101. ~site:0 Obs.Trace.Send;
+  Alcotest.(check int) "ring at capacity" 8 (List.length (Obs.Trace.events t));
+  let orphan_ids cutoff =
+    List.map
+      (fun s -> s.Obs.Trace.s_trace)
+      (Obs.Trace.orphans ~started_before:cutoff t)
+  in
+  (* ancient's first event was evicted: incomplete history, not an orphan;
+     inflight's id is >= the cutoff: possibly still in flight, excluded. *)
+  Alcotest.(check (list int)) "only the genuinely lost trace" [ lost ]
+    (orphan_ids inflight);
+  (* raising the cutoff admits the in-flight trace *)
+  Alcotest.(check (list int)) "cutoff boundary is exclusive"
+    [ lost; inflight ]
+    (orphan_ids (inflight + 1));
+  (* terminating the lost trace empties the orphan set at the old cutoff *)
+  Obs.Trace.record t lost ~time:102. ~site:0 (Obs.Trace.Drop "net:loss");
+  Alcotest.(check (list int)) "drop terminates across wraparound" []
+    (orphan_ids inflight)
+
 (* --- Json --- *)
 
 let test_json_render () =
@@ -215,6 +567,47 @@ let test_json_files () =
   Sys.remove path;
   Alcotest.(check (pair string string)) "lines_to_file" ("1", "2") (l1, l2)
 
+let test_csv_rfc4180 () =
+  Alcotest.(check string) "plain passes through" "abc" (Obs.Sink.csv_cell "abc");
+  Alcotest.(check string) "comma quoted" "\"a,b\"" (Obs.Sink.csv_cell "a,b");
+  Alcotest.(check string) "quote doubled" "\"a\"\"b\""
+    (Obs.Sink.csv_cell "a\"b");
+  Alcotest.(check string) "LF quoted" "\"a\nb\"" (Obs.Sink.csv_cell "a\nb");
+  Alcotest.(check string) "CR quoted" "\"a\rb\"" (Obs.Sink.csv_cell "a\rb");
+  Alcotest.(check string) "empty cell" "" (Obs.Sink.csv_cell "");
+  Alcotest.(check string) "row escapes per cell" "x,\"a,b\",\"q\"\"\""
+    (Obs.Sink.csv_row [ "x"; "a,b"; "q\"" ])
+
+let test_trace_summaries_csv_quoting () =
+  let t = Obs.Trace.create () in
+  let tr = Obs.Trace.start t in
+  Obs.Trace.record t tr ~time:1. ~site:0 Obs.Trace.Send;
+  Obs.Trace.record t tr ~time:2. ~site:0 (Obs.Trace.Drop "bad, \"cause\"");
+  Obs.Trace.record t tr ~time:3. ~site:0 (Obs.Trace.Drop "plain");
+  let path = Filename.temp_file "test_obs" ".csv" in
+  let oc = open_out path in
+  Obs.Sink.trace_summaries_csv ~out:oc (Obs.Trace.summaries t);
+  close_out oc;
+  let ic = open_in path in
+  let header = input_line ic in
+  let row = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header"
+    "trace,sends,hops,relays,delivers,drops,drop_causes,first_ms,last_ms"
+    header;
+  (* the two causes join with a comma INSIDE one quoted cell, and the
+     embedded quote doubles, so the row still has exactly 9 columns for
+     a compliant reader *)
+  let quoted = "\"bad, \"\"cause\"\",plain\"" in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "drop causes cell is RFC-4180 quoted" true
+    (contains row quoted)
+
 let test_sink_render () =
   let reg = Obs.Metrics.create () in
   let c = Obs.Metrics.counter reg ~labels:[ ("k", "v") ] "t.c" in
@@ -241,6 +634,8 @@ let () =
           Alcotest.test_case "single observation" `Quick
             test_histogram_single_observation;
           Alcotest.test_case "snapshot and find" `Quick test_snapshot_and_find;
+          Alcotest.test_case "remove" `Quick test_metrics_remove;
+          Alcotest.test_case "remove_where" `Quick test_metrics_remove_where;
         ] );
       ( "trace",
         [
@@ -249,11 +644,41 @@ let () =
             test_trace_disabled_and_sampling;
           Alcotest.test_case "orphans" `Quick test_trace_orphans;
           Alcotest.test_case "ring eviction" `Quick test_trace_ring_eviction;
+          Alcotest.test_case "orphans across wraparound" `Quick
+            test_trace_orphans_wraparound;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "tree, trace link, annotations" `Quick
+            test_span_tree;
+          Alcotest.test_case "finish is idempotent" `Quick
+            test_span_finish_idempotent;
+          Alcotest.test_case "disabled and null handles" `Quick
+            test_span_disabled_and_null;
+          Alcotest.test_case "ring capacity" `Quick test_span_ring_capacity;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "windows, deltas, rates" `Quick test_series_windows;
+          Alcotest.test_case "ring and histogram expansion" `Quick
+            test_series_ring_and_histograms;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "verdict transitions and episodes" `Quick
+            test_health_verdict_transitions;
+          Alcotest.test_case "stable rule and validation" `Quick
+            test_health_stable_rule_and_validation;
+          Alcotest.test_case "missing data is ok" `Quick
+            test_health_missing_data_is_ok;
         ] );
       ( "json",
         [
           Alcotest.test_case "render" `Quick test_json_render;
           Alcotest.test_case "files" `Quick test_json_files;
           Alcotest.test_case "sink" `Quick test_sink_render;
+          Alcotest.test_case "csv rfc4180" `Quick test_csv_rfc4180;
+          Alcotest.test_case "trace summaries csv quoting" `Quick
+            test_trace_summaries_csv_quoting;
         ] );
     ]
