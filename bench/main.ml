@@ -513,6 +513,106 @@ let section_observability () =
             ] );
       ]
 
+(* --- codec: wire encode/decode throughput + deterministic shape pins ---
+
+   Byte sizes and the corpus decode-error count are exact functions of
+   the corpus, so Eval.Gate pins them (a codec change that alters frame
+   sizes or breaks a decoder must re-baseline deliberately); ns/op are
+   wall-clock and reported unguarded. *)
+
+let section_codec () =
+  print_endline "=== codec: wire encode/decode ===";
+  let rng = Rng.of_int 17 in
+  let mk_id () = Id.random rng in
+  let stack = [ I3.Packet.Sid (mk_id ()); I3.Packet.Saddr 0xbeef ] in
+  let trigger = I3.Trigger.make ~id:(mk_id ()) ~stack ~owner:0x1234 in
+  let data_packet =
+    I3.Packet.make ~stack ~payload:(String.make 64 'x') ~trace:5 ()
+  in
+  let peer () = { Chord.Protocol.id = mk_id (); addr = 7 } in
+  let i3_corpus =
+    [
+      I3.Message.Data data_packet;
+      I3.Message.Insert { trigger; token = Some "tok-0123456789abcdef" };
+      I3.Message.Remove { trigger };
+      I3.Message.Challenge { trigger; token = "tok-0123456789abcdef" };
+      I3.Message.Insert_ack { trigger; server = 0x42 };
+      I3.Message.Cache_info { prefix = mk_id (); server = 0x42 };
+      I3.Message.Cache_push
+        { triggers = List.init 8 (fun _ -> (trigger, 30_000.)) };
+      I3.Message.Pushback { id = mk_id (); dead = mk_id () };
+      I3.Message.Replica { trigger; lifetime = 30_000. };
+      I3.Message.Deliver
+        { stack; payload = String.make 64 'x'; trace = 5 };
+    ]
+  in
+  let chord_corpus =
+    [
+      Chord.Protocol.Lookup_step { key = mk_id (); token = 3; reply_to = 1 };
+      Chord.Protocol.Lookup_reply
+        { token = 3; result = Chord.Protocol.Done (peer ()) };
+      Chord.Protocol.Get_state { token = 4; reply_to = 1 };
+      Chord.Protocol.State
+        { token = 4; pred = Some (peer ()); succs = List.init 8 (fun _ -> peer ()) };
+      Chord.Protocol.Notify
+        { who = peer (); chain = List.init 8 (fun _ -> peer ()) };
+    ]
+  in
+  let i3_frames = List.map I3.Codec.encode i3_corpus in
+  let chord_frames = List.map Chord.Codec.encode chord_corpus in
+  let total_bytes =
+    List.fold_left (fun a s -> a + String.length s) 0 (i3_frames @ chord_frames)
+  in
+  let n_msgs = List.length i3_frames + List.length chord_frames in
+  let decode_errors =
+    List.length
+      (List.filter Result.is_error (List.map I3.Codec.decode i3_frames))
+    + List.length
+        (List.filter Result.is_error (List.map Chord.Codec.decode chord_frames))
+  in
+  let iters = if smoke then 20_000 else 200_000 in
+  let i3_arr = Array.of_list i3_corpus in
+  let i3_frame_arr = Array.of_list i3_frames in
+  let i = ref 0 in
+  let encode_rate =
+    rate_per_sec
+      (fun () ->
+        ignore (I3.Codec.encode i3_arr.(!i mod Array.length i3_arr));
+        incr i)
+      iters
+  in
+  let j = ref 0 in
+  let decode_rate =
+    rate_per_sec
+      (fun () ->
+        ignore (I3.Codec.decode i3_frame_arr.(!j mod Array.length i3_frame_arr));
+        incr j)
+      iters
+  in
+  let ns rate = if Float.is_nan rate then nan else 1e9 /. rate in
+  let data_frame_bytes = String.length (I3.Packet.encode data_packet) in
+  Printf.printf "  corpus: %d messages, %d wire bytes (%.1f bytes/msg)\n"
+    n_msgs total_bytes
+    (float_of_int total_bytes /. float_of_int n_msgs);
+  Printf.printf "  data frame: %d B (48-byte header + 2 entries + 64 B payload)\n"
+    data_frame_bytes;
+  Printf.printf "  encode: %.0f ns/op   decode: %.0f ns/op   decode errors: %d\n"
+    (ns encode_rate) (ns decode_rate) decode_errors;
+  [
+    ( "codec",
+      Json.Obj
+        [
+          ("corpus_messages", Json.Int n_msgs);
+          ("corpus_bytes", Json.Int total_bytes);
+          ( "bytes_per_message",
+            Json.Float (float_of_int total_bytes /. float_of_int n_msgs) );
+          ("data_frame_bytes", Json.Int data_frame_bytes);
+          ("decode_errors", Json.Int decode_errors);
+          ("encode_ns_per_op", Json.Float (ns encode_rate));
+          ("decode_ns_per_op", Json.Float (ns decode_rate));
+        ] );
+  ]
+
 let write_bench_json fields =
   let json =
     Json.Obj
@@ -537,7 +637,8 @@ let () =
   if smoke then begin
     let obs = section_observability () in
     let ctl = section_control_plane () in
-    write_bench_json (obs @ ctl)
+    let codec = section_codec () in
+    write_bench_json (obs @ ctl @ codec)
   end
   else begin
     section_micro ();
@@ -546,7 +647,8 @@ let () =
     section_scalability ();
     let obs = section_observability () in
     let ctl = section_control_plane () in
-    write_bench_json (obs @ ctl);
+    let codec = section_codec () in
+    write_bench_json (obs @ ctl @ codec);
     section_fig8 ();
     section_fig9 ()
   end;

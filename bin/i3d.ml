@@ -1,0 +1,166 @@
+(* i3d: a minimal i3 server daemon over real UDP sockets.
+
+   Serves the trigger protocol (insert / remove / ack) and Fig. 3 data
+   forwarding for a *static, name-hashed* ring ([Transport.Static_ring]):
+   every daemon is started with the full membership list, so
+   responsibility is computable locally and inter-server forwarding is a
+   single UDP hop.  The wire format is exactly the one the simulated
+   stack round-trips on every hop ([I3.Codec] / [I3.Packet]); the
+   loopback interop test drives two of these daemons from a third
+   process and asserts insert -> data -> delivery end to end.
+
+   Usage:
+     i3d --host 127.0.0.1 --port 4001 \
+         --peers 127.0.0.1:4001,127.0.0.1:4002
+
+   The daemon prints "READY <host:port>" on stdout once bound. *)
+
+let usage = "i3d --host HOST --port PORT --peers HOST:PORT,HOST:PORT,..."
+
+let host = ref "127.0.0.1"
+let port = ref 0
+let peers = ref ""
+let verbose = ref false
+
+let args =
+  [
+    ("--host", Arg.Set_string host, "bind address (default 127.0.0.1)");
+    ("--port", Arg.Set_int port, "UDP port (required)");
+    ( "--peers",
+      Arg.Set_string peers,
+      "comma-separated host:port ring membership, self included" );
+    ("-v", Arg.Set verbose, "log forwarding decisions to stderr");
+  ]
+
+let log fmt =
+  if !verbose then Printf.eprintf (fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+let addr_of_name name =
+  match String.index_opt name ':' with
+  | None -> failwith (Printf.sprintf "bad peer %S (want host:port)" name)
+  | Some i -> (
+      let h = String.sub name 0 i in
+      let p = String.sub name (i + 1) (String.length name - i - 1) in
+      match (Transport.Udp.ip_of_string h, int_of_string_opt p) with
+      | Some ip, Some port when port > 0 && port < 0x10000 ->
+          Transport.Udp.pack ~ip ~port
+      | _ -> failwith (Printf.sprintf "bad peer %S (want ipv4:port)" name))
+
+(* Trigger store: id (raw bytes) -> (trigger, expiry in Unix seconds).
+   Soft state, exactly like the simulated server: entries die unless
+   refreshed within the prototype's 30 s lifetime. *)
+let triggers : (string, (I3.Trigger.t * float) list) Hashtbl.t =
+  Hashtbl.create 64
+
+let live_triggers id =
+  let key = Id.to_raw_string id in
+  let now = Unix.gettimeofday () in
+  let l =
+    List.filter (fun (_, exp) -> exp > now)
+      (Option.value ~default:[] (Hashtbl.find_opt triggers key))
+  in
+  if l = [] then Hashtbl.remove triggers key else Hashtbl.replace triggers key l;
+  l
+
+let store_trigger (t : I3.Trigger.t) =
+  let key = Id.to_raw_string t.id in
+  let exp = Unix.gettimeofday () +. (I3.Trigger.default_lifetime_ms /. 1000.) in
+  let others =
+    List.filter
+      (fun (t', _) -> not (I3.Trigger.same_binding t t'))
+      (Option.value ~default:[] (Hashtbl.find_opt triggers key))
+  in
+  Hashtbl.replace triggers key ((t, exp) :: others)
+
+let remove_trigger (t : I3.Trigger.t) =
+  let key = Id.to_raw_string t.id in
+  match Hashtbl.find_opt triggers key with
+  | None -> ()
+  | Some l -> (
+      match List.filter (fun (t', _) -> not (I3.Trigger.same_binding t t')) l with
+      | [] -> Hashtbl.remove triggers key
+      | l' -> Hashtbl.replace triggers key l')
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  if !port = 0 || !peers = "" then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let self_name = Printf.sprintf "%s:%d" !host !port in
+  let ring =
+    Transport.Static_ring.create
+      (List.map
+         (fun n -> (n, addr_of_name n))
+         (String.split_on_char ',' !peers))
+  in
+  let self =
+    match Transport.Static_ring.find_name ring self_name with
+    | Some m -> m
+    | None -> failwith ("--peers must include self (" ^ self_name ^ ")")
+  in
+  let udp = Transport.Udp.create ~host:!host ~port:!port () in
+  let send_msg dst m = Transport.Udp.send udp ~dst (I3.Codec.encode m) in
+
+  (* Fig. 3 forwarding over the static ring.  [forward] consumes the
+     packet's head: an address head is the final IP hop (a [Deliver]
+     frame to the end-host); an identifier head either matches local
+     triggers (rewrite, recurse) or hops to the responsible daemon. *)
+  let rec forward (p : I3.Packet.t) =
+    if p.ttl <= 0 then log "drop (ttl)"
+    else
+      match p.stack with
+      | [] -> log "drop (empty stack)"
+      | I3.Packet.Saddr a :: rest ->
+          log "deliver -> %d" a;
+          send_msg a
+            (I3.Message.Deliver
+               { stack = rest; payload = p.payload; trace = p.trace })
+      | I3.Packet.Sid id :: rest ->
+          let owner = Transport.Static_ring.owner_of ring id in
+          if Id.equal owner.id self.id then
+            match live_triggers id with
+            | [] -> log "drop (no trigger for %s)" (Id.to_hex id)
+            | matches ->
+                List.iter
+                  (fun ((t : I3.Trigger.t), _) ->
+                    let stack = t.stack @ rest in
+                    if List.length stack > I3.Packet.max_stack_depth then
+                      log "drop (stack overflow)"
+                    else forward { p with stack; ttl = p.ttl - 1 })
+                  matches
+          else begin
+            log "forward %s -> %s" (Id.to_hex id) owner.name;
+            send_msg owner.addr (I3.Message.Data p)
+          end
+  in
+  let handle ~src msg =
+    match msg with
+    | I3.Message.Data p -> forward p
+    | I3.Message.Insert { trigger; token = _ } ->
+        let owner = Transport.Static_ring.owner_of ring trigger.id in
+        if Id.equal owner.id self.id then begin
+          log "insert %s for %d" (Id.to_hex trigger.id) trigger.owner;
+          store_trigger trigger;
+          send_msg trigger.owner
+            (I3.Message.Insert_ack { trigger; server = self.addr })
+        end
+        else send_msg owner.addr msg
+    | I3.Message.Remove { trigger } ->
+        let owner = Transport.Static_ring.owner_of ring trigger.id in
+        if Id.equal owner.id self.id then remove_trigger trigger
+        else send_msg owner.addr msg
+    | I3.Message.Insert_ack _ | I3.Message.Challenge _
+    | I3.Message.Cache_info _ | I3.Message.Cache_push _
+    | I3.Message.Pushback _ | I3.Message.Replica _ | I3.Message.Deliver _ ->
+        log "ignore %s from %d" "control" src
+  in
+  Transport.Udp.set_handler udp (fun ~src bytes ->
+      match I3.Codec.decode bytes with
+      | Ok m -> handle ~src m
+      | Error e -> log "decode error from %d: %s" src e);
+  Printf.printf "READY %s\n%!" self_name;
+  while true do
+    ignore (Transport.Udp.poll udp ~timeout:0.25)
+  done

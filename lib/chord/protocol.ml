@@ -124,6 +124,7 @@ let spans nw = nw.spans
 let set_loss_rate nw p = Net.set_loss_rate nw.net p
 let fault_driver nw = Faults.net_driver nw.net
 let net_stats nw = Net.stats nw.net
+let net nw = nw.net
 
 let node_id n = n.id
 let node_addr n = n.addr

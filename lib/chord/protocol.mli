@@ -19,6 +19,21 @@
 
 type peer = Finger_table.peer = { id : Id.t; addr : int }
 
+(** The RPC vocabulary, exposed so {!Codec} (wire form) and transports
+    can see it; all exchanges are fire-and-forget messages over {!Net}
+    ("fully asynchronous and implemented on top of UDP", Sec. V-C). *)
+
+type step_result =
+  | Done of peer  (** the key's successor *)
+  | Next of peer  (** closest preceding node known; ask it next *)
+
+type msg =
+  | Lookup_step of { key : Id.t; token : int; reply_to : int }
+  | Lookup_reply of { token : int; result : step_result }
+  | Get_state of { token : int; reply_to : int }
+  | State of { token : int; pred : peer option; succs : peer list }
+  | Notify of { who : peer; chain : peer list }
+
 type config = {
   stabilize_period : float;  (** ms of virtual time; paper: 30 000 *)
   fix_fingers_period : float;
@@ -77,6 +92,10 @@ val fault_driver : network -> Faults.driver
 
 val net_stats : network -> Net.stats
 (** Drop/delivery accounting of the control plane (by fault cause). *)
+
+val net : network -> msg Net.t
+(** The control-plane network itself — the attachment point for
+    [Chord.Codec.harden]'s byte-roundtripping transducer. *)
 
 val bootstrap : network -> ?id:Id.t -> site:int -> unit -> node
 (** First node of a fresh ring (its own successor). Server ids default to

@@ -112,4 +112,10 @@ let default_checks =
       ~abs_tol:5.;
     check "health.violated_scrapes" ~direction:Exact;
     check "health.degraded_scrapes" ~direction:Lower_better ~abs_tol:2.;
+    (* Codec shape pins: frame sizes and the corpus decode-error count
+       are deterministic, so any wire-format drift fails exactly and an
+       intentional format change must re-baseline. *)
+    check "codec.decode_errors" ~direction:Exact;
+    check "codec.corpus_bytes" ~direction:Exact;
+    check "codec.data_frame_bytes" ~direction:Exact;
   ]

@@ -1,0 +1,185 @@
+module L = Wire.Layout
+module Io = Wire.Io
+
+let ( let* ) = Io.( let* )
+
+(* --- building blocks --- *)
+
+(* Trigger: id32 + owner u64 + stack (u8 count, 1..4, then entries).
+   The depth check happens in [Packet.read_stack] *before* we call
+   [Trigger.make], whose own validation raises. *)
+
+let put_trigger buf (t : Trigger.t) =
+  Buffer.add_string buf (Id.to_raw_string t.id);
+  Io.put_u64 buf (Int64.of_int t.owner);
+  Packet.put_stack buf t.stack
+
+let read_trigger r =
+  let* raw = Io.take r Id.byte_length "trigger id" in
+  let* owner = Io.u64 r "trigger owner" in
+  let* stack = Packet.read_stack r in
+  Ok
+    (Trigger.make ~id:(Id.of_raw_string raw) ~stack
+       ~owner:(Int64.to_int owner))
+
+let put_addr buf a = Io.put_u64 buf (Int64.of_int a)
+
+let read_addr r what =
+  let* a = Io.u64 r what in
+  Ok (Int64.to_int a)
+
+(* --- messages --- *)
+
+let kind_of : Message.t -> int = function
+  | Data _ -> assert false (* a data packet is its own frame *)
+  | Insert _ -> L.kind_insert
+  | Remove _ -> L.kind_remove
+  | Challenge _ -> L.kind_challenge
+  | Insert_ack _ -> L.kind_insert_ack
+  | Cache_info _ -> L.kind_cache_info
+  | Cache_push _ -> L.kind_cache_push
+  | Pushback _ -> L.kind_pushback
+  | Replica _ -> L.kind_replica
+  | Deliver _ -> L.kind_deliver
+
+let encode (m : Message.t) =
+  match m with
+  | Data p ->
+      (* The 48-byte packet header doubles as the frame: its flags byte
+         (offset 3) is always < [Wire.Layout.first_kind], which is what
+         lets [decode] tell packets and control messages apart with zero
+         framing overhead. *)
+      Packet.encode p
+  | _ ->
+      let buf = Buffer.create 96 in
+      Buffer.add_char buf L.magic0;
+      Buffer.add_char buf L.magic1;
+      Buffer.add_char buf L.version;
+      Io.put_u8 buf (kind_of m);
+      (match m with
+      | Data _ -> assert false
+      | Insert { trigger; token } ->
+          put_trigger buf trigger;
+          (match token with
+          | None -> Io.put_u8 buf 0
+          | Some tok ->
+              Io.put_u8 buf 1;
+              Io.put_str16 buf tok)
+      | Remove { trigger } -> put_trigger buf trigger
+      | Challenge { trigger; token } ->
+          put_trigger buf trigger;
+          Io.put_str16 buf token
+      | Insert_ack { trigger; server } ->
+          put_trigger buf trigger;
+          put_addr buf server
+      | Cache_info { prefix; server } ->
+          Buffer.add_string buf (Id.to_raw_string prefix);
+          put_addr buf server
+      | Cache_push { triggers } ->
+          if List.length triggers > L.max_trigger_batch then
+            invalid_arg "I3.Codec: cache-push batch too large";
+          Io.put_u16 buf (List.length triggers);
+          List.iter
+            (fun (t, lifetime) ->
+              put_trigger buf t;
+              Io.put_f64 buf lifetime)
+            triggers
+      | Pushback { id; dead } ->
+          Buffer.add_string buf (Id.to_raw_string id);
+          Buffer.add_string buf (Id.to_raw_string dead)
+      | Replica { trigger; lifetime } ->
+          put_trigger buf trigger;
+          Io.put_f64 buf lifetime
+      | Deliver { stack; payload; trace } ->
+          (* Unlike a data packet's stack, the residual stack handed to
+             the application may legitimately be empty. *)
+          Packet.put_stack buf stack;
+          Io.put_u64 buf (Int64.of_int trace);
+          Io.put_str32 buf payload);
+      Buffer.contents buf
+
+let read_body kind r : (Message.t, string) result =
+  if kind = L.kind_insert then
+    let* trigger = read_trigger r in
+    let* present = Io.u8 r "token presence" in
+    let* token =
+      match present with
+      | 0 -> Ok None
+      | 1 ->
+          let* tok = Io.str16 r "token" in
+          Ok (Some tok)
+      | _ -> Error "bad token presence tag"
+    in
+    Ok (Message.Insert { trigger; token })
+  else if kind = L.kind_remove then
+    let* trigger = read_trigger r in
+    Ok (Message.Remove { trigger })
+  else if kind = L.kind_challenge then
+    let* trigger = read_trigger r in
+    let* token = Io.str16 r "token" in
+    Ok (Message.Challenge { trigger; token })
+  else if kind = L.kind_insert_ack then
+    let* trigger = read_trigger r in
+    let* server = read_addr r "server addr" in
+    Ok (Message.Insert_ack { trigger; server })
+  else if kind = L.kind_cache_info then
+    let* raw = Io.take r Id.byte_length "prefix id" in
+    let* server = read_addr r "server addr" in
+    Ok (Message.Cache_info { prefix = Id.of_raw_string raw; server })
+  else if kind = L.kind_cache_push then
+    let* count = Io.u16 r "trigger batch count" in
+    let* triggers =
+      Io.list_of r ~count ~max:L.max_trigger_batch "trigger batch" (fun r ->
+          let* t = read_trigger r in
+          let* lifetime = Io.f64 r "trigger lifetime" in
+          Ok (t, lifetime))
+    in
+    Ok (Message.Cache_push { triggers })
+  else if kind = L.kind_pushback then
+    let* raw_id = Io.take r Id.byte_length "pushback id" in
+    let* raw_dead = Io.take r Id.byte_length "dead id" in
+    Ok
+      (Message.Pushback
+         { id = Id.of_raw_string raw_id; dead = Id.of_raw_string raw_dead })
+  else if kind = L.kind_replica then
+    let* trigger = read_trigger r in
+    let* lifetime = Io.f64 r "replica lifetime" in
+    Ok (Message.Replica { trigger; lifetime })
+  else if kind = L.kind_deliver then
+    let* stack = Packet.read_stack ~min_depth:0 r in
+    let* trace = Io.u64 r "trace id" in
+    let* payload = Io.str32 r "payload" in
+    Ok (Message.Deliver { stack; payload; trace = Int64.to_int trace })
+  else Error "unknown i3 message kind"
+
+let decode s =
+  let r = Io.reader s in
+  let* () = Io.need r L.preamble_bytes "preamble" in
+  if Char.code s.[L.off_kind] < L.first_kind then
+    (* Data-packet flags where a kind byte would be: the whole frame is
+       a packet.  [Packet.decode] re-checks magic/version itself. *)
+    let* p = Packet.decode s in
+    Ok (Message.Data p)
+  else
+    let* () = Io.expect_char r L.magic0 "magic" in
+    let* () = Io.expect_char r L.magic1 "magic" in
+    let* () = Io.expect_char r L.version "version" in
+    let* kind = Io.u8 r "kind" in
+    let* m = read_body kind r in
+    let* () = Io.expect_end r in
+    Ok m
+
+(* --- simnet interposition --- *)
+
+let harden ?(metrics = Obs.Metrics.default) net =
+  let labels = [ ("instance", Net.label net); ("proto", "i3") ] in
+  let roundtrips = Obs.Metrics.counter metrics ~labels "wire.roundtrips" in
+  let errors = Obs.Metrics.counter metrics ~labels "wire.decode_errors" in
+  Net.set_transducer net (fun m ->
+      match decode (encode m) with
+      | Ok m' ->
+          Obs.Metrics.incr roundtrips;
+          Ok m'
+      | Error e ->
+          Obs.Metrics.incr errors;
+          Error e)

@@ -55,7 +55,7 @@ let view_for state index =
 let create ?(seed = 1) ?model ?(uniform_latency_ms = 5.)
     ?(policy = Chord.Routing.Default) ?server_config
     ?(metrics = Obs.Metrics.default) ?(tracer = Obs.Trace.disabled)
-    ?(spans = Obs.Span.disabled) ~n_servers () =
+    ?(spans = Obs.Span.disabled) ?(wire_roundtrip = true) ~n_servers () =
   if n_servers <= 0 then invalid_arg "Deployment.create: need servers";
   let rng = Rng.of_int seed in
   let engine = Engine.create () in
@@ -65,6 +65,7 @@ let create ?(seed = 1) ?model ?(uniform_latency_ms = 5.)
     | None -> fun a b -> if a = b then 0. else uniform_latency_ms
   in
   let net = Net.create ~metrics engine ~rng:(Rng.split rng) ~latency () in
+  if wire_roundtrip then Codec.harden ~metrics net;
   Telemetry.install_net_tracer ~tracer net;
   let oracle = Chord.Oracle.random (Rng.split rng) ~n:n_servers in
   let sites =

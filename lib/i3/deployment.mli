@@ -18,6 +18,7 @@ val create :
   ?metrics:Obs.Metrics.t ->
   ?tracer:Obs.Trace.t ->
   ?spans:Obs.Span.t ->
+  ?wire_roundtrip:bool ->
   n_servers:int ->
   unit ->
   t
@@ -29,7 +30,12 @@ val create :
     passing a live [tracer] turns on per-packet hop tracing across the
     network, every server and every host created by {!new_host}; a live
     [spans] collector records each host's trigger insert/refresh
-    round-trip spans. *)
+    round-trip spans.
+
+    [wire_roundtrip] (default [true]) passes every simulated hop through
+    {!Codec} encode→decode ({!Codec.harden}), so the whole suite
+    exercises the real wire format; codec failures surface as ["codec"]
+    drops and in [wire.decode_errors]. *)
 
 val engine : t -> Engine.t
 val net : t -> Message.t Net.t

@@ -30,7 +30,7 @@ let fast_protocol_config =
 let create ?(seed = 1) ?(uniform_latency_ms = 5.) ?server_config
     ?(protocol_config = fast_protocol_config)
     ?(metrics = Obs.Metrics.default) ?(tracer = Obs.Trace.disabled)
-    ?(spans = Obs.Span.disabled) () =
+    ?(spans = Obs.Span.disabled) ?(wire_roundtrip = true) () =
   let rng = Rng.of_int seed in
   let engine = Engine.create () in
   let latency a b = if a = b then 0. else uniform_latency_ms in
@@ -38,7 +38,10 @@ let create ?(seed = 1) ?(uniform_latency_ms = 5.) ?server_config
     Chord.Protocol.create ~metrics ~spans engine ~rng:(Rng.split rng) ~latency
       ~config:protocol_config ()
   in
+  if wire_roundtrip then
+    Chord.Codec.harden ~metrics (Chord.Protocol.net control);
   let data = Net.create ~metrics engine ~rng:(Rng.split rng) ~latency () in
+  if wire_roundtrip then Codec.harden ~metrics data;
   Telemetry.install_net_tracer ~tracer data;
   {
     engine;

@@ -29,6 +29,7 @@ val create :
   ?metrics:Obs.Metrics.t ->
   ?tracer:Obs.Trace.t ->
   ?spans:Obs.Span.t ->
+  ?wire_roundtrip:bool ->
   unit ->
   t
 (** An empty deployment. The default protocol config is sped up
@@ -38,7 +39,12 @@ val create :
     (default {!Obs.Metrics.default}); a live [tracer] turns on
     per-packet tracing on the data plane, every server and every host; a
     live [spans] collector records control-plane span trees (Chord
-    lookups/RPCs/stabilization and host trigger round-trips). *)
+    lookups/RPCs/stabilization and host trigger round-trips).
+
+    [wire_roundtrip] (default [true]) byte-roundtrips {e both} planes —
+    data hops through {!Codec}, Chord RPCs through [Chord.Codec] — so
+    every chaos scenario doubles as a codec test; failures surface as
+    ["codec"] drops and in [wire.decode_errors]. *)
 
 val engine : t -> Engine.t
 

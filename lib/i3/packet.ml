@@ -24,9 +24,9 @@ let pp_stack ppf s =
 let stack_equal a b =
   List.length a = List.length b && List.for_all2 entry_equal a b
 
-let max_stack_depth = 4
+let max_stack_depth = Wire.Layout.max_stack_depth
 let default_ttl = 32
-let header_bytes = 48
+let header_bytes = Wire.Layout.header_bytes
 
 type t = {
   stack : stack;
@@ -55,155 +55,158 @@ let make ?(refresh = false) ?(match_required = false) ?sender
     trace;
   }
 
-(* --- wire format ---
-   Header (48 bytes):
-     0..1   magic 0x69 0x33 ("i3")
-     2      version (1)
-     3      flags: 1=refresh, 2=match_required, 4=sender, 8=prev_trigger
-     4      stack entry count
-     5      ttl
-     6..7   reserved (0)
-     8..11  payload length, big-endian
-     12..19 sender address (or 0)
-     20..27 previous-hop server address (or 0)
-     28..35 trace id (or 0 = untraced)
-     36..47 reserved (0)
-   Body: [32-byte prev trigger id if flagged] entries ([0x00 | id32] or
-   [0x01 | addr8]) then payload. *)
+(* Wire format: 48-byte common header, then body.  Every offset, flag
+   bit and entry tag lives in {!Wire.Layout}; see the table there (and
+   DESIGN.md §8).  Body: [32-byte prev trigger id if flagged], then the
+   stack entries ([tag_sid | id32] or [tag_saddr | addr8]), then the
+   payload. *)
 
-let magic0 = '\x69'
-let magic1 = '\x33'
-let version = '\x01'
+open struct
+  module L = Wire.Layout
+  module Io = Wire.Io
+end
 
-let put_u32 buf v =
-  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
-  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
-  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
-  Buffer.add_char buf (Char.chr (v land 0xff))
+let ( let* ) = Io.( let* )
 
-let put_u64 buf v =
-  for i = 7 downto 0 do
-    Buffer.add_char buf
-      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
-  done
+let entry_wire_length = function
+  | Sid _ -> L.sid_entry_bytes
+  | Saddr _ -> L.saddr_entry_bytes
 
-let entry_wire_length = function Sid _ -> 1 + Id.byte_length | Saddr _ -> 9
+let stack_wire_length s =
+  List.fold_left (fun acc e -> acc + entry_wire_length e) 0 s
 
 let wire_length t =
   header_bytes
   + (match t.prev_trigger with Some _ -> Id.byte_length | None -> 0)
-  + List.fold_left (fun acc e -> acc + entry_wire_length e) 0 t.stack
+  + stack_wire_length t.stack
   + String.length t.payload
+
+let put_entry buf = function
+  | Sid id ->
+      Buffer.add_char buf L.tag_sid;
+      Buffer.add_string buf (Id.to_raw_string id)
+  | Saddr a ->
+      Buffer.add_char buf L.tag_saddr;
+      Io.put_u64 buf (Int64.of_int a)
+
+let read_entry r =
+  let* tag = Io.u8 r "entry tag" in
+  if tag = Char.code L.tag_sid then
+    let* raw = Io.take r Id.byte_length "entry id" in
+    Ok (Sid (Id.of_raw_string raw))
+  else if tag = Char.code L.tag_saddr then
+    let* a = Io.u64 r "entry addr" in
+    Ok (Saddr (Int64.to_int a))
+  else Error "unknown entry tag"
+
+let put_stack buf s =
+  Io.put_u8 buf (List.length s);
+  List.iter (put_entry buf) s
+
+let read_stack ?(min_depth = 1) r =
+  let* count = Io.u8 r "stack count" in
+  if count < min_depth || count > max_stack_depth then Error "bad stack depth"
+  else Io.list_of r ~count ~max:max_stack_depth "stack" read_entry
 
 let encode t =
   let buf = Buffer.create (wire_length t) in
-  Buffer.add_char buf magic0;
-  Buffer.add_char buf magic1;
-  Buffer.add_char buf version;
+  Buffer.add_char buf L.magic0;
+  Buffer.add_char buf L.magic1;
+  Buffer.add_char buf L.version;
   let flags =
-    (if t.refresh then 1 else 0)
-    lor (if t.match_required then 2 else 0)
-    lor (match t.sender with Some _ -> 4 | None -> 0)
-    lor match t.prev_trigger with Some _ -> 8 | None -> 0
+    (if t.refresh then L.flag_refresh else 0)
+    lor (if t.match_required then L.flag_match_required else 0)
+    lor (match t.sender with Some _ -> L.flag_sender | None -> 0)
+    lor match t.prev_trigger with Some _ -> L.flag_prev_trigger | None -> 0
   in
-  Buffer.add_char buf (Char.chr flags);
-  Buffer.add_char buf (Char.chr (List.length t.stack));
-  Buffer.add_char buf (Char.chr (t.ttl land 0xff));
-  Buffer.add_char buf '\x00';
-  Buffer.add_char buf '\x00';
-  put_u32 buf (String.length t.payload);
-  put_u64 buf (Int64.of_int (Option.value ~default:0 t.sender));
-  put_u64 buf
+  Io.put_u8 buf flags;
+  Io.put_u8 buf (List.length t.stack);
+  Io.put_u8 buf (t.ttl land 0xff);
+  Io.put_u16 buf 0;
+  Io.put_u32 buf (String.length t.payload);
+  Io.put_u64 buf (Int64.of_int (Option.value ~default:0 t.sender));
+  Io.put_u64 buf
     (Int64.of_int (match t.prev_trigger with Some (a, _) -> a | None -> 0));
-  put_u64 buf (Int64.of_int t.trace);
-  Buffer.add_string buf (String.make 12 '\x00');
+  Io.put_u64 buf (Int64.of_int t.trace);
+  Buffer.add_string buf (String.make L.reserved_bytes '\x00');
   (match t.prev_trigger with
   | Some (_, id) -> Buffer.add_string buf (Id.to_raw_string id)
   | None -> ());
-  List.iter
-    (fun e ->
-      match e with
-      | Sid id ->
-          Buffer.add_char buf '\x00';
-          Buffer.add_string buf (Id.to_raw_string id)
-      | Saddr a ->
-          Buffer.add_char buf '\x01';
-          put_u64 buf (Int64.of_int a))
-    t.stack;
+  List.iter (put_entry buf) t.stack;
   Buffer.add_string buf t.payload;
   Buffer.contents buf
 
-let get_u32 s off =
-  (Char.code s.[off] lsl 24)
-  lor (Char.code s.[off + 1] lsl 16)
-  lor (Char.code s.[off + 2] lsl 8)
-  lor Char.code s.[off + 3]
-
-let get_u64 s off =
-  let acc = ref 0L in
-  for i = 0 to 7 do
-    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code s.[off + i]))
-  done;
-  Int64.to_int !acc
-
-let decode s =
-  let len = String.length s in
-  let ( let* ) r f = Result.bind r f in
-  let need n what = if len >= n then Ok () else Error ("truncated " ^ what) in
-  let* () = need header_bytes "header" in
+(* Shared by [decode] and [decoded_length]: parse the fixed header and
+   return (flags, stack count, ttl, payload_len, sender, prev_addr,
+   trace), leaving the reader at the start of the body. *)
+let read_header r =
+  let* () = Io.need r header_bytes "header" in
+  let* () = Io.expect_char r L.magic0 "magic" in
   let* () =
-    if s.[0] = magic0 && s.[1] = magic1 then Ok () else Error "bad magic"
+    let* c = Io.u8 r "magic" in
+    if c = Char.code L.magic1 then Ok () else Error "bad magic"
   in
-  let* () = if s.[2] = version then Ok () else Error "unknown version" in
-  let flags = Char.code s.[3] in
-  let count = Char.code s.[4] in
-  let ttl = Char.code s.[5] in
+  let* () =
+    let* v = Io.u8 r "version" in
+    if v = Char.code L.version then Ok () else Error "unknown version"
+  in
+  let* flags = Io.u8 r "flags" in
+  let* () =
+    if flags >= L.first_kind then Error "not a data packet" else Ok ()
+  in
+  let* count = Io.u8 r "stack count" in
   let* () =
     if count >= 1 && count <= max_stack_depth then Ok ()
     else Error "bad stack depth"
   in
-  let payload_len = get_u32 s 8 in
-  let sender = if flags land 4 <> 0 then Some (get_u64 s 12) else None in
-  let prev_addr = get_u64 s 20 in
-  let trace = get_u64 s 28 in
-  let pos = ref header_bytes in
+  let* ttl = Io.u8 r "ttl" in
+  let* _reserved = Io.u16 r "reserved" in
+  let* payload_len = Io.u32 r "payload length" in
+  let* sender = Io.u64 r "sender" in
+  let* prev_addr = Io.u64 r "prev addr" in
+  let* trace = Io.u64 r "trace id" in
+  let* _reserved = Io.take r L.reserved_bytes "reserved" in
+  Ok (flags, count, ttl, payload_len, sender, prev_addr, trace)
+
+let decode s =
+  let r = Io.reader s in
+  let* flags, count, ttl, payload_len, sender, prev_addr, trace =
+    read_header r
+  in
   let* prev_trigger =
-    if flags land 8 <> 0 then begin
-      let* () = need (!pos + Id.byte_length) "prev trigger id" in
-      let id = Id.of_raw_string (String.sub s !pos Id.byte_length) in
-      pos := !pos + Id.byte_length;
-      Ok (Some (prev_addr, id))
-    end
+    if flags land L.flag_prev_trigger <> 0 then
+      let* raw = Io.take r Id.byte_length "prev trigger id" in
+      Ok (Some (Int64.to_int prev_addr, Id.of_raw_string raw))
     else Ok None
   in
-  let rec read_entries k acc =
-    if k = 0 then Ok (List.rev acc)
-    else
-      let* () = need (!pos + 1) "entry tag" in
-      match s.[!pos] with
-      | '\x00' ->
-          let* () = need (!pos + 1 + Id.byte_length) "entry id" in
-          let id = Id.of_raw_string (String.sub s (!pos + 1) Id.byte_length) in
-          pos := !pos + 1 + Id.byte_length;
-          read_entries (k - 1) (Sid id :: acc)
-      | '\x01' ->
-          let* () = need (!pos + 9) "entry addr" in
-          let a = get_u64 s (!pos + 1) in
-          pos := !pos + 9;
-          read_entries (k - 1) (Saddr a :: acc)
-      | _ -> Error "unknown entry tag"
-  in
-  let* stack = read_entries count [] in
-  let* () = need (!pos + payload_len) "payload" in
-  let payload = String.sub s !pos payload_len in
+  let* stack = Io.list_of r ~count ~max:max_stack_depth "stack" read_entry in
+  let* payload = Io.take r payload_len "payload" in
+  let* () = Io.expect_end r in
   Ok
     {
       stack;
       payload;
-      refresh = flags land 1 <> 0;
-      match_required = flags land 2 <> 0;
-      sender;
+      refresh = flags land L.flag_refresh <> 0;
+      match_required = flags land L.flag_match_required <> 0;
+      sender =
+        (if flags land L.flag_sender <> 0 then Some (Int64.to_int sender)
+         else None);
       prev_trigger;
       ttl;
-      trace;
+      trace = Int64.to_int trace;
     }
+
+let decoded_length s =
+  let r = Io.reader s in
+  let* flags, count, _ttl, payload_len, _sender, _prev_addr, _trace =
+    read_header r
+  in
+  let* () =
+    if flags land L.flag_prev_trigger <> 0 then
+      let* _ = Io.take r Id.byte_length "prev trigger id" in
+      Ok ()
+    else Ok ()
+  in
+  let* _stack = Io.list_of r ~count ~max:max_stack_depth "stack" read_entry in
+  let* () = Io.need r payload_len "payload" in
+  Ok (Io.pos r + payload_len)

@@ -46,7 +46,8 @@ type t = {
           and that trigger's identifier (Sec. IV-J2) *)
   ttl : int;  (** residual hop/rewrite budget; a transport-level loop stop *)
   trace : int;
-      (** {!Obs.Trace} id carried end-to-end (wire bytes 28–35); [0] means
+      (** {!Obs.Trace} id carried end-to-end (wire bytes 28–35 —
+          authoritative offsets in [Wire.Layout.off_trace]); [0] means
           untraced and costs nothing *)
 }
 
@@ -66,13 +67,37 @@ val make :
 val default_ttl : int
 
 val header_bytes : int
-(** 48. *)
+(** 48 ([Wire.Layout.header_bytes]); all offsets live in {!Wire.Layout}. *)
 
 val encode : t -> string
 (** Serialize to the wire format. *)
 
 val decode : string -> (t, string) result
-(** Parse a wire packet; [Error] describes the first malformed field. *)
+(** Parse a wire packet; [Error] describes the first malformed field.
+    Rejects trailing bytes: a valid frame is consumed exactly. *)
+
+val decoded_length : string -> (int, string) result
+(** Frame length implied by an encoded packet's header and entry tags —
+    for any [p], [decoded_length (encode p) = Ok (String.length (encode
+    p))].  Fails on the same malformed inputs [decode] does (trailing
+    bytes aside, which it ignores). *)
 
 val wire_length : t -> int
 (** Length [encode] would produce, without allocating. *)
+
+(** {2 Codec building blocks}
+
+    Shared with {!Codec} so control messages carrying ids, addresses and
+    identifier stacks use byte-identical encodings. *)
+
+val entry_wire_length : stack_entry -> int
+val stack_wire_length : stack -> int
+val put_entry : Buffer.t -> stack_entry -> unit
+val read_entry : Wire.Io.reader -> (stack_entry, string) result
+
+val put_stack : Buffer.t -> stack -> unit
+(** u8 count + entries. *)
+
+val read_stack : ?min_depth:int -> Wire.Io.reader -> (stack, string) result
+(** Inverse of {!put_stack}; depth must be in [min_depth]
+    (default 1) [.. max_stack_depth]. *)

@@ -2,6 +2,10 @@
     every message carrying a trace id ({!Message.trace_of}), an accepted
     transmission records [Enqueue] and a network-level loss records
     [Drop "net:<cause>"] — the terminal event for packets the fault model
-    eats in flight.  No-op when the tracer is disabled. *)
+    eats in flight.  No-op when the tracer is disabled.
+
+    The trace id rides in the frame header at [Wire.Layout.off_trace]
+    (bytes 28–35), so it survives the wire round-trip every simulated
+    hop performs and crosses real UDP unchanged. *)
 
 val install_net_tracer : tracer:Obs.Trace.t -> Message.t Net.t -> unit

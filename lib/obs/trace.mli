@@ -1,7 +1,9 @@
 (** Per-packet hop tracing.
 
     A trace id is allocated at send time ({!start}) and travels in the
-    packet header; every layer that touches the packet appends an event
+    packet header (wire bytes 28–35; [Wire.Layout.off_trace] is the
+    authoritative definition); every layer that touches the packet
+    appends an event
     ({!record}).  Storage is a fixed ring buffer, so a collector is cheap
     enough to leave on; the {!sampling} knob thins allocation further when
     even that is too much.

@@ -17,6 +17,7 @@ type stats = {
   dropped_down : int;
   dropped_partition : int;
   dropped_gray : int;
+  dropped_codec : int;
 }
 
 type outcome = [ `Enqueue | `Drop of string ]
@@ -49,6 +50,7 @@ type counters = {
   c_down : Obs.Metrics.counter;
   c_partition : Obs.Metrics.counter;
   c_gray : Obs.Metrics.counter;
+  c_codec : Obs.Metrics.counter;
 }
 
 type 'msg t = {
@@ -69,6 +71,7 @@ type 'msg t = {
   mutable extra_latency : float;
   mutable tap : (src:addr -> dst:addr -> 'msg -> unit) option;
   mutable observer : (src:addr -> dst:addr -> 'msg -> outcome -> unit) option;
+  mutable transducer : ('msg -> ('msg, string) result) option;
 }
 
 let instances = ref 0
@@ -87,6 +90,7 @@ let make_counters metrics label =
     c_down = drop "down";
     c_partition = drop "partition";
     c_gray = drop "gray";
+    c_codec = drop "codec";
   }
 
 let create ?(metrics = Obs.Metrics.default) ?label engine ~rng ~latency () =
@@ -115,6 +119,7 @@ let create ?(metrics = Obs.Metrics.default) ?label engine ~rng ~latency () =
     extra_latency = 0.;
     tap = None;
     observer = None;
+    transducer = None;
   }
 
 let engine t = t.engine
@@ -155,6 +160,7 @@ let set_loss_rate t p =
 
 let set_tap t f = t.tap <- Some f
 let set_observer t f = t.observer <- Some f
+let set_transducer t f = t.transducer <- Some f
 
 (* --- link-level faults --- *)
 
@@ -243,7 +249,20 @@ let send t ~src ~dst msg =
     Obs.Metrics.incr counter;
     observe t ~src ~dst msg (`Drop cause)
   in
-  if not s.up then drop t.c.c_down "down"
+  (* The transducer runs before any fault draw so a codec failure is
+     deterministic: the same message fails the same way whatever the loss
+     chain is doing.  It draws no randomness, so installing one leaves
+     the RNG stream — and thus every seeded scenario — untouched. *)
+  let codec_failed, msg =
+    match t.transducer with
+    | None -> (false, msg)
+    | Some f -> (
+        match f msg with
+        | Ok msg' -> (false, msg')
+        | Error _ -> (true, msg))
+  in
+  if codec_failed then drop t.c.c_codec "codec"
+  else if not s.up then drop t.c.c_down "down"
   else if partitioned t s.site d.site then drop t.c.c_partition "partition"
   else if Hashtbl.mem t.gray (s.site, d.site) then drop t.c.c_gray "gray"
   else if burst_says_drop t then drop t.c.c_burst "burst"
@@ -273,6 +292,7 @@ let stats t =
     dropped_down = v t.c.c_down;
     dropped_partition = v t.c.c_partition;
     dropped_gray = v t.c.c_gray;
+    dropped_codec = v t.c.c_codec;
   }
 
 let endpoint_count t = t.count

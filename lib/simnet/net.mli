@@ -86,6 +86,16 @@ val set_observer : 'msg t -> (src:addr -> dst:addr -> 'msg -> outcome -> unit) -
     payload-agnostic, so the observer (which can inspect ['msg]) turns
     outcomes into trace events. *)
 
+val set_transducer : 'msg t -> ('msg -> ('msg, string) result) -> unit
+(** Pass every sent message through a transform before any fault or
+    latency processing; the {e transformed} value is what gets delivered.
+    [Error] drops the message with cause ["codec"].  This is how the wire
+    codecs interpose on simulated traffic: the transducer encodes to
+    bytes and decodes back, so every hop of every existing test exercises
+    the real wire format and any drift surfaces as a ["codec"] drop (see
+    [I3.Codec.harden]).  The transducer draws no network randomness, so
+    seeded runs replay identically with or without one. *)
+
 (** {1 Link-level faults}
 
     All fault knobs compose: a message must survive the partition check,
@@ -162,6 +172,7 @@ type stats = {
   dropped_down : int;  (** sender or receiver endpoint down *)
   dropped_partition : int;  (** crossing an active partition cut *)
   dropped_gray : int;  (** one-way gray link *)
+  dropped_codec : int;  (** {!set_transducer} returned [Error] *)
 }
 
 val stats : 'msg t -> stats

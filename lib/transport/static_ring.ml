@@ -1,0 +1,26 @@
+type member = { name : string; id : Id.t; addr : int }
+
+type t = member array (* ascending id order *)
+
+let create members =
+  if members = [] then invalid_arg "Static_ring.create: empty ring";
+  let arr =
+    Array.of_list
+      (List.map
+         (fun (name, addr) -> { name; id = Id.name_hash name; addr })
+         members)
+  in
+  Array.sort (fun a b -> Id.compare a.id b.id) arr;
+  arr
+
+let members t = Array.to_list t
+
+(* Successor of [key] on the identifier circle: the first member with
+   id >= key, wrapping to the smallest id — the same responsibility rule
+   Chord converges to, computable from the static membership alone. *)
+let owner_of t key =
+  let n = Array.length t in
+  let rec go i = if i = n then t.(0) else if Id.compare t.(i).id key >= 0 then t.(i) else go (i + 1) in
+  go 0
+
+let find_name t name = Array.find_opt (fun m -> m.name = name) t

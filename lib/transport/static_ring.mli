@@ -1,0 +1,22 @@
+(** A fixed, name-hashed ring for standalone deployments ([bin/i3d]).
+
+    Every member derives its identifier as [Id.name_hash "host:port"],
+    so any process knowing the membership list computes the same ring
+    and the same responsibility rule with no protocol at all — the
+    static analogue of a converged Chord ring, good enough for a handful
+    of daemons on a LAN (the interop test runs two on loopback). *)
+
+type member = { name : string; id : Id.t; addr : int }
+type t
+
+val create : (string * int) list -> t
+(** [(name, transport addr)] pairs; names are hashed into ring ids.
+    @raise Invalid_argument on an empty list. *)
+
+val members : t -> member list
+(** Ascending id order. *)
+
+val owner_of : t -> Id.t -> member
+(** The member responsible for a key: its successor on the circle. *)
+
+val find_name : t -> string -> member option

@@ -1,0 +1,63 @@
+(** Pluggable byte transports under the wire codecs.
+
+    A transport moves opaque datagrams between integer-addressed
+    endpoints — the service i3 assumes of IP.  The codecs ([I3.Codec],
+    [Chord.Codec], [I3.Packet]) turn protocol values into the bytes that
+    cross it, so the same daemon logic runs unchanged over the simulated
+    network or real UDP sockets ([bin/i3d]). *)
+
+module Static_ring = Static_ring
+(** Fixed name-hashed ring membership for standalone daemons. *)
+
+module type S = sig
+  type t
+
+  val send : t -> dst:int -> string -> unit
+  (** Fire-and-forget datagram; best-effort, unordered. *)
+
+  val set_handler : t -> (src:int -> string -> unit) -> unit
+  (** Replace the receive callback. *)
+
+  val local_addr : t -> int
+end
+
+(** Byte datagrams over {!Net} — virtual time, fault injection
+    and drop accounting included, which makes transport-level code
+    testable under the whole chaos harness. *)
+module Sim : sig
+  include S
+
+  val attach : string Net.t -> site:int -> t
+  (** Register a fresh endpoint at [site]; messages arrive through the
+      handler installed with [set_handler]. *)
+end
+
+(** IPv4 UDP datagrams over [Unix] sockets.  Addresses pack an IPv4
+    address and port into one int — [(ip << 16) | port], 48 bits — so
+    the simulated and real transports share simnet's address type. *)
+module Udp : sig
+  include S
+
+  val create : ?host:string -> ?port:int -> unit -> t
+  (** Bind a datagram socket ([host] default ["127.0.0.1"], [port]
+      default 0 = ephemeral).  @raise Unix.Unix_error when binding is
+      not permitted (sandboxes) — callers should degrade gracefully. *)
+
+  val poll : t -> timeout:float -> bool
+  (** Wait up to [timeout] seconds for one datagram and hand it to the
+      handler; returns whether one arrived.  A receive loop is repeated
+      [poll]. *)
+
+  val close : t -> unit
+
+  (** {2 Address packing} *)
+
+  val pack : ip:int -> port:int -> int
+  val ip_of : int -> int
+  val port_of : int -> int
+  val ip_of_string : string -> int option
+  val string_of_ip : int -> string
+  val addr_of_sockaddr : Unix.sockaddr -> int option
+  val sockaddr_of_addr : int -> Unix.sockaddr
+  val max_datagram : int
+end

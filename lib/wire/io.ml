@@ -1,0 +1,126 @@
+(* Bounds-checked binary reader/writer shared by every codec.
+
+   Writers append to a [Buffer.t]; readers are [result]-typed cursors
+   over an immutable string and must never raise and never read past the
+   end of the input, whatever bytes arrive — the mutation fuzzer in
+   [test/test_wire.ml] holds them to that. *)
+
+let ( let* ) = Result.bind
+
+(* --- writing --- *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u64 buf v =
+  for i = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let put_f64 buf v = put_u64 buf (Int64.bits_of_float v)
+
+let put_str16 buf s =
+  if String.length s > 0xffff then invalid_arg "Wire.Io.put_str16: too long";
+  put_u16 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_str32 buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+(* --- reading --- *)
+
+type reader = { src : string; mutable pos : int }
+
+let reader src = { src; pos = 0 }
+let pos r = r.pos
+let remaining r = String.length r.src - r.pos
+
+let need r n what =
+  if remaining r >= n then Ok () else Error ("truncated " ^ what)
+
+let u8 r what =
+  let* () = need r 1 what in
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  Ok v
+
+let u16 r what =
+  let* () = need r 2 what in
+  let v = (Char.code r.src.[r.pos] lsl 8) lor Char.code r.src.[r.pos + 1] in
+  r.pos <- r.pos + 2;
+  Ok v
+
+let u32 r what =
+  let* () = need r 4 what in
+  let p = r.pos in
+  let v =
+    (Char.code r.src.[p] lsl 24)
+    lor (Char.code r.src.[p + 1] lsl 16)
+    lor (Char.code r.src.[p + 2] lsl 8)
+    lor Char.code r.src.[p + 3]
+  in
+  r.pos <- p + 4;
+  Ok v
+
+let u64 r what =
+  let* () = need r 8 what in
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc :=
+      Int64.logor (Int64.shift_left !acc 8)
+        (Int64.of_int (Char.code r.src.[r.pos + i]))
+  done;
+  r.pos <- r.pos + 8;
+  Ok !acc
+
+let f64 r what =
+  let* bits = u64 r what in
+  Ok (Int64.float_of_bits bits)
+
+let take r n what =
+  if n < 0 then Error ("negative length for " ^ what)
+  else
+    let* () = need r n what in
+    let s = String.sub r.src r.pos n in
+    r.pos <- r.pos + n;
+    Ok s
+
+let str16 r what =
+  let* n = u16 r what in
+  take r n what
+
+let str32 r what =
+  let* n = u32 r what in
+  take r n what
+
+let expect_char r c what =
+  let* v = u8 r what in
+  if v = Char.code c then Ok () else Error ("bad " ^ what)
+
+let expect_end r =
+  if remaining r = 0 then Ok () else Error "trailing bytes"
+
+(* [list_of r ~count ~max what f] reads [count] consecutive [f]-decoded
+   elements, refusing counts beyond [max] so a corrupted length field
+   fails fast instead of looping over garbage. *)
+let list_of r ~count ~max what f =
+  if count < 0 || count > max then Error ("bad count for " ^ what)
+  else
+    let rec go k acc =
+      if k = 0 then Ok (List.rev acc)
+      else
+        let* x = f r in
+        go (k - 1) (x :: acc)
+    in
+    go count []

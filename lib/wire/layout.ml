@@ -1,0 +1,90 @@
+(* The single source of truth for every on-the-wire constant.  {!Packet}
+   (the 48-byte data header), the {!I3.Codec} / {!Chord.Codec} message
+   codecs, the UDP daemon and the observability docs all read offsets and
+   tags from here — nothing else is allowed to hard-code a byte
+   position. *)
+
+let magic0 = '\x69' (* 'i' *)
+let magic1 = '\x33' (* '3' *)
+let version = '\x01'
+
+(* --- the 48-byte data-packet common header (paper Sec. V-C) ---
+
+     0..1   magic "i3"
+     2      version
+     3      flags (< 0x10; >= 0x10 at this offset means a control kind)
+     4      stack entry count
+     5      ttl
+     6..7   reserved (0)
+     8..11  payload length, big-endian
+     12..19 sender address (or 0)
+     20..27 previous-hop server address (or 0)
+     28..35 trace id (0 = untraced)
+     36..47 reserved (0) *)
+
+let header_bytes = 48
+let off_magic = 0
+let off_version = 2
+let off_flags = 3
+let off_stack_count = 4
+let off_ttl = 5
+let off_payload_len = 8
+let off_sender = 12
+let off_prev_addr = 20
+let off_trace = 28
+let trace_bytes = 8
+let off_reserved = 36
+let reserved_bytes = header_bytes - off_reserved
+
+(* Packet header flag bits (all < [first_kind], see below). *)
+let flag_refresh = 1
+let flag_match_required = 2
+let flag_sender = 4
+let flag_prev_trigger = 8
+
+(* Identifier-stack entry tags and their encoded sizes. *)
+let tag_sid = '\x00'
+let tag_saddr = '\x01'
+let addr_bytes = 8
+let id_bytes = Id.byte_length
+let sid_entry_bytes = 1 + id_bytes
+let saddr_entry_bytes = 1 + addr_bytes
+let max_stack_depth = 4
+
+(* --- control-message preamble ---
+
+   Control messages share the packet's first three bytes
+   [magic0; magic1; version] and put a {e kind} tag where the packet
+   header keeps its flags (offset 3).  Packet flags fit in a nibble, so
+   any byte >= [first_kind] at that offset unambiguously selects a
+   control decoder: a data packet on the wire IS its 48-byte-header
+   encoding, with zero framing overhead. *)
+
+let preamble_bytes = 4
+let off_kind = 3
+let first_kind = 0x10
+
+(* i3 control-protocol kinds (I3.Message). *)
+let kind_insert = 0x10
+let kind_remove = 0x11
+let kind_challenge = 0x12
+let kind_insert_ack = 0x13
+let kind_cache_info = 0x14
+let kind_cache_push = 0x15
+let kind_pushback = 0x16
+let kind_replica = 0x17
+let kind_deliver = 0x18
+
+(* Chord RPC kinds (Chord.Protocol). *)
+let kind_lookup_step = 0x20
+let kind_lookup_reply = 0x21
+let kind_get_state = 0x22
+let kind_state = 0x23
+let kind_notify = 0x24
+
+(* Sanity bounds shared by decoders: a peer list (successor chains,
+   Notify gossip) or a cache-push trigger batch may never claim more
+   entries than these, whatever the length field says — a corrupted
+   count must fail cleanly instead of provoking a giant allocation. *)
+let max_peer_list = 32
+let max_trigger_batch = 4096

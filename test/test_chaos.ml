@@ -91,6 +91,27 @@ let assert_traces_conserved ~what d =
           (s.Obs.Trace.delivers + s.Obs.Trace.drops))
     (Obs.Trace.summaries tracer)
 
+(* Chaos-matrix-under-codec (the deployment byte-roundtrips every hop on
+   both planes by default): by scenario end a healthy wire layer shows
+   plenty of roundtrips and not a single decode failure or codec drop —
+   any Error would also have surfaced as a ["codec"]-cause drop in the
+   fault accounting. *)
+let assert_wire_clean ~what d =
+  let sum name =
+    List.fold_left
+      (fun acc (s : Obs.Metrics.sample) ->
+        match s.value with
+        | Obs.Metrics.Counter n when s.name = name -> acc + n
+        | _ -> acc)
+      0
+      (Obs.Metrics.snapshot ~prefix:name (I3.Dynamic.metrics d))
+  in
+  Alcotest.(check bool)
+    (what ^ ": wire roundtrips happened") true
+    (sum "wire.roundtrips" > 0);
+  Alcotest.(check int) (what ^ ": wire.decode_errors = 0") 0
+    (sum "wire.decode_errors")
+
 let check_recovered ~what ~seed d recv flow monitor ~fault_at =
   let rng = probe_rng (seed + 1) in
   let conv = Eval.Recovery.converges_within ~budget:120_000. rng d in
@@ -133,6 +154,7 @@ let check_recovered ~what ~seed d recv flow monitor ~fault_at =
     (what ^ ": flow recovered after fault") true
     (Eval.Recovery.time_to_recovery flow ~after:fault_at <> None);
   assert_traces_conserved ~what d;
+  assert_wire_clean ~what d;
   Eval.Recovery.metrics
     ~scenario:(Printf.sprintf "%s (seed %d)" what seed)
     ~fault_at ?detect_ms:detect ?monitor_ttr_ms:mon_ttr

@@ -216,7 +216,9 @@ let test_gate_default_checks_on_real_shape () =
          "routing_hops":{"p50":2.0,"p90":2.0,"p99":3.2},
          "spans":{"chord_lookup":{"p50_ms":0.0,"p99_ms":10.0},
                   "trigger_refresh":{"p99_ms":10.0}},
-         "health":{"violated_scrapes":0,"degraded_scrapes":0}}|}
+         "health":{"violated_scrapes":0,"degraded_scrapes":0},
+         "codec":{"decode_errors":0,"corpus_bytes":2483,
+                  "data_frame_bytes":154}}|}
   in
   let results =
     Eval.Gate.compare_json ~baseline:full ~current:full Eval.Gate.default_checks

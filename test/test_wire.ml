@@ -1,0 +1,369 @@
+(* Wire-format coverage: generator-driven roundtrips for every message
+   kind (i3 + Chord), the [decoded_length] = |encode| property, negative
+   decodes for truncation / depth / tag corruption, a deterministic
+   seeded mutation fuzzer over the whole corpus (decoders must return
+   [Error] — never raise, never over-read), and the byte-level
+   [Transport.Sim] smoke test. *)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let rng0 = Rng.of_int 4242
+
+(* --- generators --- *)
+
+let gen_id =
+  QCheck2.Gen.(
+    map (fun n -> Id.name_hash (string_of_int n)) (int_range 0 1_000_000))
+
+let gen_addr = QCheck2.Gen.int_range 0 0xffff_ffff
+let gen_entry =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun id -> I3.Packet.Sid id) gen_id;
+        map (fun a -> I3.Packet.Saddr a) gen_addr;
+      ])
+
+let gen_stack depth_min =
+  QCheck2.Gen.(
+    int_range depth_min I3.Packet.max_stack_depth >>= fun n ->
+    list_size (return n) gen_entry)
+
+let gen_payload = QCheck2.Gen.(string_size (int_range 0 64))
+
+let gen_packet =
+  QCheck2.Gen.(
+    gen_stack 1 >>= fun stack ->
+    gen_payload >>= fun payload ->
+    bool >>= fun refresh ->
+    bool >>= fun match_required ->
+    opt gen_addr >>= fun sender ->
+    opt (pair gen_addr gen_id) >>= fun prev ->
+    int_range 0 255 >>= fun ttl ->
+    int_range 0 0xffffff >>= fun trace ->
+    return
+      {
+        (I3.Packet.make ?sender ~refresh ~match_required ~ttl ~trace ~stack
+           ~payload ())
+        with
+        I3.Packet.prev_trigger = prev;
+      })
+
+let gen_trigger =
+  QCheck2.Gen.(
+    gen_id >>= fun id ->
+    gen_stack 1 >>= fun stack ->
+    gen_addr >>= fun owner -> return (I3.Trigger.make ~id ~stack ~owner))
+
+let gen_token = QCheck2.Gen.(string_size (int_range 0 32))
+let gen_lifetime = QCheck2.Gen.(map float_of_int (int_range 0 100_000))
+
+let gen_message =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun p -> I3.Message.Data p) gen_packet;
+        (gen_trigger >>= fun trigger ->
+         opt gen_token >>= fun token ->
+         return (I3.Message.Insert { trigger; token }));
+        map (fun trigger -> I3.Message.Remove { trigger }) gen_trigger;
+        (gen_trigger >>= fun trigger ->
+         gen_token >>= fun token ->
+         return (I3.Message.Challenge { trigger; token }));
+        (gen_trigger >>= fun trigger ->
+         gen_addr >>= fun server ->
+         return (I3.Message.Insert_ack { trigger; server }));
+        (gen_id >>= fun prefix ->
+         gen_addr >>= fun server ->
+         return (I3.Message.Cache_info { prefix; server }));
+        (list_size (int_range 0 5) (pair gen_trigger gen_lifetime)
+        >>= fun triggers -> return (I3.Message.Cache_push { triggers }));
+        (gen_id >>= fun id ->
+         gen_id >>= fun dead -> return (I3.Message.Pushback { id; dead }));
+        (gen_trigger >>= fun trigger ->
+         gen_lifetime >>= fun lifetime ->
+         return (I3.Message.Replica { trigger; lifetime }));
+        (gen_stack 0 >>= fun stack ->
+         gen_payload >>= fun payload ->
+         int_range 0 0xffffff >>= fun trace ->
+         return (I3.Message.Deliver { stack; payload; trace }));
+      ])
+
+let gen_peer =
+  QCheck2.Gen.(
+    gen_id >>= fun id ->
+    gen_addr >>= fun addr -> return { Chord.Protocol.id; addr })
+
+let gen_chord_msg =
+  QCheck2.Gen.(
+    oneof
+      [
+        (gen_id >>= fun key ->
+         int_range 0 1_000_000 >>= fun token ->
+         gen_addr >>= fun reply_to ->
+         return (Chord.Protocol.Lookup_step { key; token; reply_to }));
+        (int_range 0 1_000_000 >>= fun token ->
+         gen_peer >>= fun p ->
+         bool >>= fun done_ ->
+         return
+           (Chord.Protocol.Lookup_reply
+              {
+                token;
+                result =
+                  (if done_ then Chord.Protocol.Done p
+                   else Chord.Protocol.Next p);
+              }));
+        (int_range 0 1_000_000 >>= fun token ->
+         gen_addr >>= fun reply_to ->
+         return (Chord.Protocol.Get_state { token; reply_to }));
+        (int_range 0 1_000_000 >>= fun token ->
+         opt gen_peer >>= fun pred ->
+         list_size (int_range 0 8) gen_peer >>= fun succs ->
+         return (Chord.Protocol.State { token; pred; succs }));
+        (gen_peer >>= fun who ->
+         list_size (int_range 0 8) gen_peer >>= fun chain ->
+         return (Chord.Protocol.Notify { who; chain }));
+      ])
+
+(* --- roundtrips --- *)
+
+let test_message_roundtrip =
+  qtest ~count:500 "i3 message roundtrip" gen_message (fun m ->
+      match I3.Codec.decode (I3.Codec.encode m) with
+      | Ok m' -> m = m'
+      | Error _ -> false)
+
+let test_chord_roundtrip =
+  qtest ~count:500 "chord message roundtrip" gen_chord_msg (fun m ->
+      match Chord.Codec.decode (Chord.Codec.encode m) with
+      | Ok m' -> m = m'
+      | Error _ -> false)
+
+let test_data_frame_is_packet =
+  qtest "Data frame = Packet.encode" gen_packet (fun p ->
+      I3.Codec.encode (I3.Message.Data p) = I3.Packet.encode p)
+
+(* --- decoded_length (satellite 1) --- *)
+
+let test_decoded_length =
+  qtest ~count:500 "decoded_length = |encode|" gen_packet (fun p ->
+      I3.Packet.decoded_length (I3.Packet.encode p)
+      = Ok (String.length (I3.Packet.encode p)))
+
+let test_decoded_length_negative () =
+  let r = Rng.copy rng0 in
+  let p =
+    I3.Packet.make
+      ~stack:[ I3.Packet.Sid (Id.random r); I3.Packet.Saddr 7 ]
+      ~payload:"xyz" ()
+  in
+  let wire = I3.Packet.encode p in
+  (* Truncations anywhere in the header or body must fail, not clamp. *)
+  for cut = 0 to I3.Packet.header_bytes + 2 do
+    match I3.Packet.decoded_length (String.sub wire 0 cut) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "decoded_length accepted a %d-byte prefix" cut
+  done
+
+let test_decode_rejects_deep_stack () =
+  (* Hand-craft a header claiming more entries than max_stack_depth: the
+     decoder must reject the count outright (not clamp), whatever bytes
+     follow. *)
+  let r = Rng.copy rng0 in
+  let good =
+    I3.Packet.encode
+      (I3.Packet.make ~stack:[ I3.Packet.Sid (Id.random r) ] ~payload:"" ())
+  in
+  let deep = Bytes.of_string good in
+  Bytes.set deep 4 (Char.chr (I3.Packet.max_stack_depth + 1));
+  (match I3.Packet.decode (Bytes.to_string deep) with
+  | Error e ->
+      Alcotest.(check bool) "depth error" true (e = "bad stack depth")
+  | Ok _ -> Alcotest.fail "decode clamped an over-deep stack");
+  Bytes.set deep 4 '\x00';
+  match I3.Packet.decode (Bytes.to_string deep) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decode accepted a zero-depth stack"
+
+let test_decode_rejects_trailing () =
+  let r = Rng.copy rng0 in
+  let good =
+    I3.Packet.encode
+      (I3.Packet.make ~stack:[ I3.Packet.Sid (Id.random r) ] ~payload:"pp" ())
+  in
+  match I3.Packet.decode (good ^ "\x00") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decode accepted trailing bytes"
+
+(* --- deterministic mutation fuzzer ---
+
+   Over a corpus of every message kind (both protocols): byte flips,
+   truncations and length-field corruption, all drawn from a seeded
+   [Util.Rng].  The decoders must return — [Ok] (a mutation may be
+   semantically invisible) or [Error] — but never raise and never read
+   out of bounds.  [I3_FUZZ_ITERS] scales the iteration count (CI runs
+   >= 10_000). *)
+
+let fuzz_iters =
+  match Sys.getenv_opt "I3_FUZZ_ITERS" with
+  | Some s -> (try max 1000 (int_of_string s) with _ -> 2_000)
+  | None -> 2_000
+
+let corpus rng =
+  let gen g = QCheck2.Gen.generate1 ~rand:(Random.State.make [| Rng.int rng 1_000_000 |]) g in
+  List.concat
+    [
+      List.init 20 (fun _ -> I3.Codec.encode (gen gen_message));
+      List.init 20 (fun _ -> Chord.Codec.encode (gen gen_chord_msg));
+      List.init 10 (fun _ -> I3.Packet.encode (gen gen_packet));
+    ]
+
+let mutate rng s =
+  let s = Bytes.of_string s in
+  let n = Bytes.length s in
+  match Rng.int rng 4 with
+  | 0 when n > 0 ->
+      (* flip a byte *)
+      Bytes.set s (Rng.int rng n) (Char.chr (Rng.int rng 256));
+      Bytes.to_string s
+  | 1 when n > 0 ->
+      (* truncate *)
+      Bytes.sub_string s 0 (Rng.int rng n)
+  | 2 ->
+      (* extend with junk *)
+      Bytes.to_string s ^ String.init (1 + Rng.int rng 8) (fun _ -> Char.chr (Rng.int rng 256))
+  | _ when n > 4 ->
+      (* corrupt a plausible length/count field: one of the first 16
+         bytes gets an extreme value *)
+      Bytes.set s (Rng.int rng (min 16 n)) (if Rng.int rng 2 = 0 then '\xff' else '\x00');
+      Bytes.to_string s
+  | _ -> Bytes.to_string s
+
+let test_mutation_fuzz () =
+  let rng = Rng.of_int 20260807 in
+  let corpus = Array.of_list (corpus rng) in
+  let checked = ref 0 in
+  for _ = 1 to fuzz_iters do
+    let base = corpus.(Rng.int rng (Array.length corpus)) in
+    let mutant = mutate rng base in
+    (* Any raise here fails the test with a backtrace. *)
+    (match I3.Codec.decode mutant with Ok _ | Error _ -> ());
+    (match Chord.Codec.decode mutant with Ok _ | Error _ -> ());
+    (match I3.Packet.decode mutant with Ok _ | Error _ -> ());
+    (match I3.Packet.decoded_length mutant with
+    | Ok n ->
+        (* A length claim must never exceed what was actually present. *)
+        if n > String.length mutant then
+          Alcotest.failf "decoded_length over-read: %d > %d" n
+            (String.length mutant)
+    | Error _ -> ());
+    incr checked
+  done;
+  Alcotest.(check int) "iterations" fuzz_iters !checked
+
+(* --- Wire.Io primitives --- *)
+
+let test_io_bounds () =
+  let open Wire.Io in
+  let r = reader "ab" in
+  (match u32 r "x" with
+  | Error e -> Alcotest.(check string) "u32 short" "truncated x" e
+  | Ok _ -> Alcotest.fail "u32 over-read");
+  (* the failed read must not consume anything *)
+  (match u16 r "y" with
+  | Ok v -> Alcotest.(check int) "u16" 0x6162 v
+  | Error e -> Alcotest.fail e);
+  (match expect_end r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match take (reader "abc") (-1) "neg" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative take accepted"
+
+let test_io_list_cap () =
+  let open Wire.Io in
+  let r = reader (String.make 64 'x') in
+  match list_of r ~count:40 ~max:32 "peers" (fun r -> u8 r "b") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "list_of accepted count > max"
+
+(* --- Sim byte transport --- *)
+
+let test_sim_transport () =
+  let engine = Engine.create () in
+  let metrics = Obs.Metrics.create () in
+  let rng = Rng.copy rng0 in
+  let net =
+    Net.create ~metrics ~label:"bytes" engine ~rng ~latency:(fun _ _ -> 1.) ()
+  in
+  let a = Transport.Sim.attach net ~site:0 in
+  let b = Transport.Sim.attach net ~site:0 in
+  let got = ref [] in
+  Transport.Sim.set_handler b (fun ~src bytes -> got := (src, bytes) :: !got);
+  let frame = I3.Codec.encode (I3.Message.Data (I3.Packet.make ~stack:[ I3.Packet.Saddr 9 ] ~payload:"pp" ())) in
+  Transport.Sim.send a ~dst:(Transport.Sim.local_addr b) frame;
+  Engine.run_for engine 10.;
+  match !got with
+  | [ (src, bytes) ] ->
+      Alcotest.(check int) "src" (Transport.Sim.local_addr a) src;
+      Alcotest.(check string) "frame intact" frame bytes
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l)
+
+(* --- codec-level negatives --- *)
+
+let test_codec_negatives () =
+  let expect_err what s =
+    match I3.Codec.decode s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (what ^ ": expected decode error")
+  in
+  expect_err "empty" "";
+  expect_err "short preamble" "i3";
+  expect_err "bad magic" "XX\x01\x10";
+  expect_err "bad version" "i3\x02\x10";
+  expect_err "unknown kind" "i3\x01\x7f";
+  expect_err "chord kind on i3 codec" "i3\x01\x20";
+  let wire =
+    I3.Codec.encode
+      (I3.Message.Pushback
+         { id = Id.name_hash "a"; dead = Id.name_hash "b" })
+  in
+  expect_err "truncated body" (String.sub wire 0 (String.length wire - 1));
+  expect_err "trailing bytes" (wire ^ "!");
+  match Chord.Codec.decode "i3\x01\x10" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "i3 kind on chord codec: expected decode error"
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "roundtrip",
+        [
+          test_message_roundtrip;
+          test_chord_roundtrip;
+          test_data_frame_is_packet;
+        ] );
+      ( "decoded_length",
+        [
+          test_decoded_length;
+          Alcotest.test_case "negatives" `Quick test_decoded_length_negative;
+        ] );
+      ( "negative decode",
+        [
+          Alcotest.test_case "deep stack rejected" `Quick
+            test_decode_rejects_deep_stack;
+          Alcotest.test_case "trailing bytes rejected" `Quick
+            test_decode_rejects_trailing;
+          Alcotest.test_case "codec negatives" `Quick test_codec_negatives;
+        ] );
+      ( "fuzz",
+        [ Alcotest.test_case "seeded mutations" `Quick test_mutation_fuzz ] );
+      ( "io",
+        [
+          Alcotest.test_case "bounds" `Quick test_io_bounds;
+          Alcotest.test_case "list cap" `Quick test_io_list_cap;
+        ] );
+      ( "transport",
+        [ Alcotest.test_case "sim bytes" `Quick test_sim_transport ] );
+    ]
