@@ -1,0 +1,299 @@
+(* i3cluster: launch, supervise and chaos-test a cluster of real
+   [bin/i3d] daemons over loopback UDP — the one-command version of the
+   live chaos matrix (ROADMAP item 5).
+
+   The run is a complete scenario, not just a launcher: N supervised
+   daemons form a static ring; a host-side [Transport.Client] (with a
+   seeded [Transport.Faulty] decorator injecting the default fault
+   intensity at its send boundary) registers triggers and keeps them
+   refreshed; a probe flow measures delivery; an [Obs.Health] monitor
+   judges SLO rules on the wall clock; and a kill/restart schedule is
+   executed against the daemon owning the probed identifier.  On exit
+   the run asserts the same invariants the simulator's chaos matrix
+   pins — triggers conserved via client refresh, delivery restored
+   after failover, zero wire decode errors, zero client give-ups — and
+   exits non-zero when any fails, so CI can run it as a smoke job.
+
+   Usage:
+     i3cluster --n 5 --duration-ms 12000 --seed 7
+     i3cluster --n 3 --schedule "2000:crash;5000:restart" --json
+
+   Schedule DSL (semicolon-separated "OFFSET_MS:EVENT[:ARG]"):
+     crash[:i] restart[:i] loss:P dup:P jitter:MS spike:MS heal
+   Omitted crash/restart victims default to the probed id's owner. *)
+
+let usage =
+  "i3cluster --n N [--i3d PATH] [--seed S] [--duration-ms MS] [--triggers K]\n\
+  \          [--loss P] [--jitter MS] [--schedule SPEC] [--dir DIR]\n\
+  \          [--json] [--no-faults] [-v]"
+
+let n = ref 5
+let i3d = ref ""
+let seed = ref 7
+let duration_ms = ref 12_000.
+let ntriggers = ref 3
+let loss = ref 0.1
+let jitter = ref 2.
+let schedule_spec = ref ""
+let out_dir = ref ""
+let json_out = ref false
+let no_faults = ref false
+let verbose = ref false
+
+let args =
+  [
+    ("--n", Arg.Set_int n, "cluster size (default 5)");
+    ("--i3d", Arg.Set_string i3d, "path to the i3d binary (default: sibling)");
+    ("--seed", Arg.Set_int seed, "rng seed for ids, faults, backoff jitter");
+    ( "--duration-ms",
+      Arg.Float (fun f -> duration_ms := f),
+      "scenario length in wall ms (default 12000)" );
+    ("--triggers", Arg.Set_int ntriggers, "triggers to register (default 3)");
+    ("--loss", Arg.Float (fun f -> loss := f), "injected send loss (default 0.1)");
+    ( "--jitter",
+      Arg.Float (fun f -> jitter := f),
+      "injected send jitter in ms (default 2)" );
+    ( "--schedule",
+      Arg.Set_string schedule_spec,
+      "fault schedule: \"OFF:EVT[:ARG];...\" (default: seeded kill/restart)" );
+    ("--dir", Arg.Set_string out_dir, "logs/dumps directory (default: temp)");
+    ("--json", Arg.Set json_out, "machine-readable verdict on stdout");
+    ("--no-faults", Arg.Set no_faults, "disable send-boundary fault injection");
+    ("-v", Arg.Set verbose, "log supervision events to stderr");
+  ]
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let default_i3d () =
+  Filename.concat (Filename.dirname Sys.executable_name) "i3d.exe"
+
+let parse_schedule ~owner spec : Faults.schedule =
+  let event_of = function
+    | [ "crash" ] -> Faults.Crash owner
+    | [ "crash"; i ] -> Faults.Crash (int_of_string i)
+    | [ "restart" ] -> Faults.Restart owner
+    | [ "restart"; i ] -> Faults.Restart (int_of_string i)
+    | [ "loss"; p ] -> Faults.Loss (float_of_string p)
+    | [ "dup"; p ] -> Faults.Duplicate (float_of_string p)
+    | [ "jitter"; ms ] -> Faults.Jitter (float_of_string ms)
+    | [ "spike"; ms ] -> Faults.Latency_spike (float_of_string ms)
+    | [ "heal" ] -> Faults.Heal
+    | parts -> die "bad schedule event %S" (String.concat ":" parts)
+  in
+  List.filter_map
+    (fun item ->
+      match String.trim item with
+      | "" -> None
+      | item -> (
+          match String.split_on_char ':' item with
+          | at :: rest -> Some (float_of_string at, event_of rest)
+          | [] -> None))
+    (String.split_on_char ';' spec)
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  if !n < 1 then die "%s" usage;
+  let i3d = if !i3d = "" then default_i3d () else !i3d in
+  if not (Sys.file_exists i3d) then die "i3d binary not found at %s" i3d;
+  let rng = Rng.of_int !seed in
+  let metrics = Obs.Metrics.default in
+
+  (* The fleet. *)
+  let cluster =
+    Harness.Cluster.create ~metrics
+      ?dir:(if !out_dir = "" then None else Some !out_dir)
+      ~rng:(Rng.split rng) ~i3d ~n:!n ()
+  in
+  if !verbose then
+    Harness.Cluster.on_event cluster (fun s -> Printf.eprintf "[cluster] %s\n%!" s);
+  Printf.eprintf "i3cluster: %d daemons, dir %s\n%!" !n
+    (Harness.Cluster.dir cluster);
+  if not (Harness.Cluster.start cluster) then begin
+    Harness.Cluster.stop cluster;
+    die "cluster failed to become ready (no loopback UDP?)"
+  end;
+
+  (* The end-host: client + fault decorator + live checkers. *)
+  let udp =
+    try Transport.Udp.create ()
+    with Unix.Unix_error (e, _, _) ->
+      Harness.Cluster.stop cluster;
+      die "cannot bind client socket: %s" (Unix.error_message e)
+  in
+  let faulty =
+    if !no_faults then None
+    else begin
+      let f =
+        Transport.Faulty.of_udp ~metrics ~rng:(Rng.split rng) udp
+      in
+      Transport.Faulty.apply f (Faults.Loss !loss);
+      Transport.Faulty.apply f (Faults.Jitter !jitter);
+      Some f
+    end
+  in
+  let client =
+    Transport.Client.create ~metrics
+      ~config:
+        {
+          Transport.Client.default_config with
+          refresh_period_ms = 1_500.;
+        }
+      ?faulty ~rng:(Rng.split rng)
+      ~gateways:[ List.hd (Harness.Cluster.addrs cluster) ]
+      udp
+  in
+  let live = Harness.Live.attach ~metrics client in
+
+  (* Triggers: the probed one first, owned by a daemon that is NOT the
+     gateway, so the kill hits an inter-server path. *)
+  let rec probed_id () =
+    let id = Id.random rng in
+    if Harness.Cluster.owner_index cluster id <> 0 then id else probed_id ()
+  in
+  let probe_id = probed_id () in
+  let owner = Harness.Cluster.owner_index cluster probe_id in
+  let me = Transport.Client.local_addr client in
+  let triggers =
+    I3.Trigger.to_host ~id:probe_id ~owner:me
+    :: List.init (max 0 (!ntriggers - 1)) (fun _ ->
+           I3.Trigger.to_host ~id:(Id.random rng) ~owner:me)
+  in
+  let inserted =
+    List.for_all (fun tr -> Transport.Client.insert client tr = `Acked) triggers
+  in
+  if not inserted then begin
+    Harness.Cluster.stop cluster;
+    die "initial trigger registration failed"
+  end;
+
+  let flow = Harness.Live.start_flow live ~name:"probe" probe_id in
+  let mon =
+    Harness.Live.monitor
+      ~rules:(Harness.Live.default_rules ~flow_name:"probe" ())
+      live
+  in
+
+  (* The schedule: explicit DSL, or the default seeded kill/restart of
+     the probed id's owner at 25% / 40% of the run. *)
+  let schedule =
+    if !schedule_spec <> "" then parse_schedule ~owner !schedule_spec
+    else
+      [
+        (!duration_ms *. 0.25, Faults.Crash owner);
+        (!duration_ms *. 0.4, Faults.Restart owner);
+      ]
+  in
+  let fault_at = ref None in
+  let started = Unix.gettimeofday () *. 1000. in
+  List.iter
+    (fun (at, e) ->
+      match e with
+      | Faults.Crash _ when !fault_at = None -> fault_at := Some (started +. at)
+      | _ -> ())
+    schedule;
+  Printf.eprintf "i3cluster: owner of probed id is daemon %d; schedule: %s\n%!"
+    owner
+    (String.concat ", "
+       (List.map
+          (fun (at, e) ->
+            Format.asprintf "%.0fms %a" at Faults.pp_event e)
+          schedule));
+
+  Harness.Cluster.run_schedule ?faulty
+    ~tick:(fun ~now_ms ->
+      ignore (Transport.Client.poll client ~timeout:0.005);
+      Transport.Client.maintain client;
+      Harness.Live.flow_tick live flow ~now_ms;
+      Harness.Live.monitor_tick mon ~now_ms)
+    cluster schedule ~duration_ms:!duration_ms;
+  Harness.Live.stop_flow flow;
+
+  (* Invariants, then the post-mortem over the daemons' dumps. *)
+  let conserved = Harness.Live.triggers_conserved live in
+  Harness.Cluster.stop cluster;
+  let counter name =
+    match
+      Obs.Metrics.find metrics ~labels:[ ("instance", "client") ] name
+    with
+    | Some (Obs.Metrics.Counter c) -> c
+    | _ -> 0
+  in
+  let client_decode_errors =
+    match
+      Obs.Metrics.find metrics
+        ~labels:[ ("instance", "client"); ("proto", "i3") ]
+        "wire.decode_errors"
+    with
+    | Some (Obs.Metrics.Counter c) -> c
+    | _ -> 0
+  in
+  let daemon_decode_errors = Harness.Cluster.decode_errors cluster in
+  let gave_up = counter "client.gave_up" in
+  let ratio = Harness.Live.delivery_ratio flow in
+  let ttr =
+    Option.bind !fault_at (fun at -> Harness.Live.time_to_recovery flow ~after:at)
+  in
+  let detect =
+    Option.bind !fault_at (fun at -> Harness.Live.time_to_detect mon ~fault_at:at)
+  in
+  let mon_ttr =
+    Option.bind !fault_at (fun at ->
+        Harness.Live.time_to_recover mon ~fault_at:at)
+  in
+  let recovered = !fault_at = None || ttr <> None in
+  let ok =
+    conserved && recovered && gave_up = 0 && daemon_decode_errors = 0
+    && client_decode_errors = 0
+  in
+  let fmt_opt = function None -> "-" | Some v -> Printf.sprintf "%.0f" v in
+  if !json_out then
+    let j =
+      Json.Obj
+        [
+          ("ok", Json.Bool ok);
+          ("daemons", Json.Int !n);
+          ("conserved", Json.Bool conserved);
+          ("recovered", Json.Bool recovered);
+          ("delivery_ratio", Json.Float ratio);
+          ( "time_to_recovery_ms",
+            match ttr with Some v -> Json.Float v | None -> Json.Null );
+          ( "monitor_detect_ms",
+            match detect with Some v -> Json.Float v | None -> Json.Null );
+          ( "monitor_ttr_ms",
+            match mon_ttr with Some v -> Json.Float v | None -> Json.Null );
+          ("sent", Json.Int (Harness.Live.sent flow));
+          ("received", Json.Int (Harness.Live.received flow));
+          ("retries", Json.Int (counter "client.retries"));
+          ("timeouts", Json.Int (counter "client.timeouts"));
+          ("gave_up", Json.Int gave_up);
+          ("refreshes", Json.Int (counter "client.refreshes"));
+          ("decode_errors_daemons", Json.Int daemon_decode_errors);
+          ("decode_errors_client", Json.Int client_decode_errors);
+          ("longest_outage_ms", Json.Float (Harness.Live.longest_outage flow));
+          ("dir", Json.String (Harness.Cluster.dir cluster));
+        ]
+    in
+    print_endline (Json.to_string j)
+  else begin
+    Printf.printf "scenario : %d daemons, kill/restart daemon %d, %s faults\n"
+      !n owner
+      (if !no_faults then "no injected"
+       else Printf.sprintf "loss=%.2f jitter=%.0fms" !loss !jitter);
+    Printf.printf "delivery : %d/%d (ratio %.3f), longest outage %.0f ms\n"
+      (Harness.Live.received flow)
+      (Harness.Live.sent flow)
+      ratio
+      (Harness.Live.longest_outage flow);
+    Printf.printf "recovery : ttr=%s ms, monitor detect=%s ms, monitor ttr=%s ms\n"
+      (fmt_opt ttr) (fmt_opt detect) (fmt_opt mon_ttr);
+    Printf.printf "client   : retries=%d timeouts=%d gave_up=%d refreshes=%d\n"
+      (counter "client.retries") (counter "client.timeouts") gave_up
+      (counter "client.refreshes");
+    Printf.printf "wire     : decode_errors daemons=%d client=%d\n"
+      daemon_decode_errors client_decode_errors;
+    Printf.printf "invariants: conserved=%b recovered=%b -> %s\n" conserved
+      recovered
+      (if ok then "OK" else "FAILED");
+    Printf.printf "artifacts : %s\n" (Harness.Cluster.dir cluster)
+  end;
+  exit (if ok then 0 else 1)

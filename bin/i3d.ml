@@ -1,25 +1,38 @@
 (* i3d: a minimal i3 server daemon over real UDP sockets.
 
-   Serves the trigger protocol (insert / remove / ack) and Fig. 3 data
-   forwarding for a *static, name-hashed* ring ([Transport.Static_ring]):
-   every daemon is started with the full membership list, so
-   responsibility is computable locally and inter-server forwarding is a
-   single UDP hop.  The wire format is exactly the one the simulated
-   stack round-trips on every hop ([I3.Codec] / [I3.Packet]); the
-   loopback interop test drives two of these daemons from a third
-   process and asserts insert -> data -> delivery end to end.
+   Serves the trigger protocol (insert / remove / ack), liveness probes
+   (Ping -> Pong status frames) and Fig. 3 data forwarding for a
+   *static, name-hashed* ring ([Transport.Static_ring]): every daemon is
+   started with the full membership list, so responsibility is
+   computable locally and inter-server forwarding is a single UDP hop.
+   The wire format is exactly the one the simulated stack round-trips on
+   every hop ([I3.Codec] / [I3.Packet]); the loopback interop test
+   drives two of these daemons from a third process and asserts
+   insert -> data -> delivery end to end, and [bin/i3cluster] supervises
+   fleets of them under kill/restart chaos.
+
+   The daemon counts everything it does in an [Obs.Metrics] registry
+   (including [wire.decode_errors], the invariant the chaos harness
+   pins at zero) and shuts down gracefully: SIGTERM/SIGINT stop the
+   receive loop after the in-flight datagram, then the metrics registry
+   is flushed as JSON lines to [--metrics-out] (or stderr) so no sample
+   is lost to process death.
 
    Usage:
      i3d --host 127.0.0.1 --port 4001 \
-         --peers 127.0.0.1:4001,127.0.0.1:4002
+         --peers 127.0.0.1:4001,127.0.0.1:4002 \
+         [--metrics-out /tmp/i3d-4001-metrics.json]
 
    The daemon prints "READY <host:port>" on stdout once bound. *)
 
-let usage = "i3d --host HOST --port PORT --peers HOST:PORT,HOST:PORT,..."
+let usage =
+  "i3d --host HOST --port PORT --peers HOST:PORT,HOST:PORT,... \
+   [--metrics-out PATH]"
 
 let host = ref "127.0.0.1"
 let port = ref 0
 let peers = ref ""
+let metrics_out = ref ""
 let verbose = ref false
 
 let args =
@@ -29,6 +42,9 @@ let args =
     ( "--peers",
       Arg.Set_string peers,
       "comma-separated host:port ring membership, self included" );
+    ( "--metrics-out",
+      Arg.Set_string metrics_out,
+      "write the exit metrics dump (JSON lines) here instead of stderr" );
     ("-v", Arg.Set verbose, "log forwarding decisions to stderr");
   ]
 
@@ -63,6 +79,13 @@ let live_triggers id =
   if l = [] then Hashtbl.remove triggers key else Hashtbl.replace triggers key l;
   l
 
+let trigger_count () =
+  let now = Unix.gettimeofday () in
+  Hashtbl.fold
+    (fun _ l acc ->
+      acc + List.length (List.filter (fun (_, exp) -> exp > now) l))
+    triggers 0
+
 let store_trigger (t : I3.Trigger.t) =
   let key = Id.to_raw_string t.id in
   let exp = Unix.gettimeofday () +. (I3.Trigger.default_lifetime_ms /. 1000.) in
@@ -82,6 +105,11 @@ let remove_trigger (t : I3.Trigger.t) =
       | [] -> Hashtbl.remove triggers key
       | l' -> Hashtbl.replace triggers key l')
 
+(* The receive loop runs until a shutdown signal flips this; the handler
+   does nothing else, so the loop always finishes the frame in flight
+   before exiting. *)
+let running = ref true
+
 let () =
   Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   if !port = 0 || !peers = "" then begin
@@ -89,6 +117,23 @@ let () =
     exit 2
   end;
   let self_name = Printf.sprintf "%s:%d" !host !port in
+  let started = Unix.gettimeofday () in
+  let registry = Obs.Metrics.default in
+  let labels = [ ("instance", self_name) ] in
+  let c name = Obs.Metrics.counter registry ~labels name in
+  let c_received = c "i3d.received" in
+  let c_forwarded = c "i3d.forwarded" in
+  let c_delivered = c "i3d.deliveries" in
+  let c_inserts = c "i3d.inserts" in
+  let c_removes = c "i3d.removes" in
+  let c_pings = c "i3d.pings" in
+  let c_drops = c "i3d.drops" in
+  let c_decode_errors =
+    Obs.Metrics.counter registry
+      ~labels:(labels @ [ ("proto", "i3") ])
+      "wire.decode_errors"
+  in
+  let g_triggers = Obs.Metrics.gauge registry ~labels "i3d.triggers" in
   let ring =
     Transport.Static_ring.create
       (List.map
@@ -108,12 +153,18 @@ let () =
      frame to the end-host); an identifier head either matches local
      triggers (rewrite, recurse) or hops to the responsible daemon. *)
   let rec forward (p : I3.Packet.t) =
-    if p.ttl <= 0 then log "drop (ttl)"
+    if p.ttl <= 0 then begin
+      Obs.Metrics.incr c_drops;
+      log "drop (ttl)"
+    end
     else
       match p.stack with
-      | [] -> log "drop (empty stack)"
+      | [] ->
+          Obs.Metrics.incr c_drops;
+          log "drop (empty stack)"
       | I3.Packet.Saddr a :: rest ->
           log "deliver -> %d" a;
+          Obs.Metrics.incr c_delivered;
           send_msg a
             (I3.Message.Deliver
                { stack = rest; payload = p.payload; trace = p.trace })
@@ -121,17 +172,22 @@ let () =
           let owner = Transport.Static_ring.owner_of ring id in
           if Id.equal owner.id self.id then
             match live_triggers id with
-            | [] -> log "drop (no trigger for %s)" (Id.to_hex id)
+            | [] ->
+                Obs.Metrics.incr c_drops;
+                log "drop (no trigger for %s)" (Id.to_hex id)
             | matches ->
                 List.iter
                   (fun ((t : I3.Trigger.t), _) ->
                     let stack = t.stack @ rest in
-                    if List.length stack > I3.Packet.max_stack_depth then
+                    if List.length stack > I3.Packet.max_stack_depth then begin
+                      Obs.Metrics.incr c_drops;
                       log "drop (stack overflow)"
+                    end
                     else forward { p with stack; ttl = p.ttl - 1 })
                   matches
           else begin
             log "forward %s -> %s" (Id.to_hex id) owner.name;
+            Obs.Metrics.incr c_forwarded;
             send_msg owner.addr (I3.Message.Data p)
           end
   in
@@ -142,25 +198,70 @@ let () =
         let owner = Transport.Static_ring.owner_of ring trigger.id in
         if Id.equal owner.id self.id then begin
           log "insert %s for %d" (Id.to_hex trigger.id) trigger.owner;
+          Obs.Metrics.incr c_inserts;
           store_trigger trigger;
+          Obs.Metrics.set g_triggers (float_of_int (trigger_count ()));
           send_msg trigger.owner
             (I3.Message.Insert_ack { trigger; server = self.addr })
         end
         else send_msg owner.addr msg
     | I3.Message.Remove { trigger } ->
         let owner = Transport.Static_ring.owner_of ring trigger.id in
-        if Id.equal owner.id self.id then remove_trigger trigger
+        if Id.equal owner.id self.id then begin
+          Obs.Metrics.incr c_removes;
+          remove_trigger trigger;
+          Obs.Metrics.set g_triggers (float_of_int (trigger_count ()))
+        end
         else send_msg owner.addr msg
+    | I3.Message.Ping { nonce } ->
+        Obs.Metrics.incr c_pings;
+        send_msg src
+          (I3.Message.Pong
+             {
+               nonce;
+               server = self.addr;
+               triggers = trigger_count ();
+               uptime_ms = (Unix.gettimeofday () -. started) *. 1000.;
+             })
     | I3.Message.Insert_ack _ | I3.Message.Challenge _
     | I3.Message.Cache_info _ | I3.Message.Cache_push _
-    | I3.Message.Pushback _ | I3.Message.Replica _ | I3.Message.Deliver _ ->
+    | I3.Message.Pushback _ | I3.Message.Replica _ | I3.Message.Deliver _
+    | I3.Message.Pong _ ->
         log "ignore %s from %d" "control" src
   in
   Transport.Udp.set_handler udp (fun ~src bytes ->
+      Obs.Metrics.incr c_received;
       match I3.Codec.decode bytes with
       | Ok m -> handle ~src m
-      | Error e -> log "decode error from %d: %s" src e);
+      | Error e ->
+          Obs.Metrics.incr c_decode_errors;
+          log "decode error from %d: %s" src e);
+
+  (* Graceful shutdown: the signal handler only flips a flag; the loop
+     below finishes dispatching the current datagram, then falls through
+     to the metrics flush.  SIGTERM (supervisor stop) and SIGINT (^C)
+     behave identically; SIGKILL is the chaos case and by design leaves
+     nothing behind — that is what the soft-state refresh recovers. *)
+  let stop _ = running := false in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+
   Printf.printf "READY %s\n%!" self_name;
-  while true do
-    ignore (Transport.Udp.poll udp ~timeout:0.25)
-  done
+  while !running do
+    (* select() returns EINTR when a signal lands mid-wait; treat it as
+       an empty poll so the flag check decides. *)
+    match Transport.Udp.poll udp ~timeout:0.25 with
+    | (_ : bool) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Transport.Udp.close udp;
+  Obs.Metrics.set g_triggers (float_of_int (trigger_count ()));
+  let samples = Obs.Metrics.snapshot registry in
+  (if !metrics_out <> "" then Obs.Sink.metrics_json_lines ~path:!metrics_out samples
+   else
+     List.iter
+       (fun s ->
+         prerr_endline (Json.to_string (Obs.Sink.sample_to_json s)))
+       samples);
+  log "i3d %s: clean shutdown (%d samples flushed)" self_name
+    (List.length samples)

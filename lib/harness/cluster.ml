@@ -1,0 +1,436 @@
+(* A supervised cluster of real [bin/i3d] daemons on loopback UDP.
+
+   The harness is the live-process analogue of the simulator's
+   [I3.Dynamic]: it forks N daemons that form one static ring,
+   supervises them (reap-on-exit, restart with exponential backoff,
+   liveness probes over the Ping/Pong status frames) and interprets the
+   same declarative [Faults.schedule] the chaos matrix runs in
+   simulation — [Crash i] becomes a real SIGKILL, [Restart i] re-arms
+   supervision, and the network-weather events are forwarded to the
+   client's [Transport.Faulty] decorator, so one scenario vocabulary
+   drives sim and wire alike (ROADMAP item 5).
+
+   Everything observable lands in the metrics registry
+   ([cluster.spawns], [cluster.crashes], [cluster.restarts],
+   [cluster.ping_timeouts], [cluster.ping_restarts]); each daemon writes
+   its own registry to a per-member JSON dump on graceful stop, which
+   {!metrics_dumps} reads back — that is how the acceptance test pins
+   [wire.decode_errors = 0] against processes that no longer exist. *)
+
+let wall_ms () = Unix.gettimeofday () *. 1000.
+
+type member = {
+  index : int;
+  name : string;  (* host:port, the ring-hash key *)
+  port : int;
+  addr : int;  (* packed ip:port *)
+  log_path : string;
+  metrics_path : string;
+  mutable pid : int option;
+  mutable supervised : bool;
+      (* false between a scheduled Crash and its Restart: the scenario
+         owns the downtime, the supervisor must not heal it early *)
+  mutable restarts : int;
+  mutable backoff_ms : float;
+  mutable respawn_at : float option;  (* wall ms; pending delayed respawn *)
+  mutable last_spawn : float;
+  mutable ping_misses : int;
+}
+
+type config = {
+  restart_backoff_base_ms : float;
+  restart_backoff_max_ms : float;
+  stable_after_ms : float;
+      (* a child alive this long resets its backoff to base *)
+  ping_timeout_ms : float;
+  ping_misses_limit : int;
+      (* consecutive missed pongs before a live process is declared hung
+         and recycled *)
+}
+
+let default_config =
+  {
+    restart_backoff_base_ms = 100.;
+    restart_backoff_max_ms = 3_000.;
+    stable_after_ms = 5_000.;
+    ping_timeout_ms = 300.;
+    ping_misses_limit = 3;
+  }
+
+type t = {
+  i3d : string;
+  host : string;
+  dir : string;
+  cfg : config;
+  members : member array;
+  peers : string;
+  probe : Transport.Client.t;  (* supervisor's own socket: pings *)
+  mutable on_event : string -> unit;
+  c_spawns : Obs.Metrics.counter;
+  c_crashes : Obs.Metrics.counter;
+  c_restarts : Obs.Metrics.counter;
+  c_ping_timeouts : Obs.Metrics.counter;
+  c_ping_restarts : Obs.Metrics.counter;
+}
+
+let free_port () =
+  let s = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname s with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close s;
+  port
+
+let fresh_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec go i =
+    let d =
+      Filename.concat base
+        (Printf.sprintf "i3cluster-%d-%d" (Unix.getpid ()) i)
+    in
+    match Unix.mkdir d 0o700 with
+    | () -> d
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (i + 1)
+  in
+  go 0
+
+let create ?(metrics = Obs.Metrics.default) ?(config = default_config)
+    ?(host = "127.0.0.1") ?dir ?(rng = Rng.of_int 1) ~i3d ~n () =
+  if n < 1 then invalid_arg "Cluster.create: need n >= 1";
+  let dir =
+    match dir with
+    | None -> fresh_dir ()
+    | Some d ->
+        (try Unix.mkdir d 0o700
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        d
+  in
+  let members =
+    Array.init n (fun index ->
+        let port = free_port () in
+        let name = Printf.sprintf "%s:%d" host port in
+        {
+          index;
+          name;
+          port;
+          addr =
+            Transport.Udp.pack
+              ~ip:(Option.get (Transport.Udp.ip_of_string host))
+              ~port;
+          log_path = Filename.concat dir (Printf.sprintf "i3d-%d.log" index);
+          metrics_path =
+            Filename.concat dir (Printf.sprintf "i3d-%d-metrics.json" index);
+          pid = None;
+          supervised = true;
+          restarts = 0;
+          backoff_ms = config.restart_backoff_base_ms;
+          respawn_at = None;
+          last_spawn = 0.;
+          ping_misses = 0;
+        })
+  in
+  let peers = String.concat "," (Array.to_list (Array.map (fun m -> m.name) members)) in
+  let probe_udp = Transport.Udp.create ~host () in
+  let probe =
+    Transport.Client.create ~metrics ~instance:"supervisor" ~rng:(Rng.split rng)
+      ~gateways:(Array.to_list (Array.map (fun m -> m.addr) members))
+      probe_udp
+  in
+  let labels = [ ("instance", "cluster") ] in
+  let c name = Obs.Metrics.counter metrics ~labels name in
+  {
+    i3d;
+    host;
+    dir;
+    cfg = config;
+    members;
+    peers;
+    probe;
+    on_event = (fun _ -> ());
+    c_spawns = c "cluster.spawns";
+    c_crashes = c "cluster.crashes";
+    c_restarts = c "cluster.restarts";
+    c_ping_timeouts = c "cluster.ping_timeouts";
+    c_ping_restarts = c "cluster.ping_restarts";
+  }
+
+let on_event t f = t.on_event <- f
+let event t fmt = Printf.ksprintf (fun s -> t.on_event s) fmt
+let dir t = t.dir
+let size t = Array.length t.members
+let members t = Array.to_list t.members
+let member t i = t.members.(i)
+let addrs t = Array.to_list (Array.map (fun m -> m.addr) t.members)
+let names t = Array.to_list (Array.map (fun m -> m.name) t.members)
+let peers_arg t = t.peers
+
+let owner_index t id =
+  let ring =
+    Transport.Static_ring.create
+      (Array.to_list (Array.map (fun m -> (m.name, m.addr)) t.members))
+  in
+  let owner = Transport.Static_ring.owner_of ring id in
+  let found = ref 0 in
+  Array.iteri (fun i m -> if m.name = owner.name then found := i) t.members;
+  !found
+
+let spawn t i =
+  let m = t.members.(i) in
+  assert (m.pid = None);
+  let log_fd =
+    Unix.openfile m.log_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o600
+  in
+  let argv =
+    [|
+      t.i3d;
+      "--host";
+      t.host;
+      "--port";
+      string_of_int m.port;
+      "--peers";
+      t.peers;
+      "--metrics-out";
+      m.metrics_path;
+    |]
+  in
+  let pid = Unix.create_process t.i3d argv Unix.stdin log_fd log_fd in
+  Unix.close log_fd;
+  m.pid <- Some pid;
+  m.last_spawn <- wall_ms ();
+  m.respawn_at <- None;
+  m.ping_misses <- 0;
+  Obs.Metrics.incr t.c_spawns;
+  event t "spawn %s (pid %d)" m.name pid
+
+let ping t i ~timeout_ms =
+  Transport.Client.ping t.probe ~dst:t.members.(i).addr ~timeout_ms
+
+let alive t i = t.members.(i).pid <> None
+
+(* Wait until every spawned member answers a Ping; readiness by
+   behavior, not by parsing stdout. *)
+let await_ready t ~timeout_ms =
+  let deadline = wall_ms () +. timeout_ms in
+  let rec member_ready i =
+    if wall_ms () >= deadline then false
+    else if ping t i ~timeout_ms:t.cfg.ping_timeout_ms <> None then true
+    else member_ready i
+  in
+  Array.for_all
+    (fun m -> m.pid = None || member_ready m.index)
+    t.members
+
+let start ?(ready_timeout_ms = 10_000.) t =
+  Array.iteri (fun i _ -> spawn t i) t.members;
+  await_ready t ~timeout_ms:ready_timeout_ms
+
+let signal_member t i sg =
+  match t.members.(i).pid with
+  | None -> ()
+  | Some pid -> ( try Unix.kill pid sg with Unix.Unix_error _ -> ())
+
+(* Scheduled fail-stop: SIGKILL — no shutdown path runs, soft state is
+   gone, exactly the paper's server-failure model.  Supervision is
+   disarmed until the scenario's Restart. *)
+let kill t i =
+  let m = t.members.(i) in
+  m.supervised <- false;
+  (match m.pid with
+  | None -> ()
+  | Some pid ->
+      event t "kill %s (pid %d)" m.name pid;
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      Obs.Metrics.incr t.c_crashes);
+  m.pid <- None
+
+let restart t i =
+  let m = t.members.(i) in
+  m.supervised <- true;
+  if m.pid = None then begin
+    Obs.Metrics.incr t.c_restarts;
+    m.restarts <- m.restarts + 1;
+    spawn t i;
+    event t "restart %s" m.name
+  end
+
+(* One supervision tick: reap exited children; respawn supervised ones
+   after their backoff; recycle live-but-mute processes whose pings keep
+   timing out (a hang looks like a crash to clients — treat it as
+   one). *)
+let supervise ?(probe_hung = false) t =
+  let now = wall_ms () in
+  Array.iter
+    (fun m ->
+      (* delayed respawn due? *)
+      (match m.respawn_at with
+      | Some at when m.pid = None && m.supervised && now >= at ->
+          Obs.Metrics.incr t.c_restarts;
+          m.restarts <- m.restarts + 1;
+          spawn t m.index
+      | _ -> ());
+      match m.pid with
+      | None -> ()
+      | Some pid -> (
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ ->
+              (* Child alive.  Long-stable children earn their backoff
+                 reset; optionally check responsiveness. *)
+              if
+                m.backoff_ms > t.cfg.restart_backoff_base_ms
+                && now -. m.last_spawn >= t.cfg.stable_after_ms
+              then m.backoff_ms <- t.cfg.restart_backoff_base_ms;
+              if probe_hung then begin
+                match ping t m.index ~timeout_ms:t.cfg.ping_timeout_ms with
+                | Some _ -> m.ping_misses <- 0
+                | None ->
+                    Obs.Metrics.incr t.c_ping_timeouts;
+                    m.ping_misses <- m.ping_misses + 1;
+                    if m.ping_misses >= t.cfg.ping_misses_limit then begin
+                      event t "%s unresponsive (%d missed pongs): recycling"
+                        m.name m.ping_misses;
+                      Obs.Metrics.incr t.c_ping_restarts;
+                      (try Unix.kill pid Sys.sigkill
+                       with Unix.Unix_error _ -> ());
+                      (try ignore (Unix.waitpid [] pid)
+                       with Unix.Unix_error _ -> ());
+                      m.pid <- None;
+                      m.respawn_at <- Some (now +. m.backoff_ms);
+                      m.backoff_ms <-
+                        Float.min (m.backoff_ms *. 2.)
+                          t.cfg.restart_backoff_max_ms
+                    end
+              end
+          | _, _ ->
+              (* Child exited on its own. *)
+              Obs.Metrics.incr t.c_crashes;
+              event t "%s exited unexpectedly" m.name;
+              m.pid <- None;
+              if m.supervised then begin
+                m.respawn_at <- Some (now +. m.backoff_ms);
+                m.backoff_ms <-
+                  Float.min (m.backoff_ms *. 2.) t.cfg.restart_backoff_max_ms
+              end
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) -> m.pid <- None))
+    t.members
+
+(* Graceful stop: SIGTERM, grace period for the metrics flush, SIGKILL
+   stragglers.  After this every member's metrics dump (if it exited
+   cleanly) is on disk. *)
+let stop ?(grace_ms = 3_000.) t =
+  Array.iter (fun m -> m.supervised <- false) t.members;
+  Array.iter (fun m -> if m.pid <> None then signal_member t m.index Sys.sigterm) t.members;
+  let deadline = wall_ms () +. grace_ms in
+  let rec drain () =
+    let still =
+      Array.exists
+        (fun m ->
+          match m.pid with
+          | None -> false
+          | Some pid -> (
+              match Unix.waitpid [ Unix.WNOHANG ] pid with
+              | 0, _ -> true
+              | _ -> m.pid <- None; false
+              | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+                  m.pid <- None;
+                  false))
+        t.members
+    in
+    if still && wall_ms () < deadline then begin
+      ignore (Unix.select [] [] [] 0.02);
+      drain ()
+    end
+    else still
+  in
+  if drain () then
+    Array.iter
+      (fun m ->
+        match m.pid with
+        | None -> ()
+        | Some pid ->
+            event t "%s ignored SIGTERM; killing" m.name;
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+            m.pid <- None)
+      t.members
+
+(* --- the metrics dumps --- *)
+
+let read_json_lines path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+      let rec go acc =
+        match input_line ic with
+        | line -> (
+            match Json.of_string_opt line with
+            | Some j -> go (j :: acc)
+            | None -> go acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      go []
+
+let metrics_dumps t =
+  Array.to_list
+    (Array.map (fun m -> (m.name, read_json_lines m.metrics_path)) t.members)
+
+(* Sum one counter across every member's dump, by metric name (labels
+   beyond the name are ignored: instances differ per daemon). *)
+let sum_counter t name =
+  List.fold_left
+    (fun acc (_, samples) ->
+      List.fold_left
+        (fun acc j ->
+          match (Json.member "name" j, Json.member "value" j) with
+          | Some (Json.String n), Some v when n = name -> (
+              match Json.to_float_opt v with
+              | Some f -> acc + int_of_float f
+              | None -> acc)
+          | _ -> acc)
+        acc samples)
+    0 (metrics_dumps t)
+
+let decode_errors t = sum_counter t "wire.decode_errors"
+
+(* --- chaos schedules against live processes --- *)
+
+(* Interpret a [Faults.schedule] on the wall clock: process events
+   against the cluster, network-weather events against the (optional)
+   client-side fault decorator.  [tick] runs every loop iteration —
+   point it at the client's poll/maintain and the monitor's scrape. *)
+let run_schedule ?faulty ?(tick = fun ~now_ms:_ -> ()) ?(tick_ms = 20.) t
+    schedule ~duration_ms =
+  let started = wall_ms () in
+  let pending = ref (Faults.sorted schedule) in
+  let apply_event e =
+    match (e : Faults.event) with
+    | Faults.Crash i -> kill t (i mod size t)
+    | Faults.Restart i -> restart t (i mod size t)
+    | _ -> (
+        match faulty with
+        | Some f -> Transport.Faulty.apply f e
+        | None -> ())
+  in
+  let rec loop () =
+    let now = wall_ms () in
+    let elapsed = now -. started in
+    (match !pending with
+    | (at, e) :: rest when at <= elapsed ->
+        event t "t=%.0fms: %s" elapsed
+          (Format.asprintf "%a" Faults.pp_event e);
+        apply_event e;
+        pending := rest
+    | _ -> ());
+    supervise t;
+    tick ~now_ms:now;
+    if elapsed < duration_ms then begin
+      ignore (Unix.select [] [] [] (tick_ms /. 1000.));
+      loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,133 @@
+(** A supervised cluster of real [bin/i3d] daemons over loopback UDP —
+    the live-process analogue of the simulator's deployment, and the
+    substrate the chaos matrix runs against outside simulation.
+
+    The supervisor forks N daemons forming one static ring, reaps and
+    respawns them (exponential backoff, reset after a stable period),
+    probes liveness via the Ping/Pong status frames, and interprets the
+    same declarative {!Faults.schedule} the simulator runs: [Crash i] is
+    a real SIGKILL, [Restart i] re-arms supervision and respawns;
+    network-weather events go to the client-side {!Transport.Faulty}
+    decorator.  Each daemon flushes its metrics registry to a JSON dump
+    on graceful stop; {!metrics_dumps} / {!decode_errors} read those
+    back for post-mortem assertions. *)
+
+type member = {
+  index : int;
+  name : string;  (** host:port — the static ring's hash key *)
+  port : int;
+  addr : int;  (** packed, as {!Transport.Udp.pack} *)
+  log_path : string;
+  metrics_path : string;
+  mutable pid : int option;
+  mutable supervised : bool;
+  mutable restarts : int;
+  mutable backoff_ms : float;
+  mutable respawn_at : float option;
+  mutable last_spawn : float;
+  mutable ping_misses : int;
+}
+
+type config = {
+  restart_backoff_base_ms : float;  (** first respawn delay (default 100) *)
+  restart_backoff_max_ms : float;  (** backoff cap (default 3000) *)
+  stable_after_ms : float;
+      (** uptime that earns a backoff reset (default 5000) *)
+  ping_timeout_ms : float;  (** per-probe pong wait (default 300) *)
+  ping_misses_limit : int;
+      (** consecutive missed pongs before a live process is recycled as
+          hung (default 3) *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?metrics:Obs.Metrics.t ->
+  ?config:config ->
+  ?host:string ->
+  ?dir:string ->
+  ?rng:Rng.t ->
+  i3d:string ->
+  n:int ->
+  unit ->
+  t
+(** Pick [n] free loopback ports and prepare (not yet spawn) the
+    members.  [i3d] is the daemon binary's path; [dir] (default: a fresh
+    directory under the system temp dir) receives per-member logs and
+    metrics dumps.  @raise Invalid_argument when [n < 1]. *)
+
+val on_event : t -> (string -> unit) -> unit
+(** Supervision event log hook (spawn/kill/restart/unresponsive). *)
+
+val dir : t -> string
+val size : t -> int
+val members : t -> member list
+val member : t -> int -> member
+val addrs : t -> int list
+val names : t -> string list
+val peers_arg : t -> string
+(** The [--peers] value every member is spawned with. *)
+
+val owner_index : t -> Id.t -> int
+(** Which member's daemon is responsible for an identifier (static-ring
+    successor rule) — for aiming a chaos kill at a flow's server. *)
+
+(** {1 Lifecycle} *)
+
+val start : ?ready_timeout_ms:float -> t -> bool
+(** Spawn every member and wait until each answers a Ping (readiness by
+    behavior, not stdout parsing); [false] on timeout. *)
+
+val spawn : t -> int -> unit
+(** Low-level: fork one member (asserts it is not running). *)
+
+val kill : t -> int -> unit
+(** Scheduled fail-stop: SIGKILL, reap, disarm supervision until
+    {!restart} — the scenario owns the downtime. *)
+
+val restart : t -> int -> unit
+(** Re-arm supervision and respawn immediately if dead. *)
+
+val alive : t -> int -> bool
+val ping : t -> int -> timeout_ms:float -> Transport.Client.pong option
+
+val supervise : ?probe_hung:bool -> t -> unit
+(** One supervision tick: reap exited children, respawn supervised ones
+    whose backoff elapsed; with [probe_hung], also ping live members and
+    recycle any that miss [ping_misses_limit] consecutive pongs. *)
+
+val stop : ?grace_ms:float -> t -> unit
+(** Graceful stop: SIGTERM everyone (triggering their metrics flush),
+    wait up to [grace_ms], SIGKILL stragglers. *)
+
+(** {1 Post-mortem} *)
+
+val metrics_dumps : t -> (string * Json.t list) list
+(** Per-member metrics dumps (JSON lines written by the daemons'
+    graceful shutdown), parsed; missing or unparseable files yield
+    [[]]. *)
+
+val sum_counter : t -> string -> int
+(** Sum a counter across every member's dump, matched by metric name. *)
+
+val decode_errors : t -> int
+(** [sum_counter t "wire.decode_errors"] — the invariant chaos pins at
+    zero. *)
+
+(** {1 Chaos schedules} *)
+
+val run_schedule :
+  ?faulty:Transport.Faulty.t ->
+  ?tick:(now_ms:float -> unit) ->
+  ?tick_ms:float ->
+  t ->
+  Faults.schedule ->
+  duration_ms:float ->
+  unit
+(** Interpret a fault schedule on the wall clock ([schedule] offsets are
+    ms from now): [Crash]/[Restart] against the cluster (victim index
+    modulo cluster size), everything else against [faulty].  [tick] runs
+    every loop iteration (~[tick_ms]) — drive the client's poll/maintain
+    and the monitor from it.  Returns after [duration_ms]. *)

@@ -41,6 +41,8 @@ let kind_of : Message.t -> int = function
   | Pushback _ -> L.kind_pushback
   | Replica _ -> L.kind_replica
   | Deliver _ -> L.kind_deliver
+  | Ping _ -> L.kind_ping
+  | Pong _ -> L.kind_pong
 
 let encode (m : Message.t) =
   match m with
@@ -95,7 +97,13 @@ let encode (m : Message.t) =
              the application may legitimately be empty. *)
           Packet.put_stack buf stack;
           Io.put_u64 buf (Int64.of_int trace);
-          Io.put_str32 buf payload);
+          Io.put_str32 buf payload
+      | Ping { nonce } -> Io.put_u64 buf (Int64.of_int nonce)
+      | Pong { nonce; server; triggers; uptime_ms } ->
+          Io.put_u64 buf (Int64.of_int nonce);
+          put_addr buf server;
+          Io.put_u32 buf triggers;
+          Io.put_f64 buf uptime_ms);
       Buffer.contents buf
 
 let read_body kind r : (Message.t, string) result =
@@ -150,6 +158,15 @@ let read_body kind r : (Message.t, string) result =
     let* trace = Io.u64 r "trace id" in
     let* payload = Io.str32 r "payload" in
     Ok (Message.Deliver { stack; payload; trace = Int64.to_int trace })
+  else if kind = L.kind_ping then
+    let* nonce = Io.u64 r "ping nonce" in
+    Ok (Message.Ping { nonce = Int64.to_int nonce })
+  else if kind = L.kind_pong then
+    let* nonce = Io.u64 r "pong nonce" in
+    let* server = read_addr r "pong server" in
+    let* triggers = Io.u32 r "pong triggers" in
+    let* uptime_ms = Io.f64 r "pong uptime" in
+    Ok (Message.Pong { nonce = Int64.to_int nonce; server; triggers; uptime_ms })
   else Error "unknown i3 message kind"
 
 let decode s =

@@ -142,7 +142,8 @@ let handle t ~src:_ (msg : Message.t) =
         { server; expires = now t +. t.cfg.cache_ttl };
       close_first_packet t prefix
   | Message.Data _ | Message.Insert _ | Message.Remove _
-  | Message.Cache_push _ | Message.Pushback _ | Message.Replica _ ->
+  | Message.Cache_push _ | Message.Pushback _ | Message.Replica _
+  | Message.Ping _ | Message.Pong _ ->
       (* Server-bound traffic; hosts ignore it. *)
       ()
 

@@ -9,6 +9,13 @@ type t =
   | Pushback of { id : Id.t; dead : Id.t }
   | Replica of { trigger : Trigger.t; lifetime : float }
   | Deliver of { stack : Packet.stack; payload : string; trace : int }
+  | Ping of { nonce : int }
+  | Pong of {
+      nonce : int;
+      server : Packet.addr;
+      triggers : int;
+      uptime_ms : float;
+    }
 
 let pp ppf = function
   | Data p ->
@@ -33,6 +40,10 @@ let pp ppf = function
   | Deliver { stack; payload; trace = _ } ->
       Format.fprintf ppf "deliver %a (%d B)" Packet.pp_stack stack
         (String.length payload)
+  | Ping { nonce } -> Format.fprintf ppf "ping #%d" nonce
+  | Pong { nonce; server; triggers; uptime_ms } ->
+      Format.fprintf ppf "pong #%d from %a (%d triggers, up %.0f ms)" nonce
+        Net.pp_addr server triggers uptime_ms
 
 (* The trace id carried by a message, if the message participates in
    per-packet tracing (data path only: control messages are untraced). *)
@@ -40,5 +51,5 @@ let trace_of = function
   | Data p -> if p.Packet.trace = 0 then None else Some p.Packet.trace
   | Deliver { trace; _ } -> if trace = 0 then None else Some trace
   | Insert _ | Remove _ | Challenge _ | Insert_ack _ | Cache_info _
-  | Cache_push _ | Pushback _ | Replica _ ->
+  | Cache_push _ | Pushback _ | Replica _ | Ping _ | Pong _ ->
       None

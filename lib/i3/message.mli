@@ -31,6 +31,16 @@ type t =
   | Deliver of { stack : Packet.stack; payload : string; trace : int }
       (** final IP hop from server to end-host: the rest of the stack is
           handed to the application (Sec. II-E) *)
+  | Ping of { nonce : int }
+      (** liveness probe: any server answers with a {!Pong} echoing the
+          nonce — supervisors and clients use it for health checks and
+          readiness gating ([bin/i3cluster]) *)
+  | Pong of {
+      nonce : int;
+      server : Packet.addr;
+      triggers : int;  (** resident (unexpired) triggers *)
+      uptime_ms : float;
+    }  (** status reply to a {!Ping}: a one-datagram health summary *)
 
 val pp : Format.formatter -> t -> unit
 

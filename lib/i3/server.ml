@@ -358,7 +358,7 @@ let start_sweeper t =
 
 let handle_packet t p = if t.alive then process_packet t p
 
-let handle t ~src:_ (msg : Message.t) =
+let handle t ~src (msg : Message.t) =
   if t.alive then
     match msg with
     | Message.Data p ->
@@ -372,8 +372,17 @@ let handle t ~src:_ (msg : Message.t) =
         if lifetime > 0. then
           Trigger_table.insert t.replicas ~now:(now t)
             ~expires:(now t +. lifetime) trigger
+    | Message.Ping { nonce } ->
+        send t src
+          (Message.Pong
+             {
+               nonce;
+               server = t.addr;
+               triggers = Trigger_table.size t.table;
+               uptime_ms = now t;
+             })
     | Message.Challenge _ | Message.Insert_ack _ | Message.Cache_info _
-    | Message.Deliver _ ->
+    | Message.Deliver _ | Message.Pong _ ->
         (* Host-bound control traffic; not for servers. *)
         ()
 

@@ -9,6 +9,17 @@
 module Static_ring = Static_ring
 (** Fixed name-hashed ring membership for standalone daemons. *)
 
+module Udp = Udp
+(** IPv4 UDP datagrams over [Unix] sockets. *)
+
+module Faulty = Faulty
+(** Seeded send-boundary fault injection over any transport, driven by
+    the simulator's {!Faults.event} vocabulary. *)
+
+module Client = Client
+(** Reliable host-side client: ack-awaited inserts with retry/backoff,
+    soft-state trigger refresh, liveness pings. *)
+
 module type S = sig
   type t
 
@@ -30,34 +41,4 @@ module Sim : sig
   val attach : string Net.t -> site:int -> t
   (** Register a fresh endpoint at [site]; messages arrive through the
       handler installed with [set_handler]. *)
-end
-
-(** IPv4 UDP datagrams over [Unix] sockets.  Addresses pack an IPv4
-    address and port into one int — [(ip << 16) | port], 48 bits — so
-    the simulated and real transports share simnet's address type. *)
-module Udp : sig
-  include S
-
-  val create : ?host:string -> ?port:int -> unit -> t
-  (** Bind a datagram socket ([host] default ["127.0.0.1"], [port]
-      default 0 = ephemeral).  @raise Unix.Unix_error when binding is
-      not permitted (sandboxes) — callers should degrade gracefully. *)
-
-  val poll : t -> timeout:float -> bool
-  (** Wait up to [timeout] seconds for one datagram and hand it to the
-      handler; returns whether one arrived.  A receive loop is repeated
-      [poll]. *)
-
-  val close : t -> unit
-
-  (** {2 Address packing} *)
-
-  val pack : ip:int -> port:int -> int
-  val ip_of : int -> int
-  val port_of : int -> int
-  val ip_of_string : string -> int option
-  val string_of_ip : int -> string
-  val addr_of_sockaddr : Unix.sockaddr -> int option
-  val sockaddr_of_addr : int -> Unix.sockaddr
-  val max_datagram : int
 end

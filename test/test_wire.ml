@@ -88,6 +88,12 @@ let gen_message =
          gen_payload >>= fun payload ->
          int_range 0 0xffffff >>= fun trace ->
          return (I3.Message.Deliver { stack; payload; trace }));
+        map (fun nonce -> I3.Message.Ping { nonce }) (int_range 0 0xffffff);
+        (int_range 0 0xffffff >>= fun nonce ->
+         gen_addr >>= fun server ->
+         int_range 0 100_000 >>= fun triggers ->
+         gen_lifetime >>= fun uptime_ms ->
+         return (I3.Message.Pong { nonce; server; triggers; uptime_ms }));
       ])
 
 let gen_peer =
