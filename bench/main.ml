@@ -553,7 +553,8 @@ let section_codec () =
         { token = 3; result = Chord.Protocol.Done (peer ()) };
       Chord.Protocol.Get_state { token = 4; reply_to = 1 };
       Chord.Protocol.State
-        { token = 4; pred = Some (peer ()); succs = List.init 8 (fun _ -> peer ()) };
+        { token = 4; self = peer (); pred = Some (peer ());
+          succs = List.init 8 (fun _ -> peer ()) };
       Chord.Protocol.Notify
         { who = peer (); chain = List.init 8 (fun _ -> peer ()) };
     ]
@@ -613,6 +614,132 @@ let section_codec () =
         ] );
   ]
 
+(* --- engine: sans-IO step throughput + deterministic effect shape ---
+
+   The loopback scenario (two engines, fixed seeds, fixed virtual
+   schedule) is a pure function of its inputs — the step/effect totals
+   and whether the ring forms are pinned by Eval.Gate.  Steps/sec is
+   wall-clock and reported unguarded. *)
+
+let section_engine () =
+  print_endline "=== engine: sans-IO step ===";
+  (* Throughput: a single-node engine forwarding matched data packets,
+     one event per step. *)
+  let e =
+    I3.Engine.create ~seed:9 ~addr:1 ~metrics:(Obs.Metrics.create ()) ()
+  in
+  let host = 0xbeef in
+  let id = Id.name_hash "bench-engine" in
+  ignore
+    (I3.Engine.step e ~now:0.
+       (I3.Engine.Insert_trigger (I3.Trigger.to_host ~id ~owner:host)));
+  let pkt =
+    I3.Packet.make ~stack:[ I3.Packet.Sid id ] ~payload:(String.make 64 'x') ()
+  in
+  let iters = if smoke then 20_000 else 200_000 in
+  let now = ref 0. in
+  let steps_per_sec =
+    rate_per_sec
+      (fun () ->
+        now := !now +. 0.01;
+        ignore (I3.Engine.step e ~now:!now (I3.Engine.Send_packet pkt)))
+      iters
+  in
+
+  (* Deterministic loopback scenario: A bootstraps, B joins A, 2 s of
+     virtual 10 ms ticks with instant in-memory delivery, then one
+     trigger insert and one data packet across the formed ring. *)
+  let fast_chord =
+    {
+      Chord.Protocol.default_config with
+      stabilize_period = 50.;
+      fix_fingers_period = 100.;
+      rpc_timeout = 30.;
+    }
+  in
+  let metrics = Obs.Metrics.create () in
+  let a =
+    I3.Engine.create ~seed:1 ~addr:1
+      ~id:(Id.routing_key (Id.name_hash "bench-a"))
+      ~chord_config:fast_chord ~metrics ()
+  in
+  let b =
+    I3.Engine.create ~seed:2 ~addr:2
+      ~id:(Id.routing_key (Id.name_hash "bench-b"))
+      ~join:[ 1 ] ~chord_config:fast_chord ~metrics ()
+  in
+  let events = ref 0 and effects = ref 0 and delivers = ref 0 in
+  let engine_at addr = if addr = 1 then a else b in
+  let step eng ~now ev =
+    incr events;
+    let effs = I3.Engine.step eng ~now ev in
+    List.iter
+      (function
+        | I3.Engine.Set_timer _ -> ()
+        | I3.Engine.Deliver _ -> incr effects; incr delivers
+        | _ -> incr effects)
+      effs;
+    effs
+  in
+  let rec interpret now src effs =
+    List.iter
+      (function
+        | I3.Engine.Set_timer _ | I3.Engine.Deliver _ -> ()
+        | eff -> (
+            match I3.Engine.encode_effect eff with
+            | None -> ()
+            | Some (dst, bytes) when dst = 1 || dst = 2 -> (
+                match I3.Engine.decode bytes with
+                | Ok frame ->
+                    interpret now dst
+                      (step (engine_at dst) ~now
+                         (I3.Engine.Frame { src; frame }))
+                | Error _ -> ())
+            | Some _ -> ()))
+      effs
+  in
+  let vnow = ref 0. in
+  while !vnow < 2_000. do
+    interpret !vnow 1 (step a ~now:!vnow I3.Engine.Tick);
+    interpret !vnow 2 (step b ~now:!vnow I3.Engine.Tick);
+    vnow := !vnow +. 10.
+  done;
+  let lid = Id.name_hash "bench-loopback" in
+  interpret !vnow 1
+    (step a ~now:!vnow
+       (I3.Engine.Insert_trigger (I3.Trigger.to_host ~id:lid ~owner:0xd00d)));
+  interpret !vnow 1
+    (step a ~now:!vnow
+       (I3.Engine.Send_packet
+          (I3.Packet.make ~stack:[ I3.Packet.Sid lid ] ~payload:"b" ())));
+  let succ_addr e =
+    Option.map
+      (fun p -> p.Chord.Protocol.addr)
+      (Chord.Protocol.successor (I3.Engine.chord e))
+  in
+  let ring_formed =
+    if succ_addr a = Some 2 && succ_addr b = Some 1 then 1 else 0
+  in
+  let batch_mean = float_of_int !effects /. float_of_int !events in
+  Printf.printf "  step: %.0f events/s (single-node forward)\n" steps_per_sec;
+  Printf.printf
+    "  loopback: %d events -> %d effects (%.2f effects/event), %d delivers, \
+     ring %s\n\n"
+    !events !effects batch_mean !delivers
+    (if ring_formed = 1 then "formed" else "NOT formed");
+  [
+    ( "engine",
+      Json.Obj
+        [
+          ("events_per_sec", Json.Float steps_per_sec);
+          ("loopback_events", Json.Int !events);
+          ("loopback_effects", Json.Int !effects);
+          ("loopback_delivers", Json.Int !delivers);
+          ("effect_batch_mean", Json.Float batch_mean);
+          ("ring_formed", Json.Int ring_formed);
+        ] );
+  ]
+
 let write_bench_json fields =
   let json =
     Json.Obj
@@ -638,7 +765,8 @@ let () =
     let obs = section_observability () in
     let ctl = section_control_plane () in
     let codec = section_codec () in
-    write_bench_json (obs @ ctl @ codec)
+    let eng = section_engine () in
+    write_bench_json (obs @ ctl @ codec @ eng)
   end
   else begin
     section_micro ();
@@ -648,7 +776,8 @@ let () =
     let obs = section_observability () in
     let ctl = section_control_plane () in
     let codec = section_codec () in
-    write_bench_json (obs @ ctl @ codec);
+    let eng = section_engine () in
+    write_bench_json (obs @ ctl @ codec @ eng);
     section_fig8 ();
     section_fig9 ()
   end;

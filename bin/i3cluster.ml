@@ -112,6 +112,13 @@ let () =
     Harness.Cluster.stop cluster;
     die "cluster failed to become ready (no loopback UDP?)"
   end;
+  (* The ring forms dynamically; id ownership (and so the default
+     schedule's victim) is only meaningful once it has converged. *)
+  if not (Harness.Cluster.await_converged cluster ~timeout_ms:15_000.) then begin
+    Harness.Cluster.stop cluster;
+    die "ring did not converge within 15s"
+  end;
+  Printf.eprintf "i3cluster: ring converged\n%!";
 
   (* The end-host: client + fault decorator + live checkers. *)
   let udp =
@@ -201,8 +208,8 @@ let () =
 
   Harness.Cluster.run_schedule ?faulty
     ~tick:(fun ~now_ms ->
-      ignore (Transport.Client.poll client ~timeout:0.005);
-      Transport.Client.maintain client;
+      ignore (Transport.Client.wait client ~timeout:0.005);
+      Transport.Client.poll client ~now:now_ms;
       Harness.Live.flow_tick live flow ~now_ms;
       Harness.Live.monitor_tick mon ~now_ms)
     cluster schedule ~duration_ms:!duration_ms;

@@ -1,37 +1,47 @@
-(* i3d: a minimal i3 server daemon over real UDP sockets.
+(* i3d: an i3 server daemon over real UDP sockets.
 
-   Serves the trigger protocol (insert / remove / ack), liveness probes
-   (Ping -> Pong status frames) and Fig. 3 data forwarding for a
-   *static, name-hashed* ring ([Transport.Static_ring]): every daemon is
-   started with the full membership list, so responsibility is
-   computable locally and inter-server forwarding is a single UDP hop.
-   The wire format is exactly the one the simulated stack round-trips on
-   every hop ([I3.Codec] / [I3.Packet]); the loopback interop test
-   drives two of these daemons from a third process and asserts
-   insert -> data -> delivery end to end, and [bin/i3cluster] supervises
-   fleets of them under kill/restart chaos.
+   The daemon is a thin effect interpreter: all protocol behaviour —
+   Fig. 3 data forwarding, the trigger soft-state store with challenges
+   and replication hooks, and a *live* Chord node (join, stabilize,
+   fix-fingers, failure detection, partition re-merge) — lives in the
+   sans-IO [I3.Engine].  This file owns exactly the things a state
+   machine cannot: a socket, a wall clock, signals, and the metrics
+   flush on exit.  [Transport.Driver] spends the engine's effects into
+   the socket and tells the loop how long it may sleep.
 
-   The daemon counts everything it does in an [Obs.Metrics] registry
-   (including [wire.decode_errors], the invariant the chaos harness
-   pins at zero) and shuts down gracefully: SIGTERM/SIGINT stop the
-   receive loop after the in-flight datagram, then the metrics registry
-   is flushed as JSON lines to [--metrics-out] (or stderr) so no sample
-   is lost to process death.
+   Membership is dynamic: the first daemon bootstraps a fresh ring, and
+   every later one is pointed at any live member with [--join] — it
+   probes the contact by address, learns its identity from the State
+   reply, and stabilization does the rest.  Node identities are
+   [Id.routing_key (Id.name_hash "host:port")], so a restarted daemon
+   reclaims its arc and ownership is computable from the member list
+   alone (which is how the cluster harness picks the responsible daemon
+   for a trigger).
+
+   Both protocols share the one socket: frames are told apart by the
+   wire kind byte ([I3.Engine.decode]).  Undecodable datagrams count in
+   [wire.decode_errors] — the invariant the chaos harness pins at zero.
 
    Usage:
-     i3d --host 127.0.0.1 --port 4001 \
-         --peers 127.0.0.1:4001,127.0.0.1:4002 \
-         [--metrics-out /tmp/i3d-4001-metrics.json]
+     i3d --host 127.0.0.1 --port 4001                     # first node
+     i3d --host 127.0.0.1 --port 4002 \
+         --join 127.0.0.1:4001 \
+         [--stabilize-ms 2000] [--rpc-timeout-ms 500] \
+         [--metrics-out /tmp/i3d-4002-metrics.json]
 
-   The daemon prints "READY <host:port>" on stdout once bound. *)
+   The daemon prints "READY <host:port>" on stdout once bound, and on
+   SIGTERM/SIGINT flushes its metrics registry as JSON lines to
+   [--metrics-out] (or stderr) so no sample is lost to process death. *)
 
 let usage =
-  "i3d --host HOST --port PORT --peers HOST:PORT,HOST:PORT,... \
-   [--metrics-out PATH]"
+  "i3d --host HOST --port PORT [--join HOST:PORT,...] [--stabilize-ms N] \
+   [--rpc-timeout-ms N] [--metrics-out PATH]"
 
 let host = ref "127.0.0.1"
 let port = ref 0
-let peers = ref ""
+let join = ref ""
+let stabilize_ms = ref 2_000.
+let rpc_timeout_ms = ref 500.
 let metrics_out = ref ""
 let verbose = ref false
 
@@ -39,13 +49,20 @@ let args =
   [
     ("--host", Arg.Set_string host, "bind address (default 127.0.0.1)");
     ("--port", Arg.Set_int port, "UDP port (required)");
-    ( "--peers",
-      Arg.Set_string peers,
-      "comma-separated host:port ring membership, self included" );
+    ( "--join",
+      Arg.Set_string join,
+      "comma-separated host:port contacts to join through (none: bootstrap \
+       a fresh ring)" );
+    ( "--stabilize-ms",
+      Arg.Set_float stabilize_ms,
+      "Chord stabilization period in ms (default 2000; paper: 30000)" );
+    ( "--rpc-timeout-ms",
+      Arg.Set_float rpc_timeout_ms,
+      "Chord RPC timeout in ms (default 500)" );
     ( "--metrics-out",
       Arg.Set_string metrics_out,
       "write the exit metrics dump (JSON lines) here instead of stderr" );
-    ("-v", Arg.Set verbose, "log forwarding decisions to stderr");
+    ("-v", Arg.Set verbose, "log effects to stderr");
   ]
 
 let log fmt =
@@ -63,48 +80,6 @@ let addr_of_name name =
           Transport.Udp.pack ~ip ~port
       | _ -> failwith (Printf.sprintf "bad peer %S (want ipv4:port)" name))
 
-(* Trigger store: id (raw bytes) -> (trigger, expiry in Unix seconds).
-   Soft state, exactly like the simulated server: entries die unless
-   refreshed within the prototype's 30 s lifetime. *)
-let triggers : (string, (I3.Trigger.t * float) list) Hashtbl.t =
-  Hashtbl.create 64
-
-let live_triggers id =
-  let key = Id.to_raw_string id in
-  let now = Unix.gettimeofday () in
-  let l =
-    List.filter (fun (_, exp) -> exp > now)
-      (Option.value ~default:[] (Hashtbl.find_opt triggers key))
-  in
-  if l = [] then Hashtbl.remove triggers key else Hashtbl.replace triggers key l;
-  l
-
-let trigger_count () =
-  let now = Unix.gettimeofday () in
-  Hashtbl.fold
-    (fun _ l acc ->
-      acc + List.length (List.filter (fun (_, exp) -> exp > now) l))
-    triggers 0
-
-let store_trigger (t : I3.Trigger.t) =
-  let key = Id.to_raw_string t.id in
-  let exp = Unix.gettimeofday () +. (I3.Trigger.default_lifetime_ms /. 1000.) in
-  let others =
-    List.filter
-      (fun (t', _) -> not (I3.Trigger.same_binding t t'))
-      (Option.value ~default:[] (Hashtbl.find_opt triggers key))
-  in
-  Hashtbl.replace triggers key ((t, exp) :: others)
-
-let remove_trigger (t : I3.Trigger.t) =
-  let key = Id.to_raw_string t.id in
-  match Hashtbl.find_opt triggers key with
-  | None -> ()
-  | Some l -> (
-      match List.filter (fun (t', _) -> not (I3.Trigger.same_binding t t')) l with
-      | [] -> Hashtbl.remove triggers key
-      | l' -> Hashtbl.replace triggers key l')
-
 (* The receive loop runs until a shutdown signal flips this; the handler
    does nothing else, so the loop always finishes the frame in flight
    before exiting. *)
@@ -112,130 +87,57 @@ let running = ref true
 
 let () =
   Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
-  if !port = 0 || !peers = "" then begin
+  if !port = 0 then begin
     prerr_endline usage;
     exit 2
   end;
   let self_name = Printf.sprintf "%s:%d" !host !port in
+  let self_addr = addr_of_name self_name in
   let started = Unix.gettimeofday () in
+  (* The engine is sans-IO: it reads no clock, so the daemon stamps
+     every step with ms since process start (the engine's virtual wheel
+     starts at 0). *)
+  let elapsed_ms () = (Unix.gettimeofday () -. started) *. 1000. in
   let registry = Obs.Metrics.default in
   let labels = [ ("instance", self_name) ] in
-  let c name = Obs.Metrics.counter registry ~labels name in
-  let c_received = c "i3d.received" in
-  let c_forwarded = c "i3d.forwarded" in
-  let c_delivered = c "i3d.deliveries" in
-  let c_inserts = c "i3d.inserts" in
-  let c_removes = c "i3d.removes" in
-  let c_pings = c "i3d.pings" in
-  let c_drops = c "i3d.drops" in
-  let c_decode_errors =
-    Obs.Metrics.counter registry
-      ~labels:(labels @ [ ("proto", "i3") ])
-      "wire.decode_errors"
-  in
   let g_triggers = Obs.Metrics.gauge registry ~labels "i3d.triggers" in
-  let ring =
-    Transport.Static_ring.create
-      (List.map
-         (fun n -> (n, addr_of_name n))
-         (String.split_on_char ',' !peers))
+  let join_addrs =
+    if !join = "" then []
+    else
+      String.split_on_char ',' !join
+      |> List.map addr_of_name
+      |> List.filter (fun a -> a <> self_addr)
   in
-  let self =
-    match Transport.Static_ring.find_name ring self_name with
-    | Some m -> m
-    | None -> failwith ("--peers must include self (" ^ self_name ^ ")")
+  let chord_config =
+    {
+      Chord.Protocol.default_config with
+      Chord.Protocol.stabilize_period = !stabilize_ms;
+      fix_fingers_period = Float.max 1. (!stabilize_ms /. 2.);
+      fingers_per_round = 64;
+      rpc_timeout = !rpc_timeout_ms;
+    }
+  in
+  let engine =
+    I3.Engine.create ~seed:(!port + 1) ~addr:self_addr
+      ~id:(Id.routing_key (Id.name_hash self_name))
+      ~join:join_addrs ~chord_config ~metrics:registry ()
   in
   let udp = Transport.Udp.create ~host:!host ~port:!port () in
-  let send_msg dst m = Transport.Udp.send udp ~dst (I3.Codec.encode m) in
-
-  (* Fig. 3 forwarding over the static ring.  [forward] consumes the
-     packet's head: an address head is the final IP hop (a [Deliver]
-     frame to the end-host); an identifier head either matches local
-     triggers (rewrite, recurse) or hops to the responsible daemon. *)
-  let rec forward (p : I3.Packet.t) =
-    if p.ttl <= 0 then begin
-      Obs.Metrics.incr c_drops;
-      log "drop (ttl)"
-    end
-    else
-      match p.stack with
-      | [] ->
-          Obs.Metrics.incr c_drops;
-          log "drop (empty stack)"
-      | I3.Packet.Saddr a :: rest ->
-          log "deliver -> %d" a;
-          Obs.Metrics.incr c_delivered;
-          send_msg a
-            (I3.Message.Deliver
-               { stack = rest; payload = p.payload; trace = p.trace })
-      | I3.Packet.Sid id :: rest ->
-          let owner = Transport.Static_ring.owner_of ring id in
-          if Id.equal owner.id self.id then
-            match live_triggers id with
-            | [] ->
-                Obs.Metrics.incr c_drops;
-                log "drop (no trigger for %s)" (Id.to_hex id)
-            | matches ->
-                List.iter
-                  (fun ((t : I3.Trigger.t), _) ->
-                    let stack = t.stack @ rest in
-                    if List.length stack > I3.Packet.max_stack_depth then begin
-                      Obs.Metrics.incr c_drops;
-                      log "drop (stack overflow)"
-                    end
-                    else forward { p with stack; ttl = p.ttl - 1 })
-                  matches
-          else begin
-            log "forward %s -> %s" (Id.to_hex id) owner.name;
-            Obs.Metrics.incr c_forwarded;
-            send_msg owner.addr (I3.Message.Data p)
-          end
+  let driver =
+    Transport.Driver.create ~metrics:registry ~instance:self_name
+      ~send:(fun ~dst bytes -> Transport.Udp.send udp ~dst bytes)
+      engine
   in
-  let handle ~src msg =
-    match msg with
-    | I3.Message.Data p -> forward p
-    | I3.Message.Insert { trigger; token = _ } ->
-        let owner = Transport.Static_ring.owner_of ring trigger.id in
-        if Id.equal owner.id self.id then begin
-          log "insert %s for %d" (Id.to_hex trigger.id) trigger.owner;
-          Obs.Metrics.incr c_inserts;
-          store_trigger trigger;
-          Obs.Metrics.set g_triggers (float_of_int (trigger_count ()));
-          send_msg trigger.owner
-            (I3.Message.Insert_ack { trigger; server = self.addr })
-        end
-        else send_msg owner.addr msg
-    | I3.Message.Remove { trigger } ->
-        let owner = Transport.Static_ring.owner_of ring trigger.id in
-        if Id.equal owner.id self.id then begin
-          Obs.Metrics.incr c_removes;
-          remove_trigger trigger;
-          Obs.Metrics.set g_triggers (float_of_int (trigger_count ()))
-        end
-        else send_msg owner.addr msg
-    | I3.Message.Ping { nonce } ->
-        Obs.Metrics.incr c_pings;
-        send_msg src
-          (I3.Message.Pong
-             {
-               nonce;
-               server = self.addr;
-               triggers = trigger_count ();
-               uptime_ms = (Unix.gettimeofday () -. started) *. 1000.;
-             })
-    | I3.Message.Insert_ack _ | I3.Message.Challenge _
-    | I3.Message.Cache_info _ | I3.Message.Cache_push _
-    | I3.Message.Pushback _ | I3.Message.Replica _ | I3.Message.Deliver _
-    | I3.Message.Pong _ ->
-        log "ignore %s from %d" "control" src
-  in
+  if !verbose then
+    Transport.Driver.on_effects driver
+      (List.iter (fun eff ->
+           match eff with
+           | I3.Engine.Send (dst, _) -> log "send i3 -> %d" dst
+           | I3.Engine.Chord_send (dst, _) -> log "send chord -> %d" dst
+           | I3.Engine.Deliver { dst; _ } -> log "deliver -> %d" dst
+           | I3.Engine.Set_timer _ -> ()));
   Transport.Udp.set_handler udp (fun ~src bytes ->
-      Obs.Metrics.incr c_received;
-      match I3.Codec.decode bytes with
-      | Ok m -> handle ~src m
-      | Error e ->
-          Obs.Metrics.incr c_decode_errors;
-          log "decode error from %d: %s" src e);
+      Transport.Driver.on_datagram driver ~now:(elapsed_ms ()) ~src bytes);
 
   (* Graceful shutdown: the signal handler only flips a flag; the loop
      below finishes dispatching the current datagram, then falls through
@@ -248,20 +150,27 @@ let () =
 
   Printf.printf "READY %s\n%!" self_name;
   while !running do
+    let now = elapsed_ms () in
+    let timeout = Transport.Driver.timeout driver ~now ~cap:0.25 in
     (* select() returns EINTR when a signal lands mid-wait; treat it as
-       an empty poll so the flag check decides. *)
-    match Transport.Udp.poll udp ~timeout:0.25 with
+       an empty wait so the flag check decides. *)
+    (match Transport.Udp.wait udp ~timeout with
     | (_ : bool) -> ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    (* Drain whatever else already arrived, then fire due timers. *)
+    Transport.Udp.poll udp ~now:(elapsed_ms ());
+    Transport.Driver.tick driver ~now:(elapsed_ms ())
   done;
   Transport.Udp.close udp;
-  Obs.Metrics.set g_triggers (float_of_int (trigger_count ()));
+  Obs.Metrics.set g_triggers
+    (float_of_int
+       (I3.Trigger_table.size (I3.Server.triggers (I3.Engine.server engine))));
   let samples = Obs.Metrics.snapshot registry in
-  (if !metrics_out <> "" then Obs.Sink.metrics_json_lines ~path:!metrics_out samples
+  (if !metrics_out <> "" then
+     Obs.Sink.metrics_json_lines ~path:!metrics_out samples
    else
      List.iter
-       (fun s ->
-         prerr_endline (Json.to_string (Obs.Sink.sample_to_json s)))
+       (fun s -> prerr_endline (Json.to_string (Obs.Sink.sample_to_json s)))
        samples);
   log "i3d %s: clean shutdown (%d samples flushed)" self_name
     (List.length samples)

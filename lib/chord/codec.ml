@@ -73,8 +73,9 @@ let encode (m : msg) =
   | Get_state { token; reply_to } ->
       Io.put_u64 buf (Int64.of_int token);
       Io.put_u64 buf (Int64.of_int reply_to)
-  | State { token; pred; succs } ->
+  | State { token; self; pred; succs } ->
       Io.put_u64 buf (Int64.of_int token);
+      put_peer buf self;
       put_peer_opt buf pred;
       put_peers buf succs
   | Notify { who; chain } ->
@@ -116,9 +117,10 @@ let read_body kind r : (msg, string) result =
          { token = Int64.to_int token; reply_to = Int64.to_int reply_to })
   else if kind = L.kind_state then
     let* token = Io.u64 r "token" in
+    let* self = read_peer r in
     let* pred = read_peer_opt r in
     let* succs = read_peers r "successor list" in
-    Ok (Protocol.State { token = Int64.to_int token; pred; succs })
+    Ok (Protocol.State { token = Int64.to_int token; self; pred; succs })
   else if kind = L.kind_notify then
     let* who = read_peer r in
     let* chain = read_peers r "notify chain" in

@@ -25,7 +25,7 @@ type msg =
   | Lookup_step of { key : Id.t; token : int; reply_to : int }
   | Lookup_reply of { token : int; result : step_result }
   | Get_state of { token : int; reply_to : int }
-  | State of { token : int; pred : peer option; succs : peer list }
+  | State of { token : int; self : peer; pred : peer option; succs : peer list }
   | Notify of { who : peer; chain : peer list }
       (* the notifier piggybacks its successor chain: cheap anti-entropy
          that lets a node stranded in a parasite sub-ring discover its
@@ -72,7 +72,11 @@ type node = {
 
 and network = {
   engine : Engine.t;
-  net : msg Net.t;
+  sim_net : msg Net.t option;
+      (* [Some] when this ring lives on a simulated [Net]; [None] for a
+         detached ring whose datagrams are carried by [emit] effects
+         (the sans-IO path under [I3.Engine]) *)
+  emit : src:int -> dst:int -> msg -> unit;
   cfg : config;
   rng : Rng.t;
   mutable nodes : node list;
@@ -90,15 +94,13 @@ and network = {
 
 let instances = ref 0
 
-let create ?(metrics = Obs.Metrics.default) ?(spans = Obs.Span.disabled) engine
-    ~rng ~latency ?(config = default_config) () =
-  incr instances;
-  let label = "ring" ^ string_of_int !instances in
+let make_network ~metrics ~spans ~engine ~sim_net ~emit ~rng ~config ~label =
   let labels = [ ("instance", label) ] in
   let counter name = Obs.Metrics.counter metrics ~labels name in
   {
     engine;
-    net = Net.create ~metrics ~label engine ~rng ~latency ();
+    sim_net;
+    emit;
     cfg = config;
     rng;
     nodes = [];
@@ -118,13 +120,35 @@ let create ?(metrics = Obs.Metrics.default) ?(spans = Obs.Span.disabled) engine
         ~buckets:(Obs.Metrics.exponential_buckets ~start:1. ~factor:2. ~count:14);
   }
 
+let create ?(metrics = Obs.Metrics.default) ?(spans = Obs.Span.disabled) engine
+    ~rng ~latency ?(config = default_config) () =
+  incr instances;
+  let label = "ring" ^ string_of_int !instances in
+  let net = Net.create ~metrics ~label engine ~rng ~latency () in
+  make_network ~metrics ~spans ~engine ~sim_net:(Some net)
+    ~emit:(fun ~src ~dst msg -> Net.send net ~src ~dst msg)
+    ~rng ~config ~label
+
+let create_detached ?(metrics = Obs.Metrics.default)
+    ?(spans = Obs.Span.disabled) engine ~rng ?(config = default_config) ~emit
+    () =
+  incr instances;
+  let label = "ring" ^ string_of_int !instances in
+  make_network ~metrics ~spans ~engine ~sim_net:None ~emit ~rng ~config ~label
+
 let engine nw = nw.engine
 let instance_label nw = nw.label
 let spans nw = nw.spans
-let set_loss_rate nw p = Net.set_loss_rate nw.net p
-let fault_driver nw = Faults.net_driver nw.net
-let net_stats nw = Net.stats nw.net
-let net nw = nw.net
+
+let sim_net_exn what nw =
+  match nw.sim_net with
+  | Some net -> net
+  | None -> invalid_arg ("Chord.Protocol." ^ what ^ ": detached network")
+
+let set_loss_rate nw p = Net.set_loss_rate (sim_net_exn "set_loss_rate" nw) p
+let fault_driver nw = Faults.net_driver (sim_net_exn "fault_driver" nw)
+let net_stats nw = Net.stats (sim_net_exn "net_stats" nw)
+let net nw = sim_net_exn "net" nw
 
 let node_id n = n.id
 let node_addr n = n.addr
@@ -140,7 +164,7 @@ let fresh_token nw =
   nw.tokens <- nw.tokens + 1;
   nw.tokens
 
-let send n dst msg = Net.send n.network.net ~src:n.addr ~dst msg
+let send n dst msg = n.network.emit ~src:n.addr ~dst msg
 
 let notify n dst = send n dst (Notify { who = self_peer n; chain = n.succs })
 
@@ -348,7 +372,9 @@ let truncate_succs cfg l =
   in
   take cfg.successor_list_length l
 
-let handle_state n ~token ~(pred : peer option) ~(succs : peer list) =
+let handle_state n ~token ~(self : peer) ~(pred : peer option)
+    ~(succs : peer list) =
+  remember n self;
   Option.iter (remember n) pred;
   List.iter (remember n) succs;
   match Hashtbl.find_opt n.pending token with
@@ -356,22 +382,29 @@ let handle_state n ~token ~(pred : peer option) ~(succs : peer list) =
       Obs.Span.finish n.network.spans
         ~time:(Engine.now n.network.engine)
         span;
-      (* A buried peer answered: it recovered, or a partition healed.
-         Re-integrate it exactly as a stabilize round would — adopt it as
-         successor if it sits between us and our current successor, and
-         notify it of us — then let normal stabilization refine the rest.
-         This is what knits two healed half-rings back into one. *)
+      (* A probed peer answered: it recovered, a partition healed, or it
+         is a bootstrap contact we only knew by address.  [self] is the
+         authoritative identity (a probe sent by address alone carries a
+         placeholder id in [buried]); re-integrate it exactly as a
+         stabilize round would — adopt it as successor if it sits
+         between us and our current successor, and notify it of us —
+         then let normal stabilization refine the rest.  This is what
+         knits two healed half-rings back into one. *)
       Hashtbl.remove n.pending token;
       Hashtbl.remove n.graveyard buried.addr;
       Hashtbl.remove n.suspicion buried.addr;
+      Hashtbl.remove n.graveyard self.addr;
+      Hashtbl.remove n.suspicion self.addr;
       ignore pred;
-      let chain = List.filter (fun (p : peer) -> p.addr <> n.addr) succs in
-      (match successor n with
-      | None -> n.succs <- truncate_succs n.network.cfg (buried :: chain)
-      | Some succ when Ring.between_oo ~low:n.id ~high:succ.id buried.id ->
-          n.succs <- truncate_succs n.network.cfg (buried :: n.succs)
-      | Some _ -> ());
-      notify n buried.addr
+      if self.addr <> n.addr then begin
+        let chain = List.filter (fun (p : peer) -> p.addr <> n.addr) succs in
+        (match successor n with
+        | None -> n.succs <- truncate_succs n.network.cfg (self :: chain)
+        | Some succ when Ring.between_oo ~low:n.id ~high:succ.id self.id ->
+            n.succs <- truncate_succs n.network.cfg (self :: n.succs)
+        | Some _ -> ());
+        notify n self.addr
+      end
   | Some (Pstabilize { asking; span }) ->
       Hashtbl.remove n.pending token;
       (* Adopt a closer successor if our successor's predecessor is between
@@ -415,6 +448,15 @@ let probe_peer n (p : peer) =
             ~time:(Engine.now n.network.engine)
             span
       | _ -> ())
+
+(* Probe a peer known only by transport address (a bootstrap contact
+   from the command line, before any protocol exchange): the [State]
+   reply carries the peer's authoritative identity, and the [Pprobe]
+   arm of [handle_state] integrates it — this is how a detached daemon
+   joins a live ring.  The placeholder id is never trusted: probe
+   bookkeeping is keyed by address. *)
+let probe_addr n addr =
+  if addr <> n.addr then probe_peer n { id = n.id; addr }
 
 let handle_notify n ~(who : peer) ~(chain : peer list) =
   if who.addr <> n.addr then begin
@@ -468,8 +510,10 @@ let handle n ~src msg =
         | Some p when p.addr = src ->
             n.pred_heard <- Engine.now n.network.engine
         | _ -> ());
-        send n reply_to (State { token; pred = n.pred; succs = n.succs })
-    | State { token; pred; succs } -> handle_state n ~token ~pred ~succs
+        send n reply_to
+          (State { token; self = self_peer n; pred = n.pred; succs = n.succs })
+    | State { token; self; pred; succs } ->
+        handle_state n ~token ~self ~pred ~succs
     | Notify { who; chain } -> handle_notify n ~who ~chain
   end
 
@@ -611,11 +655,20 @@ let start_timers n =
         (fun () -> fix_fingers n);
     ]
 
-let start_node nw ?id ~site () =
+let start_node nw ?id ?addr ~site () =
   let id =
     match id with Some i -> i | None -> Id.routing_key (Id.random nw.rng)
   in
-  let addr = Net.register nw.net ~site (fun ~src:_ _ -> ()) in
+  let addr =
+    match (nw.sim_net, addr) with
+    | Some net, None -> Net.register net ~site (fun ~src:_ _ -> ())
+    | None, Some a -> a
+    | Some _, Some _ ->
+        invalid_arg
+          "Protocol.start_node: the simulated net assigns addresses; omit ~addr"
+    | None, None ->
+        invalid_arg "Protocol.start_node: a detached network needs ~addr"
+  in
   let n =
     {
       network = nw;
@@ -635,12 +688,14 @@ let start_node nw ?id ~site () =
       timers = [];
     }
   in
-  Net.set_handler nw.net addr (fun ~src msg -> handle n ~src msg);
+  Option.iter
+    (fun net -> Net.set_handler net addr (fun ~src msg -> handle n ~src msg))
+    nw.sim_net;
   start_timers n;
   nw.nodes <- n :: nw.nodes;
   n
 
-let bootstrap nw ?id ~site () = start_node nw ?id ~site ()
+let bootstrap nw ?id ?addr ~site () = start_node nw ?id ?addr ~site ()
 
 let join nw ?id ~site ~via () =
   let n = start_node nw ?id ~site () in
@@ -659,7 +714,7 @@ let join nw ?id ~site ~via () =
 
 let kill n =
   n.alive <- false;
-  Net.set_down n.network.net n.addr;
+  Option.iter (fun net -> Net.set_down net n.addr) n.network.sim_net;
   List.iter Engine.cancel n.timers;
   n.timers <- []
 
@@ -667,7 +722,7 @@ let restart ?via n =
   if n.alive then invalid_arg "Protocol.restart: node is alive";
   let nw = n.network in
   n.alive <- true;
-  Net.set_up nw.net n.addr;
+  Option.iter (fun net -> Net.set_up net n.addr) nw.sim_net;
   (* Fail-stop recovery: the process lost all volatile ring state. *)
   n.pred <- None;
   n.succs <- [];

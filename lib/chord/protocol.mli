@@ -31,7 +31,11 @@ type msg =
   | Lookup_step of { key : Id.t; token : int; reply_to : int }
   | Lookup_reply of { token : int; result : step_result }
   | Get_state of { token : int; reply_to : int }
-  | State of { token : int; pred : peer option; succs : peer list }
+  | State of { token : int; self : peer; pred : peer option; succs : peer list }
+      (** [self] is the responder's authoritative identity: a prober
+          that only knew an address (a bootstrap contact) learns the
+          peer's id from it, which is what makes joining by address
+          possible ({!probe_addr}). *)
   | Notify of { who : peer; chain : peer list }
 
 type config = {
@@ -73,6 +77,25 @@ val create :
     annotated), [chord.stabilize] per stabilize round-trip and
     [chord.probe] per liveness probe. *)
 
+val create_detached :
+  ?metrics:Obs.Metrics.t ->
+  ?spans:Obs.Span.t ->
+  Engine.t ->
+  rng:Rng.t ->
+  ?config:config ->
+  emit:(src:int -> dst:int -> msg -> unit) ->
+  unit ->
+  network
+(** A ring with no simulated {!Net} underneath: every outbound RPC is
+    handed to [emit] and inbound traffic must be fed to {!handle} — the
+    sans-IO face [I3.Engine] composes with an i3 server so the same
+    protocol runs over real UDP sockets.  Nodes must be started with an
+    explicit [~addr] (the externally reachable transport address; it is
+    embedded in wire messages).  {!net}, {!set_loss_rate},
+    {!fault_driver} and {!net_stats} raise [Invalid_argument] on a
+    detached network — fault injection there belongs to the transport
+    ({!Transport.Faulty}). *)
+
 val engine : network -> Engine.t
 
 val instance_label : network -> string
@@ -97,9 +120,11 @@ val net : network -> msg Net.t
 (** The control-plane network itself — the attachment point for
     [Chord.Codec.harden]'s byte-roundtripping transducer. *)
 
-val bootstrap : network -> ?id:Id.t -> site:int -> unit -> node
+val bootstrap : network -> ?id:Id.t -> ?addr:int -> site:int -> unit -> node
 (** First node of a fresh ring (its own successor). Server ids default to
-    fresh random ids with the last k bits zeroed. *)
+    fresh random ids with the last k bits zeroed.  [addr] is required on
+    a detached network (and rejected on a simulated one, which assigns
+    addresses itself). *)
 
 val join : network -> ?id:Id.t -> site:int -> via:node -> unit -> node
 (** Start a node that joins through [via]. Stabilization makes it part of
@@ -132,6 +157,20 @@ val lookup : ?trace:Obs.Trace.id -> node -> Id.t -> (peer option -> unit) -> uni
     successor, or [None] if the hop budget or retries are exhausted.
     [trace] links the lookup's span to the data-plane packet trace that
     provoked it. *)
+
+val handle : node -> src:int -> msg -> unit
+(** Feed one inbound protocol message, as decoded from the transport —
+    the receive path of a detached node (a simulated node's {!Net}
+    handler calls this itself).  Any received message clears the
+    sender's suspicion count. *)
+
+val probe_addr : node -> int -> unit
+(** Probe a peer known only by transport address (no id yet): send it a
+    [Get_state]; if it answers, the reply's [self] identity is adopted
+    and the peer is integrated exactly as a recovered graveyard peer
+    would be — the join-by-address primitive a real daemon bootstraps
+    with ([i3d --join host:port]).  A dead address costs one datagram
+    and times out quietly; self-probes are no-ops. *)
 
 val kill : node -> unit
 (** Fail-stop the node: it stops responding; others detect it via RPC

@@ -118,4 +118,12 @@ let default_checks =
     check "codec.decode_errors" ~direction:Exact;
     check "codec.corpus_bytes" ~direction:Exact;
     check "codec.data_frame_bytes" ~direction:Exact;
+    (* Engine shape pins: the loopback scenario is a pure function of
+       its seeds and virtual schedule, so its event/effect totals (and
+       that the two-node ring forms at all) are deterministic; only
+       events_per_sec is wall-clock and stays unguarded. *)
+    check "engine.loopback_events" ~direction:Exact;
+    check "engine.loopback_effects" ~direction:Exact;
+    check "engine.loopback_delivers" ~direction:Exact;
+    check "engine.ring_formed" ~direction:Exact;
   ]

@@ -1,14 +1,25 @@
 (* A supervised cluster of real [bin/i3d] daemons on loopback UDP.
 
    The harness is the live-process analogue of the simulator's
-   [I3.Dynamic]: it forks N daemons that form one static ring,
-   supervises them (reap-on-exit, restart with exponential backoff,
-   liveness probes over the Ping/Pong status frames) and interprets the
-   same declarative [Faults.schedule] the chaos matrix runs in
-   simulation — [Crash i] becomes a real SIGKILL, [Restart i] re-arms
-   supervision, and the network-weather events are forwarded to the
-   client's [Transport.Faulty] decorator, so one scenario vocabulary
-   drives sim and wire alike (ROADMAP item 5).
+   [I3.Dynamic]: it forks N daemons that form one ring *dynamically* —
+   every member is spawned with the other members as [--join] contacts
+   and Chord stabilization does the rest — supervises them
+   (reap-on-exit, restart with exponential backoff, liveness probes
+   over the Ping/Pong status frames) and interprets the same
+   declarative [Faults.schedule] the chaos matrix runs in simulation —
+   [Crash i] becomes a real SIGKILL, [Restart i] re-arms supervision,
+   and the network-weather events are forwarded to the client's
+   [Transport.Faulty] decorator, so one scenario vocabulary drives sim
+   and wire alike (ROADMAP item 5).
+
+   Ring visibility comes over the wire, not from shared memory: the
+   harness owns a second probe socket speaking [Chord.Codec] and asks
+   any member for its [State] (successor list, predecessor), which is
+   how [await_converged] decides the live members agree on one ring —
+   and how the partition/re-merge test watches two halves heal.
+   [pause]/[resume] (SIGSTOP/SIGCONT) are the process-level partition:
+   a stopped daemon is unreachable but loses no state, exactly a
+   severed link's view from the outside.
 
    Everything observable lands in the metrics registry
    ([cluster.spawns], [cluster.crashes], [cluster.restarts],
@@ -46,6 +57,8 @@ type config = {
   ping_misses_limit : int;
       (* consecutive missed pongs before a live process is declared hung
          and recycled *)
+  stabilize_ms : float;  (* daemons' Chord stabilization period *)
+  rpc_timeout_ms : float;  (* daemons' Chord RPC timeout *)
 }
 
 let default_config =
@@ -55,6 +68,10 @@ let default_config =
     stable_after_ms = 5_000.;
     ping_timeout_ms = 300.;
     ping_misses_limit = 3;
+    (* Fast protocol timers: tests wait for real convergence, so the
+       paper's 30 s periods would dominate wall time. *)
+    stabilize_ms = 300.;
+    rpc_timeout_ms = 150.;
   }
 
 type t = {
@@ -63,8 +80,12 @@ type t = {
   dir : string;
   cfg : config;
   members : member array;
-  peers : string;
   probe : Transport.Client.t;  (* supervisor's own socket: pings *)
+  chord_probe : Transport.Udp.t;
+      (* a second socket speaking Chord.Codec: Get_state ring probes
+         must not land on the client socket, where a State frame would
+         read as an i3 decode error *)
+  mutable probe_token : int;
   mutable on_event : string -> unit;
   c_spawns : Obs.Metrics.counter;
   c_crashes : Obs.Metrics.counter;
@@ -132,13 +153,13 @@ let create ?(metrics = Obs.Metrics.default) ?(config = default_config)
           ping_misses = 0;
         })
   in
-  let peers = String.concat "," (Array.to_list (Array.map (fun m -> m.name) members)) in
   let probe_udp = Transport.Udp.create ~host () in
   let probe =
     Transport.Client.create ~metrics ~instance:"supervisor" ~rng:(Rng.split rng)
       ~gateways:(Array.to_list (Array.map (fun m -> m.addr) members))
       probe_udp
   in
+  let chord_probe = Transport.Udp.create ~host () in
   let labels = [ ("instance", "cluster") ] in
   let c name = Obs.Metrics.counter metrics ~labels name in
   {
@@ -147,8 +168,9 @@ let create ?(metrics = Obs.Metrics.default) ?(config = default_config)
     dir;
     cfg = config;
     members;
-    peers;
     probe;
+    chord_probe;
+    probe_token = 0;
     on_event = (fun _ -> ());
     c_spawns = c "cluster.spawns";
     c_crashes = c "cluster.crashes";
@@ -165,17 +187,39 @@ let members t = Array.to_list t.members
 let member t i = t.members.(i)
 let addrs t = Array.to_list (Array.map (fun m -> m.addr) t.members)
 let names t = Array.to_list (Array.map (fun m -> m.name) t.members)
-let peers_arg t = t.peers
 
+(* A member's Chord identity, exactly as the daemon derives it. *)
+let node_id m = Id.routing_key (Id.name_hash m.name)
+
+let join_arg t i =
+  String.concat ","
+    (Array.to_list t.members
+    |> List.filter (fun m -> m.index <> i)
+    |> List.map (fun m -> m.name))
+
+(* Which member owns an identifier once the ring has converged: the
+   Chord successor rule — the member with the smallest node id >= the
+   identifier's routing key, wrapping to the smallest id overall.  The
+   same rule the daemons' protocol state converges to, computed here
+   from names alone. *)
 let owner_index t id =
-  let ring =
-    Transport.Static_ring.create
-      (Array.to_list (Array.map (fun m -> (m.name, m.addr)) t.members))
-  in
-  let owner = Transport.Static_ring.owner_of ring id in
-  let found = ref 0 in
-  Array.iteri (fun i m -> if m.name = owner.name then found := i) t.members;
-  !found
+  let key = Id.routing_key id in
+  let best = ref None and smallest = ref None in
+  Array.iter
+    (fun m ->
+      let k = node_id m in
+      (match !smallest with
+      | Some (ks, _) when Id.compare k ks >= 0 -> ()
+      | _ -> smallest := Some (k, m.index));
+      if Id.compare k key >= 0 then
+        match !best with
+        | Some (kb, _) when Id.compare kb k <= 0 -> ()
+        | _ -> best := Some (k, m.index))
+    t.members;
+  match (!best, !smallest) with
+  | Some (_, i), _ -> i
+  | None, Some (_, i) -> i
+  | None, None -> 0
 
 let spawn t i =
   let m = t.members.(i) in
@@ -183,18 +227,23 @@ let spawn t i =
   let log_fd =
     Unix.openfile m.log_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o600
   in
+  let join = join_arg t i in
   let argv =
-    [|
-      t.i3d;
-      "--host";
-      t.host;
-      "--port";
-      string_of_int m.port;
-      "--peers";
-      t.peers;
-      "--metrics-out";
-      m.metrics_path;
-    |]
+    Array.of_list
+      ([
+         t.i3d;
+         "--host";
+         t.host;
+         "--port";
+         string_of_int m.port;
+         "--stabilize-ms";
+         Printf.sprintf "%g" t.cfg.stabilize_ms;
+         "--rpc-timeout-ms";
+         Printf.sprintf "%g" t.cfg.rpc_timeout_ms;
+         "--metrics-out";
+         m.metrics_path;
+       ]
+      @ if join = "" then [] else [ "--join"; join ])
   in
   let pid = Unix.create_process t.i3d argv Unix.stdin log_fd log_fd in
   Unix.close log_fd;
@@ -256,6 +305,109 @@ let restart t i =
     spawn t i;
     event t "restart %s" m.name
   end
+
+(* Process-level partition: a SIGSTOPped daemon is unreachable (its
+   socket queue fills and overflows) but keeps all protocol state —
+   from everyone else's viewpoint, indistinguishable from a severed
+   link.  Supervision is disarmed so the pause isn't "healed". *)
+let pause t i =
+  let m = t.members.(i) in
+  m.supervised <- false;
+  event t "pause %s" m.name;
+  signal_member t i Sys.sigstop
+
+let resume t i =
+  let m = t.members.(i) in
+  m.supervised <- true;
+  event t "resume %s" m.name;
+  signal_member t i Sys.sigcont
+
+(* --- ring-state probes (over the wire, like any peer) --- *)
+
+type ring_state = {
+  self : Chord.Protocol.peer;
+  pred : Chord.Protocol.peer option;
+  succs : Chord.Protocol.peer list;
+}
+
+(* One Get_state round-trip against member [i] on the dedicated chord
+   probe socket.  Replies are matched by token, so a straggler from an
+   earlier timed-out probe cannot satisfy this one. *)
+let ring_state t i ~timeout_ms =
+  t.probe_token <- t.probe_token + 1;
+  let token = t.probe_token in
+  let result = ref None in
+  Transport.Udp.set_handler t.chord_probe (fun ~src:_ bytes ->
+      match Chord.Codec.decode bytes with
+      | Ok (Chord.Protocol.State { token = tk; self; pred; succs })
+        when tk = token ->
+          result := Some { self; pred; succs }
+      | Ok _ | Error _ -> ());
+  Transport.Udp.send t.chord_probe ~dst:t.members.(i).addr
+    (Chord.Codec.encode
+       (Chord.Protocol.Get_state
+          { token; reply_to = Transport.Udp.local_addr t.chord_probe }));
+  let deadline = wall_ms () +. timeout_ms in
+  let rec go () =
+    if !result <> None then !result
+    else if wall_ms () >= deadline then None
+    else begin
+      (match Transport.Udp.wait t.chord_probe ~timeout:0.02 with
+      | (_ : bool) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ()
+
+(* The live members, each member's expected successor among them (the
+   next node id clockwise), and whether every probed successor pointer
+   agrees — the converged-Chord invariant, observed over the wire. *)
+let converged ?(only = fun _ -> true) t =
+  let live =
+    List.filter
+      (fun m -> m.pid <> None && only m.index)
+      (Array.to_list t.members)
+  in
+  match live with
+  | [] -> false
+  | [ m ] -> (
+      (* A singleton ring: the node knows no successor. *)
+      match ring_state t m.index ~timeout_ms:t.cfg.ping_timeout_ms with
+      | Some { succs = []; _ } -> true
+      | Some { succs = s :: _; _ } -> s.Chord.Protocol.addr = m.addr
+      | None -> false)
+  | _ ->
+      let sorted =
+        List.sort (fun a b -> Id.compare (node_id a) (node_id b)) live
+      in
+      let expected_succ m =
+        let rec next = function
+          | a :: b :: _ when a.index = m.index -> b
+          | _ :: rest -> next rest
+          | [] -> List.hd sorted (* wrap *)
+        in
+        next sorted
+      in
+      List.for_all
+        (fun m ->
+          match ring_state t m.index ~timeout_ms:t.cfg.ping_timeout_ms with
+          | Some { succs = s :: _; _ } ->
+              s.Chord.Protocol.addr = (expected_succ m).addr
+          | Some { succs = []; _ } | None -> false)
+        live
+
+let await_converged ?only t ~timeout_ms =
+  let deadline = wall_ms () +. timeout_ms in
+  let rec go () =
+    if converged ?only t then true
+    else if wall_ms () >= deadline then false
+    else begin
+      ignore (Unix.select [] [] [] 0.05);
+      go ()
+    end
+  in
+  go ()
 
 (* One supervision tick: reap exited children; respawn supervised ones
    after their backoff; recycle live-but-mute processes whose pings keep

@@ -2,19 +2,25 @@
     the live-process analogue of the simulator's deployment, and the
     substrate the chaos matrix runs against outside simulation.
 
-    The supervisor forks N daemons forming one static ring, reaps and
-    respawns them (exponential backoff, reset after a stable period),
-    probes liveness via the Ping/Pong status frames, and interprets the
-    same declarative {!Faults.schedule} the simulator runs: [Crash i] is
-    a real SIGKILL, [Restart i] re-arms supervision and respawns;
-    network-weather events go to the client-side {!Transport.Faulty}
-    decorator.  Each daemon flushes its metrics registry to a JSON dump
-    on graceful stop; {!metrics_dumps} / {!decode_errors} read those
-    back for post-mortem assertions. *)
+    The supervisor forks N daemons that form one ring {e dynamically}:
+    each member is spawned with the others as [--join] contacts and
+    Chord stabilization does the rest ({!await_converged} watches it
+    happen over the wire, via [Get_state] probes from a dedicated
+    chord-codec socket).  It reaps and respawns members (exponential
+    backoff, reset after a stable period), probes liveness via the
+    Ping/Pong status frames, and interprets the same declarative
+    {!Faults.schedule} the simulator runs: [Crash i] is a real SIGKILL,
+    [Restart i] re-arms supervision and respawns; network-weather
+    events go to the client-side {!Transport.Faulty} decorator.
+    {!pause}/{!resume} (SIGSTOP/SIGCONT) model a partition at process
+    granularity — unreachable, state intact.  Each daemon flushes its
+    metrics registry to a JSON dump on graceful stop;
+    {!metrics_dumps} / {!decode_errors} read those back for
+    post-mortem assertions. *)
 
 type member = {
   index : int;
-  name : string;  (** host:port — the static ring's hash key *)
+  name : string;  (** host:port — hashed into the member's node id *)
   port : int;
   addr : int;  (** packed, as {!Transport.Udp.pack} *)
   log_path : string;
@@ -37,6 +43,11 @@ type config = {
   ping_misses_limit : int;
       (** consecutive missed pongs before a live process is recycled as
           hung (default 3) *)
+  stabilize_ms : float;
+      (** the daemons' Chord stabilization period (default 300 — fast,
+          so convergence costs little wall time; paper: 30 000) *)
+  rpc_timeout_ms : float;
+      (** the daemons' Chord RPC timeout (default 150) *)
 }
 
 val default_config : config
@@ -67,12 +78,19 @@ val members : t -> member list
 val member : t -> int -> member
 val addrs : t -> int list
 val names : t -> string list
-val peers_arg : t -> string
-(** The [--peers] value every member is spawned with. *)
+
+val node_id : member -> Id.t
+(** A member's Chord identity, exactly as the daemon derives it:
+    [Id.routing_key (Id.name_hash name)]. *)
+
+val join_arg : t -> int -> string
+(** The [--join] contact list member [i] is spawned with (every other
+    member's [host:port]). *)
 
 val owner_index : t -> Id.t -> int
-(** Which member's daemon is responsible for an identifier (static-ring
-    successor rule) — for aiming a chaos kill at a flow's server. *)
+(** Which member is responsible for an identifier once the ring has
+    converged (Chord successor rule over the members' name-hashed node
+    ids) — for aiming a chaos kill at a flow's server. *)
 
 (** {1 Lifecycle} *)
 
@@ -90,8 +108,39 @@ val kill : t -> int -> unit
 val restart : t -> int -> unit
 (** Re-arm supervision and respawn immediately if dead. *)
 
+val pause : t -> int -> unit
+(** SIGSTOP a member: unreachable (a partition from everyone's view)
+    but all protocol state intact; supervision is disarmed. *)
+
+val resume : t -> int -> unit
+(** SIGCONT a paused member and re-arm supervision; the healed "link"
+    re-merges via the daemons' graveyard/contact probes. *)
+
 val alive : t -> int -> bool
 val ping : t -> int -> timeout_ms:float -> Transport.Client.pong option
+
+(** {1 Ring observation} *)
+
+type ring_state = {
+  self : Chord.Protocol.peer;
+  pred : Chord.Protocol.peer option;
+  succs : Chord.Protocol.peer list;
+}
+(** One member's view of the ring, as answered over the wire. *)
+
+val ring_state : t -> int -> timeout_ms:float -> ring_state option
+(** One [Get_state] round-trip against member [i] from the harness's
+    dedicated chord-codec probe socket (token-matched, so stragglers
+    from timed-out probes are ignored). *)
+
+val converged : ?only:(int -> bool) -> t -> bool
+(** Probe every live member (optionally restricted to indices
+    satisfying [only]) and check the converged-Chord invariant: each
+    successor pointer names the next live member clockwise by node
+    id. *)
+
+val await_converged : ?only:(int -> bool) -> t -> timeout_ms:float -> bool
+(** Poll {!converged} until true or the deadline. *)
 
 val supervise : ?probe_hung:bool -> t -> unit
 (** One supervision tick: reap exited children, respawn supervised ones

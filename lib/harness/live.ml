@@ -156,7 +156,7 @@ let trigger_conserved ?(attempts = 5) ?(attempt_timeout_ms = 400.) t
         if Hashtbl.mem t.cons nonce then true
         else if wall_ms () >= deadline then false
         else begin
-          ignore (Transport.Client.poll t.client ~timeout:0.02);
+          ignore (Transport.Client.wait t.client ~timeout:0.02);
           wait ()
         end
       in

@@ -9,7 +9,7 @@ type ring_state = {
 type member = { server : Server.t; index : int ref }
 
 type t = {
-  engine : Engine.t;
+  engine : Sim.Engine.t;
   net : Message.t Net.t;
   rng : Rng.t;
   model : Topology.Model.t option;
@@ -58,7 +58,7 @@ let create ?(seed = 1) ?model ?(uniform_latency_ms = 5.)
     ?(spans = Obs.Span.disabled) ?(wire_roundtrip = true) ~n_servers () =
   if n_servers <= 0 then invalid_arg "Deployment.create: need servers";
   let rng = Rng.of_int seed in
-  let engine = Engine.create () in
+  let engine = Sim.Engine.create () in
   let latency =
     match model with
     | Some m -> fun a b -> if a = b then 0. else Topology.Model.latency m a b
@@ -108,8 +108,8 @@ let net t = t.net
 let tracer t = t.tracer
 let metrics t = t.metrics
 let rng t = t.rng
-let now t = Engine.now t.engine
-let run_for t d = Engine.run_for t.engine d
+let now t = Sim.Engine.now t.engine
+let run_for t d = Sim.Engine.run_for t.engine d
 
 let oracle t = t.state.oracle
 let routing t = t.state.routing

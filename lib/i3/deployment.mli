@@ -37,7 +37,7 @@ val create :
     exercises the real wire format; codec failures surface as ["codec"]
     drops and in [wire.decode_errors]. *)
 
-val engine : t -> Engine.t
+val engine : t -> Sim.Engine.t
 val net : t -> Message.t Net.t
 
 val tracer : t -> Obs.Trace.t

@@ -4,7 +4,7 @@ type member = {
 }
 
 type t = {
-  engine : Engine.t;
+  engine : Sim.Engine.t;
   rng : Rng.t;
   control : Chord.Protocol.network;
   data : Message.t Net.t;
@@ -32,7 +32,7 @@ let create ?(seed = 1) ?(uniform_latency_ms = 5.) ?server_config
     ?(metrics = Obs.Metrics.default) ?(tracer = Obs.Trace.disabled)
     ?(spans = Obs.Span.disabled) ?(wire_roundtrip = true) () =
   let rng = Rng.of_int seed in
-  let engine = Engine.create () in
+  let engine = Sim.Engine.create () in
   let latency a b = if a = b then 0. else uniform_latency_ms in
   let control =
     Chord.Protocol.create ~metrics ~spans engine ~rng:(Rng.split rng) ~latency
@@ -61,8 +61,8 @@ let tracer t = t.tracer
 let metrics t = t.metrics
 let spans t = t.spans
 let ring_label t = Chord.Protocol.instance_label t.control
-let run_for t d = Engine.run_for t.engine d
-let now t = Engine.now t.engine
+let run_for t d = Sim.Engine.run_for t.engine d
+let now t = Sim.Engine.now t.engine
 
 let data_addr_of t (peer : Chord.Protocol.peer) =
   Hashtbl.find_opt t.directory (Id.to_raw_string peer.Chord.Protocol.id)

@@ -46,7 +46,7 @@ val create :
     every chaos scenario doubles as a codec test; failures surface as
     ["codec"] drops and in [wire.decode_errors]. *)
 
-val engine : t -> Engine.t
+val engine : t -> Sim.Engine.t
 
 val tracer : t -> Obs.Trace.t
 (** The collector passed at creation ({!Obs.Trace.disabled} otherwise). *)

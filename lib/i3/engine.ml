@@ -1,0 +1,187 @@
+(* The sans-IO protocol engine: one i3 server fused with one live Chord
+   node behind a pure state-machine API.  All I/O is data — inputs are
+   [event]s stamped with the caller's clock, outputs are [effect]s the
+   caller interprets — so the exact same core runs under the simulated
+   scheduler, over real UDP sockets in [bin/i3d], or inside a
+   deterministic unit test that just pattern-matches the effect list.
+
+   Internally the engine owns a private [Sim.Engine] wheel: every timer
+   the server (soft-state sweeps) or the protocol (stabilize,
+   fix-fingers, RPC timeouts) would schedule in simulation lands on that
+   wheel, and [step] advances it to the caller's [now] before
+   dispatching.  The caller never sees the wheel — only the [Set_timer]
+   effect telling it when to call [step ~now Tick] again at the
+   latest. *)
+
+type frame =
+  | I3 of Message.t
+  | Chord of Chord.Protocol.msg
+
+type event =
+  | Frame of { src : Packet.addr; frame : frame }
+  | Tick
+  | Insert_trigger of Trigger.t
+  | Remove_trigger of Trigger.t
+  | Send_packet of Packet.t
+
+type effect =
+  | Send of Packet.addr * Message.t
+  | Chord_send of Packet.addr * Chord.Protocol.msg
+  | Deliver of {
+      dst : Packet.addr;
+      stack : Packet.stack;
+      payload : string;
+      trace : int;
+    }
+  | Set_timer of float
+
+type t = {
+  wheel : Sim.Engine.t;
+  outbox : effect Queue.t;
+  addr : Packet.addr;
+  id : Id.t;
+  server : Server.t;
+  network : Chord.Protocol.network;
+  node : Chord.Protocol.node;
+  c_events : Obs.Metrics.counter;
+  c_effects : Obs.Metrics.counter;
+  h_batch : Obs.Metrics.histogram;
+}
+
+(* A joined node's ring view is its Chord node's local state; chord and
+   data traffic share one transport address per daemon, so peer
+   addresses translate 1:1. *)
+let view_for node =
+  let peer_addr (p : Chord.Protocol.peer) = p.addr in
+  {
+    Server.owns = (fun id -> Chord.Protocol.owns node (Id.routing_key id));
+    next_hop =
+      (fun id ->
+        Option.map peer_addr
+          (Chord.Protocol.local_next_hop node (Id.routing_key id)));
+    successor_addr =
+      (fun () -> Option.map peer_addr (Chord.Protocol.successor node));
+    predecessor_addr =
+      (fun () -> Option.map peer_addr (Chord.Protocol.predecessor node));
+  }
+
+let batch_buckets = [| 0.; 1.; 2.; 3.; 4.; 6.; 8.; 12.; 16.; 24.; 32.; 64. |]
+
+let create ?(seed = 1) ~addr ?id ?(join = []) ?config
+    ?(chord_config = Chord.Protocol.default_config)
+    ?(metrics = Obs.Metrics.default) ?tracer ?spans () =
+  let wheel = Sim.Engine.create () in
+  let rng = Rng.of_int seed in
+  let outbox = Queue.create () in
+  let network =
+    Chord.Protocol.create_detached ~metrics ?spans wheel ~rng:(Rng.split rng)
+      ~config:chord_config
+      ~emit:(fun ~src:_ ~dst msg -> Queue.add (Chord_send (dst, msg)) outbox)
+      ()
+  in
+  let id =
+    match id with Some i -> i | None -> Id.routing_key (Id.random rng)
+  in
+  let node = Chord.Protocol.bootstrap network ~id ~addr ~site:0 () in
+  let server =
+    Server.create_detached ~engine:wheel ~addr
+      ~emit:(fun ~dst msg ->
+        match msg with
+        | Message.Deliver { stack; payload; trace } ->
+            (* Host-bound payload gets its own effect so drivers can
+               count/route deliveries without decoding. *)
+            Queue.add (Deliver { dst; stack; payload; trace }) outbox
+        | msg -> Queue.add (Send (dst, msg)) outbox)
+      ~view:(view_for node) ~id ?config ~metrics ?tracer ()
+  in
+  (if join <> [] then begin
+     (* Join by address: probe the bootstrap contacts immediately, then
+        keep retrying while still alone — contacts may not be up yet
+        (cluster cold start) or may have been lost to a partition. *)
+     let probe_contacts () =
+       List.iter (Chord.Protocol.probe_addr node) join
+     in
+     Sim.Engine.schedule wheel ~delay:0. probe_contacts;
+     ignore
+       (Sim.Engine.every wheel ~period:(2. *. chord_config.rpc_timeout)
+          (fun () ->
+            if Chord.Protocol.successor node = None then probe_contacts ()))
+   end);
+  let labels = [ ("instance", Server.instance_label server) ] in
+  {
+    wheel;
+    outbox;
+    addr;
+    id;
+    server;
+    network;
+    node;
+    c_events = Obs.Metrics.counter metrics ~labels "engine.events";
+    c_effects = Obs.Metrics.counter metrics ~labels "engine.effects";
+    h_batch =
+      Obs.Metrics.histogram metrics ~labels ~buckets:batch_buckets
+        "engine.effect_batch";
+  }
+
+let addr t = t.addr
+let id t = t.id
+let server t = t.server
+let chord t = t.node
+let chord_network t = t.network
+let now t = Sim.Engine.now t.wheel
+let next_due t = Sim.Engine.next_due t.wheel
+
+(* --- frame codec dispatch --- *)
+
+let decode bytes =
+  let module L = Wire.Layout in
+  if String.length bytes < L.preamble_bytes then Error "frame too short"
+  else
+    let kind = Char.code bytes.[L.off_kind] in
+    if kind >= L.kind_lookup_step && kind <= L.kind_notify then
+      Result.map (fun m -> Chord m) (Chord.Codec.decode bytes)
+    else
+      (* Data packets (flags < [first_kind]) and i3 control kinds both
+         belong to the i3 codec, which discriminates them itself. *)
+      Result.map (fun m -> I3 m) (Codec.decode bytes)
+
+let encode_frame = function
+  | I3 m -> Codec.encode m
+  | Chord m -> Chord.Codec.encode m
+
+let encode_effect = function
+  | Send (dst, m) -> Some (dst, Codec.encode m)
+  | Chord_send (dst, m) -> Some (dst, Chord.Codec.encode m)
+  | Deliver { dst; stack; payload; trace } ->
+      Some (dst, Codec.encode (Message.Deliver { stack; payload; trace }))
+  | Set_timer _ -> None
+
+(* --- the state machine --- *)
+
+let dispatch t = function
+  | Tick -> ()
+  | Frame { src; frame = I3 msg } -> Server.handle_message t.server ~src msg
+  | Frame { src; frame = Chord msg } -> Chord.Protocol.handle t.node ~src msg
+  | Insert_trigger trigger ->
+      Server.handle_message t.server ~src:t.addr
+        (Message.Insert { trigger; token = None })
+  | Remove_trigger trigger ->
+      Server.handle_message t.server ~src:t.addr (Message.Remove { trigger })
+  | Send_packet p -> Server.handle_packet t.server p
+
+let step t ~now event =
+  Obs.Metrics.incr t.c_events;
+  (* Fire everything due first, so a frame arriving late still sees the
+     timer-driven state (expiry, suspicion) it would have seen live. *)
+  Sim.Engine.run_until t.wheel now;
+  dispatch t event;
+  (* Zero-delay continuations the dispatch scheduled fire in this step,
+     not the next tick. *)
+  Sim.Engine.run_until t.wheel now;
+  let effects = List.of_seq (Queue.to_seq t.outbox) in
+  Queue.clear t.outbox;
+  Obs.Metrics.incr ~by:(List.length effects) t.c_effects;
+  Obs.Metrics.observe t.h_batch (float_of_int (List.length effects));
+  match Sim.Engine.next_due t.wheel with
+  | Some due -> effects @ [ Set_timer due ]
+  | None -> effects

@@ -1,0 +1,123 @@
+(** The sans-IO i3 node: one forwarding server ({!Server}) fused with
+    one live Chord node ({!Chord.Protocol}) behind a pure
+    state-machine API.
+
+    The engine performs no I/O and reads no clock.  Its whole surface
+    is [step t ~now event -> effect list]: the caller stamps each input
+    with its own notion of time (virtual milliseconds in tests,
+    milliseconds since process start in a daemon) and interprets the
+    returned effects against whatever transport it owns.  Two drivers
+    ship with the repo — {!Transport.Driver} pumping any
+    {!Transport.S} (the UDP daemon [bin/i3d]), and the in-process test
+    driver in [test/test_engine.ml] — and both observe identical
+    effect traces for identical inputs, which is the point: protocol
+    behaviour is decided here, delivery is decided by the driver.
+
+    Internally the engine owns a private {!Sim.Engine} wheel carrying
+    every timer the composed protocols need (soft-state sweeps,
+    stabilize/fix-fingers rounds, RPC timeouts, join retries).  [step]
+    advances the wheel to [now] before dispatching, and the trailing
+    {!effect.Set_timer} tells the caller the next deadline, so a
+    driver sleeps exactly as long as the protocols allow and no
+    longer. *)
+
+type frame =
+  | I3 of Message.t
+  | Chord of Chord.Protocol.msg
+      (** Both protocols share one transport address per node; frames
+          are told apart by the wire kind byte ({!decode}). *)
+
+type event =
+  | Frame of { src : Packet.addr; frame : frame }
+      (** A decoded datagram from [src] (its packed transport
+          address). *)
+  | Tick  (** No input — just advance timers to [now]. *)
+  | Insert_trigger of Trigger.t
+      (** Local command: insert (or refresh) a trigger as if the
+          owning host had sent it to this server; routed onward if the
+          node does not own the identifier. *)
+  | Remove_trigger of Trigger.t  (** Local command: remove a trigger. *)
+  | Send_packet of Packet.t
+      (** Local command: source a data packet here (paper Fig. 3). *)
+
+type effect =
+  | Send of Packet.addr * Message.t  (** Encode and transmit. *)
+  | Chord_send of Packet.addr * Chord.Protocol.msg
+  | Deliver of {
+      dst : Packet.addr;
+      stack : Packet.stack;
+      payload : string;
+      trace : int;
+    }
+      (** A matched packet leaving the overlay for end-host [dst] —
+          distinct from {!effect.Send} so drivers can route or count
+          deliveries without decoding ({!encode_effect} still encodes
+          it as a {!Message.Deliver} frame for wire transports). *)
+  | Set_timer of float
+      (** Call [step ~now Tick] no later than this time (same clock as
+          the [now] the caller supplies).  At most one per step, always
+          last. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  addr:Packet.addr ->
+  ?id:Id.t ->
+  ?join:Packet.addr list ->
+  ?config:Server.config ->
+  ?chord_config:Chord.Protocol.config ->
+  ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Trace.t ->
+  ?spans:Obs.Span.t ->
+  unit ->
+  t
+(** A node at transport address [addr] (for UDP, the packed [ip:port]
+    peers reach it at).  [id] defaults to a fresh random routing key;
+    daemons pass [Id.routing_key (Id.name_hash "host:port")] so ids are
+    stable across restarts.  With [join] contacts the node probes them
+    by address immediately and keeps retrying every other RPC timeout
+    while it is still alone ({!Chord.Protocol.probe_addr}); without, it
+    bootstraps a fresh ring.  Registers [engine.events] /
+    [engine.effects] counters and the [engine.effect_batch] histogram
+    in [metrics] under the server's [instance] label. *)
+
+val addr : t -> Packet.addr
+val id : t -> Id.t
+
+val server : t -> Server.t
+(** The embedded forwarding server (trigger tables, stats). *)
+
+val chord : t -> Chord.Protocol.node
+(** The embedded Chord node (successor/predecessor, ring state). *)
+
+val chord_network : t -> Chord.Protocol.network
+
+val now : t -> float
+(** The engine's clock: the largest [now] any {!step} has seen. *)
+
+val next_due : t -> float option
+(** Earliest pending timer — what the next {!effect.Set_timer} will
+    say. *)
+
+val decode : string -> (frame, string) result
+(** Classify and decode one datagram by its kind byte (offset
+    [Wire.Layout.off_kind]): Chord RPC kinds go to [Chord.Codec],
+    everything else — data packets and i3 control kinds — to
+    {!Codec}.  Never raises. *)
+
+val encode_frame : frame -> string
+(** Inverse of {!decode} (for tests and loopback drivers). *)
+
+val encode_effect : effect -> (Packet.addr * string) option
+(** Wire form of an effect: [Some (dst, bytes)] for the three send
+    shapes, [None] for {!effect.Set_timer} (which only re-arms the
+    driver's clock). *)
+
+val step : t -> now:float -> event -> effect list
+(** Advance timers to [now], dispatch the event, and return every
+    effect produced — timer-driven sends first (in schedule order),
+    then the event's own output, then at most one {!effect.Set_timer}.
+    [now] must come from a single monotonic clock per engine; a
+    regressing [now] is clamped (time never rewinds).  Deterministic:
+    same seed, same event sequence, same effect trace. *)

@@ -19,7 +19,7 @@ type binding = {
 type cache_entry = { server : Packet.addr; mutable expires : float }
 
 type t = {
-  engine : Engine.t;
+  engine : Sim.Engine.t;
   net : Message.t Net.t;
   rng : Rng.t;
   cfg : config;
@@ -30,7 +30,7 @@ type t = {
   mutable bindings : binding list;
   cache : (string, cache_entry) Hashtbl.t; (* k-bit prefix -> server *)
   mutable receive : stack:Packet.stack -> payload:string -> unit;
-  mutable refresher : Engine.timer option;
+  mutable refresher : Sim.Engine.timer option;
   tracer : Obs.Trace.t;
   spans : Obs.Span.t;
   first_packet : (string, Obs.Span.open_span) Hashtbl.t;
@@ -40,7 +40,7 @@ type t = {
          work to the provoking packet's data-plane trace id. *)
 }
 
-let now t = Engine.now t.engine
+let now t = Sim.Engine.now t.engine
 let addr t = t.addr
 let site t = t.site
 let engine t = t.engine
@@ -172,7 +172,7 @@ let create ~engine ~net ~rng ~site ~gateways ?(config = default_config)
   t.addr <- Net.register net ~site (fun ~src msg -> handle t ~src msg);
   t.refresher <-
     Some
-      (Engine.every engine
+      (Sim.Engine.every engine
          ~phase:(Rng.float rng config.refresh_period)
          ~period:config.refresh_period
          (fun () -> refresh_now t));

@@ -23,7 +23,7 @@ val default_config : config
 type t
 
 val create :
-  engine:Engine.t ->
+  engine:Sim.Engine.t ->
   net:Message.t Net.t ->
   rng:Rng.t ->
   site:int ->
@@ -49,7 +49,7 @@ val create :
 
 val addr : t -> Packet.addr
 val site : t -> int
-val engine : t -> Engine.t
+val engine : t -> Sim.Engine.t
 (** The virtual clock this host lives on (for application-level timers). *)
 
 val on_receive : t -> (stack:Packet.stack -> payload:string -> unit) -> unit

@@ -91,9 +91,18 @@ type ring_view = {
   predecessor_addr : unit -> Packet.addr option;
 }
 
+(* All I/O is injected: the server never touches a network directly.
+   [emit] carries every outbound message; [io_down]/[io_up] let the
+   owning substrate mirror kill/restart (the simulated [Net] marks the
+   endpoint down; a detached server has no substrate and both are
+   no-ops).  This is what keeps the Fig. 3 engine sans-IO: the same
+   code runs over [Net], over [I3.Engine] effects, or under a direct
+   microbenchmark. *)
 type t = {
-  engine : Engine.t;
-  net : Message.t Net.t;
+  engine : Sim.Engine.t;
+  mutable emit : dst:Packet.addr -> Message.t -> unit;
+  mutable io_down : unit -> unit;
+  mutable io_up : unit -> unit;
   mutable view : ring_view;
   id : Id.t;
   mutable addr : Packet.addr;
@@ -110,7 +119,7 @@ type t = {
   mutable c : counters;
   tracer : Obs.Trace.t;
   mutable alive : bool;
-  mutable sweeper : Engine.timer option;
+  mutable sweeper : Sim.Engine.timer option;
 }
 
 let addr t = t.addr
@@ -140,14 +149,14 @@ let stats t =
     cache_pushes = v t.c.c_cache_pushes;
   }
 
-let now t = Engine.now t.engine
+let now t = Sim.Engine.now t.engine
 
 let trace_event t (p : Packet.t) kind =
   Obs.Trace.record t.tracer p.Packet.trace ~time:(now t) ~site:t.site kind
 
 let is_responsible t i3_id = t.view.owns i3_id
 
-let send t dst msg = Net.send t.net ~src:t.addr ~dst msg
+let send t dst msg = t.emit ~dst msg
 
 let forward_overlay t i3_id msg =
   match t.view.next_hop i3_id with
@@ -349,7 +358,7 @@ let handle_pushback t ~id ~dead =
 let start_sweeper t =
   t.sweeper <-
     Some
-      (Engine.every t.engine ~period:t.cfg.sweep_period (fun () ->
+      (Sim.Engine.every t.engine ~period:t.cfg.sweep_period (fun () ->
            if t.alive then begin
              ignore (Trigger_table.expire t.table ~now:(now t));
              ignore (Trigger_table.expire t.cache ~now:(now t));
@@ -388,33 +397,47 @@ let handle t ~src (msg : Message.t) =
 
 let handle_message = handle
 
-let create ~engine ~net ~view ~site ~id ?(config = default_config)
-    ?(metrics = Obs.Metrics.default) ?(tracer = Obs.Trace.disabled) () =
+let make ~engine ~view ~addr ~site ~id ~config ~metrics ~tracer =
   incr instances;
   let instance = "srv" ^ string_of_int !instances in
-  let t =
-    {
-      engine;
-      net;
-      view;
-      id;
-      addr = -1;
-      site;
-      cfg = config;
-      table = Trigger_table.create ();
-      cache = Trigger_table.create ();
-      replicas = Trigger_table.create ();
-      heat = Hashtbl.create 64;
-      secret = Sha256.digest ("i3-server-secret:" ^ Id.to_raw_string id);
-      metrics;
-      instance;
-      c = make_counters metrics instance;
-      tracer;
-      alive = true;
-      sweeper = None;
-    }
-  in
+  {
+    engine;
+    emit = (fun ~dst:_ _ -> ());
+    io_down = (fun () -> ());
+    io_up = (fun () -> ());
+    view;
+    id;
+    addr;
+    site;
+    cfg = config;
+    table = Trigger_table.create ();
+    cache = Trigger_table.create ();
+    replicas = Trigger_table.create ();
+    heat = Hashtbl.create 64;
+    secret = Sha256.digest ("i3-server-secret:" ^ Id.to_raw_string id);
+    metrics;
+    instance;
+    c = make_counters metrics instance;
+    tracer;
+    alive = true;
+    sweeper = None;
+  }
+
+let create ~engine ~net ~view ~site ~id ?(config = default_config)
+    ?(metrics = Obs.Metrics.default) ?(tracer = Obs.Trace.disabled) () =
+  let t = make ~engine ~view ~addr:(-1) ~site ~id ~config ~metrics ~tracer in
   t.addr <- Net.register net ~site (fun ~src msg -> handle t ~src msg);
+  t.emit <- (fun ~dst msg -> Net.send net ~src:t.addr ~dst msg);
+  t.io_down <- (fun () -> Net.set_down net t.addr);
+  t.io_up <- (fun () -> Net.set_up net t.addr);
+  start_sweeper t;
+  t
+
+let create_detached ~engine ~addr ~emit ~view ?(site = 0) ~id
+    ?(config = default_config) ?(metrics = Obs.Metrics.default)
+    ?(tracer = Obs.Trace.disabled) () =
+  let t = make ~engine ~view ~addr ~site ~id ~config ~metrics ~tracer in
+  t.emit <- emit;
   start_sweeper t;
   t
 
@@ -422,7 +445,7 @@ let set_view t view = t.view <- view
 
 let kill t =
   t.alive <- false;
-  Net.set_down t.net t.addr;
+  t.io_down ();
   (* A dead process exports nothing: deregister this instance's samples
      so snapshots and the health monitor don't read ghost values frozen
      at their pre-crash counts.  The handles in [t.c] stay harmlessly
@@ -431,14 +454,14 @@ let kill t =
       List.mem ("instance", t.instance) labels);
   match t.sweeper with
   | Some timer ->
-      Engine.cancel timer;
+      Sim.Engine.cancel timer;
       t.sweeper <- None
   | None -> ()
 
 let restart t =
   if t.alive then invalid_arg "Server.restart: server is alive";
   t.alive <- true;
-  Net.set_up t.net t.addr;
+  t.io_up ();
   (* Fail-stop recovery: stored soft state died with the process; hosts
      re-populate it on their next refresh (Sec. IV-C).  Counters restart
      from zero with the process (kill deregistered the old samples). *)

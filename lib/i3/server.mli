@@ -75,7 +75,7 @@ type ring_view = {
 type t
 
 val create :
-  engine:Engine.t ->
+  engine:Sim.Engine.t ->
   net:Message.t Net.t ->
   view:ring_view ->
   site:int ->
@@ -89,6 +89,28 @@ val create :
     Counters register in [metrics] (default {!Obs.Metrics.default});
     [tracer] (default {!Obs.Trace.disabled}) receives per-packet relay /
     cache-hit / trigger-match / drop events for traced packets. *)
+
+val create_detached :
+  engine:Sim.Engine.t ->
+  addr:Packet.addr ->
+  emit:(dst:Packet.addr -> Message.t -> unit) ->
+  view:ring_view ->
+  ?site:int ->
+  id:Id.t ->
+  ?config:config ->
+  ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Trace.t ->
+  unit ->
+  t
+(** A server with no network underneath: every outbound message goes
+    through [emit] and inbound traffic arrives via {!handle_message} —
+    the sans-IO face {!Engine} composes with a Chord node and drives
+    over any {!Transport.S}.  [addr] is the server's externally visible
+    address (it is embedded in [Insert_ack]/[Pong] frames, so it must
+    be the address peers can actually reach — for UDP, the packed
+    [ip:port]).  [engine] supplies the virtual clock for soft-state
+    expiry; the owner advances it.  {!kill}/{!restart} only flip
+    liveness (there is no endpoint to mark down). *)
 
 val set_view : t -> ring_view -> unit
 (** Install a new ring view after membership changed. *)

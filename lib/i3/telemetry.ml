@@ -9,7 +9,7 @@ let install_net_tracer ~tracer (net : Message.t Net.t) =
         match Message.trace_of msg with
         | None -> ()
         | Some trace -> (
-            let time = Engine.now (Net.engine net) in
+            let time = Sim.Engine.now (Net.engine net) in
             let site = Net.site net src in
             match outcome with
             | `Enqueue ->

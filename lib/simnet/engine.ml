@@ -42,6 +42,7 @@ let scraper t ?phase ~period f = every t ?phase ~period (fun () -> f ~time:t.clo
 let cancel timer = timer.cancelled <- true
 
 let pending t = Heap.size t.heap
+let next_due t = Option.map (fun ev -> ev.time) (Heap.peek t.heap)
 
 let step t =
   match Heap.pop t.heap with

@@ -37,6 +37,13 @@ val pending : t -> int
 (** Number of queued events (cancelled timers may linger until their next
     tick). *)
 
+val next_due : t -> float option
+(** Timestamp of the earliest queued event, if any — what a sans-IO
+    driver needs to re-arm its wall-clock timer after draining effects
+    ([I3.Engine]'s [Set_timer]).  A cancelled periodic timer still
+    occupies its slot until its tick, so the returned time is a lower
+    bound on when real work is due. *)
+
 val run : t -> unit
 (** Process events until the queue drains. Beware: periodic timers never
     drain; use {!run_until} with them. *)

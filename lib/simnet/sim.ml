@@ -1,0 +1,6 @@
+(* Qualified aliases for simnet's unwrapped modules, so wrapped libraries
+   that define their own [Engine] (e.g. [I3.Engine]) can still name the
+   simulator's. *)
+module Engine = Engine
+module Net = Net
+module Faults = Faults

@@ -50,6 +50,15 @@ type binding = {
 
 type pong = { server : int; triggers : int; uptime_ms : float }
 
+(* Engine-style visibility: every binding-lifecycle decision the client
+   takes is reported as a value, so callers (and tests) observe the
+   reliability machinery without scraping counters. *)
+type event =
+  | Acked of { trigger : I3.Trigger.t; server : int }
+  | Refresh_sent of { trigger : I3.Trigger.t; dst : int }
+  | Rehomed of { trigger : I3.Trigger.t; stale : int }
+  | Gave_up of I3.Trigger.t
+
 type t = {
   udp : Udp.t;
   faulty : Faulty.t option;
@@ -60,6 +69,7 @@ type t = {
   mutable gw : int;
   mutable bindings : binding list;
   mutable on_deliver : stack:I3.Packet.stack -> payload:string -> unit;
+  mutable on_event : event -> unit;
   pongs : (int, pong) Hashtbl.t;  (* nonce -> reply *)
   c_sends : Obs.Metrics.counter;
   c_retries : Obs.Metrics.counter;
@@ -86,7 +96,8 @@ let handle t ~src:_ bytes =
       | Some b ->
           Obs.Metrics.incr t.c_acks;
           b.last_ack <- t.clock ();
-          b.server <- Some server
+          b.server <- Some server;
+          t.on_event (Acked { trigger = b.trigger; server })
       | None -> ())
   | Ok (I3.Message.Deliver { stack; payload; trace = _ }) ->
       Obs.Metrics.incr t.c_delivers;
@@ -111,6 +122,7 @@ let create ?(metrics = Obs.Metrics.default) ?(config = default_config)
       gw = 0;
       bindings = [];
       on_deliver = (fun ~stack:_ ~payload:_ -> ());
+      on_event = (fun _ -> ());
       pongs = Hashtbl.create 8;
       c_sends = c "client.sends";
       c_retries = c "client.retries";
@@ -131,6 +143,7 @@ let create ?(metrics = Obs.Metrics.default) ?(config = default_config)
 
 let local_addr t = Udp.local_addr t.udp
 let on_deliver t f = t.on_deliver <- f
+let on_event t f = t.on_event <- f
 let gateway t = t.gateways.(t.gw)
 let rotate_gateway t = t.gw <- (t.gw + 1) mod Array.length t.gateways
 
@@ -141,17 +154,17 @@ let raw_send t ~dst bytes =
 
 let send_msg t ~dst m = raw_send t ~dst (I3.Codec.encode m)
 
-(* One poll step: release due delayed datagrams, then wait for at most
-   [timeout] seconds of socket traffic.  EINTR (a signal mid-select)
-   counts as an empty poll. *)
-let poll t ~timeout =
+(* One blocking receive step: release due delayed datagrams, then wait
+   for at most [timeout] seconds of socket traffic.  EINTR (a signal
+   mid-select) counts as an empty wait. *)
+let wait t ~timeout =
   (match t.faulty with Some f -> ignore (Faulty.flush f) | None -> ());
-  match Udp.poll t.udp ~timeout with
+  match Udp.wait t.udp ~timeout with
   | handled -> handled
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
 
-(* Poll until [until ()] or the ms deadline; tight 20 ms slices keep the
-   delay queue draining while we wait. *)
+(* Wait until [until ()] or the ms deadline; tight 20 ms slices keep the
+   delay queue draining while we block. *)
 let poll_until t ~deadline until =
   let rec go () =
     if until () then true
@@ -159,7 +172,7 @@ let poll_until t ~deadline until =
       let left = deadline -. t.clock () in
       if left <= 0. then false
       else begin
-        ignore (poll t ~timeout:(Float.min (left /. 1000.) 0.02));
+        ignore (wait t ~timeout:(Float.min (left /. 1000.) 0.02));
         go ()
       end
   in
@@ -242,6 +255,7 @@ let insert t trigger =
     Obs.Metrics.incr t.c_gave_up;
     b.server <- None;
     rotate_gateway t;
+    t.on_event (Gave_up b.trigger);
     `Gave_up
   end
 
@@ -266,8 +280,7 @@ let triggers t = List.map (fun b -> b.trigger) t.bindings
    the server that acked last, then via a gateway — the client-side
    re-homing of Sec. IV-C, spread over calls instead of a blocking
    round. *)
-let maintain t =
-  let now = t.clock () in
+let maintain_at t now =
   List.iter
     (fun b ->
       if now -. b.last_ack >= t.cfg.refresh_period_ms then begin
@@ -286,10 +299,15 @@ let maintain t =
           in
           (* Two misses at the acked server mean it is gone (or
              unreachable); forget it and re-home through the ring. *)
-          if b.refresh_attempts >= 2 then b.server <- None;
+          (match b.server with
+          | Some stale when b.refresh_attempts >= 2 ->
+              b.server <- None;
+              t.on_event (Rehomed { trigger = b.trigger; stale })
+          | _ -> ());
           Obs.Metrics.incr t.c_sends;
           send_msg t ~dst
             (I3.Message.Insert { trigger = b.trigger; token = None });
+          t.on_event (Refresh_sent { trigger = b.trigger; dst });
           b.refresh_attempts <- b.refresh_attempts + 1;
           b.next_refresh_send <-
             now +. t.cfg.attempt_timeout_ms
@@ -301,6 +319,16 @@ let maintain t =
         b.next_refresh_send <- Float.neg_infinity
       end)
     t.bindings
+
+(* The uniform transport maintenance step: drain due fault-layer
+   datagrams, dispatch everything queued on the socket, then run the
+   refresh state machine once.  Never blocks. *)
+let poll t ~now =
+  (match t.faulty with Some f -> ignore (Faulty.flush f) | None -> ());
+  Udp.poll t.udp ~now;
+  maintain_at t now
+
+let maintain t = maintain_at t (t.clock ())
 
 let send_data t ?ttl ?(trace = 0) ~stack ~payload () =
   Obs.Metrics.incr t.c_data;
@@ -324,6 +352,6 @@ let ping t ~dst ~timeout_ms =
 let run t ~duration_ms =
   let deadline = t.clock () +. duration_ms in
   while t.clock () < deadline do
-    ignore (poll t ~timeout:0.02);
-    maintain t
+    ignore (wait t ~timeout:0.02);
+    poll t ~now:(t.clock ())
   done

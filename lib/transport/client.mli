@@ -31,6 +31,18 @@ val default_config : config
 type pong = { server : int; triggers : int; uptime_ms : float }
 (** A daemon's status reply to {!ping}. *)
 
+(** Binding-lifecycle decisions, reported as values (engine-style) so
+    callers observe the reliability machinery without scraping
+    counters: an ack landed (naming the server that now owns the
+    binding), a refresh [Insert] left (and towards whom), a dead
+    last-acked server was forgotten after two refresh misses, or a
+    synchronous {!insert}'s retry budget ran out. *)
+type event =
+  | Acked of { trigger : I3.Trigger.t; server : int }
+  | Refresh_sent of { trigger : I3.Trigger.t; dst : int }
+  | Rehomed of { trigger : I3.Trigger.t; stale : int }
+  | Gave_up of I3.Trigger.t
+
 type t
 
 val create :
@@ -53,6 +65,9 @@ val local_addr : t -> int
 
 val on_deliver : t -> (stack:I3.Packet.stack -> payload:string -> unit) -> unit
 (** Application callback for [Deliver] frames. *)
+
+val on_event : t -> (event -> unit) -> unit
+(** Observe binding-lifecycle {!event}s (default: dropped). *)
 
 val gateway : t -> int
 (** Current gateway daemon. *)
@@ -78,15 +93,15 @@ val triggers : t -> I3.Trigger.t list
 (** Currently registered bindings. *)
 
 val maintain : t -> unit
-(** The soft-state refresh loop, non-blocking: for every binding whose
-    last ack is older than [refresh_period_ms], send at most one
-    refresh [Insert] per call and return — retries are paced by
-    successive calls (spaced [attempt_timeout_ms] plus a jittered
-    backoff apart), never by blocking waits, so a dead server cannot
-    stall the caller's loop.  Refreshes retry indefinitely, re-homing
-    from the last-acked server to a gateway after two misses; they do
-    not bump [client.gave_up] (that budget belongs to the synchronous
-    {!insert}).  Call this from the application loop (or use {!run}). *)
+(** The refresh half of {!poll} alone, at the client's own clock: for
+    every binding whose last ack is older than [refresh_period_ms],
+    send at most one refresh [Insert] per call and return — retries
+    are paced by successive calls (spaced [attempt_timeout_ms] plus a
+    jittered backoff apart), never by blocking waits, so a dead server
+    cannot stall the caller's loop.  Refreshes retry indefinitely,
+    re-homing from the last-acked server to a gateway after two misses
+    (reported as {!event.Rehomed}); they do not bump [client.gave_up]
+    (that budget belongs to the synchronous {!insert}). *)
 
 (** {1 Data and probes} *)
 
@@ -108,9 +123,16 @@ val ping : t -> dst:int -> timeout_ms:float -> pong option
 
 (** {1 The loop} *)
 
-val poll : t -> timeout:float -> bool
-(** One receive step ([timeout] in seconds): flush the fault layer's
-    delay queue, then wait for at most one datagram. *)
+val wait : t -> timeout:float -> bool
+(** One blocking receive step ([timeout] in seconds): flush the fault
+    layer's delay queue, then wait for at most one datagram. *)
+
+val poll : t -> now:float -> unit
+(** The uniform {!Transport.S} maintenance step ([now] in ms on the
+    client's clock): flush the fault layer, dispatch everything queued
+    on the socket, then run the soft-state refresh machine once.
+    Never blocks — an application loop is [wait ~timeout] followed by
+    [poll ~now]. *)
 
 val run : t -> duration_ms:float -> unit
-(** Poll and {!maintain} until the deadline. *)
+(** {!wait} and {!poll} until the deadline. *)

@@ -1,0 +1,73 @@
+(* The effect interpreter between an [I3.Engine] and a byte transport.
+
+   The engine decides *what* happens (protocol state, frames to emit,
+   when it next needs the clock); this driver decides *how*: it decodes
+   inbound datagrams into engine events, encodes outbound effects into
+   datagrams through one [send] closure, and remembers the engine's
+   latest [Set_timer] so the owning loop knows how long it may sleep.
+   One driver works over any transport that can send bytes — [Udp],
+   [Sim], or a [Faulty]-wrapped sender — which is what makes the
+   dual-driver parity test meaningful: same engine, same events, same
+   effects, different wires. *)
+
+type t = {
+  engine : I3.Engine.t;
+  send : dst:int -> string -> unit;
+  mutable on_effects : I3.Engine.effect list -> unit;
+  mutable next_due : float option;  (* latest Set_timer seen *)
+  c_frames : Obs.Metrics.counter;
+  c_sends : Obs.Metrics.counter;
+  c_decode_errors : Obs.Metrics.counter;
+}
+
+let create ?(metrics = Obs.Metrics.default) ?(instance = "driver") ~send
+    engine =
+  let labels = [ ("instance", instance) ] in
+  {
+    engine;
+    send;
+    on_effects = (fun _ -> ());
+    next_due = I3.Engine.next_due engine;
+    c_frames = Obs.Metrics.counter metrics ~labels "driver.frames";
+    c_sends = Obs.Metrics.counter metrics ~labels "driver.sends";
+    c_decode_errors =
+      Obs.Metrics.counter metrics
+        ~labels:(labels @ [ ("proto", "frame") ])
+        "wire.decode_errors";
+  }
+
+let engine t = t.engine
+let on_effects t f = t.on_effects <- f
+let next_due t = t.next_due
+
+let interpret t effects =
+  List.iter
+    (fun eff ->
+      match I3.Engine.encode_effect eff with
+      | Some (dst, bytes) ->
+          Obs.Metrics.incr t.c_sends;
+          t.send ~dst bytes
+      | None -> (
+          match eff with
+          | I3.Engine.Set_timer due -> t.next_due <- Some due
+          | _ -> ()))
+    effects;
+  t.on_effects effects
+
+let step t ~now event = interpret t (I3.Engine.step t.engine ~now event)
+
+let on_datagram t ~now ~src bytes =
+  Obs.Metrics.incr t.c_frames;
+  match I3.Engine.decode bytes with
+  | Error _ -> Obs.Metrics.incr t.c_decode_errors
+  | Ok frame -> step t ~now (I3.Engine.Frame { src; frame })
+
+let tick t ~now = step t ~now I3.Engine.Tick
+
+(* How long the owning loop may block before the next [tick]: the gap
+   to the engine's last announced deadline, clamped to [cap] (seconds,
+   for a select timeout) and never negative. *)
+let timeout t ~now ~cap =
+  match t.next_due with
+  | None -> cap
+  | Some due -> Float.min cap (Float.max 0. ((due -. now) /. 1000.))

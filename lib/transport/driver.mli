@@ -1,0 +1,56 @@
+(** Effect interpreter between an [I3.Engine] and a byte transport.
+
+    The sans-IO engine returns effects; this driver spends them: send
+    shapes are encoded and handed to one [send] closure (a [Udp]
+    socket, a [Sim] endpoint, a [Faulty]-wrapped sender — anything),
+    [Set_timer] re-arms the loop deadline exposed by {!timeout}.
+    Inbound bytes enter through {!on_datagram}, which classifies and
+    decodes them ([I3.Engine.decode]) and steps the engine.
+
+    A daemon loop over UDP is:
+    {[
+      while running do
+        let now = elapsed_ms () in
+        ignore (Udp.wait udp ~timeout:(Driver.timeout d ~now ~cap:0.25));
+        Udp.poll udp ~now;          (* handler calls on_datagram *)
+        Driver.tick d ~now:(elapsed_ms ())
+      done
+    ]} *)
+
+type t
+
+val create :
+  ?metrics:Obs.Metrics.t ->
+  ?instance:string ->
+  send:(dst:int -> string -> unit) ->
+  I3.Engine.t ->
+  t
+(** Registers [driver.frames] / [driver.sends] counters and a
+    [wire.decode_errors] counter (labels [instance], [proto="frame"])
+    in [metrics]; undecodable inbound datagrams count there and are
+    otherwise dropped, as a daemon must. *)
+
+val engine : t -> I3.Engine.t
+
+val on_datagram : t -> now:float -> src:int -> string -> unit
+(** Decode one inbound datagram and step the engine with it — install
+    [fun ~src bytes -> on_datagram d ~now:(clock ()) ~src bytes] as
+    the transport's receive handler. *)
+
+val tick : t -> now:float -> unit
+(** Step the engine with [Tick]: fires due timers, spends the
+    effects. *)
+
+val step : t -> now:float -> I3.Engine.event -> unit
+(** Step with an arbitrary event (local commands). *)
+
+val on_effects : t -> (I3.Engine.effect list -> unit) -> unit
+(** Observe every effect batch after it is spent (tracing, tests;
+    default: dropped). *)
+
+val next_due : t -> float option
+(** The engine's latest [Set_timer] deadline (engine-clock ms). *)
+
+val timeout : t -> now:float -> cap:float -> float
+(** Seconds the owning loop may block before the next {!tick}: gap to
+    {!next_due} clamped to [cap], never negative. *)

@@ -161,6 +161,12 @@ let flush t =
   in
   go 0
 
+(* The [Transport.S] maintenance step.  The decorator's own [clock]
+   closure stays authoritative for due times (it was fixed at [create]
+   so replays stay seeded); [now] is the caller's loop time and is only
+   there for the uniform convention. *)
+let poll t ~now:_ = ignore (flush t)
+
 let pending t = Heap.size t.pending
 let set_handler t h = t.lower.set_handler h
 let local_addr t = t.lower.local_addr

@@ -59,6 +59,11 @@ val flush : t -> int
 (** Release every parked datagram whose due time has passed; returns how
     many left.  Call from the poll loop. *)
 
+val poll : t -> now:float -> unit
+(** {!flush}, under the uniform {!Transport.S} maintenance convention.
+    Due times come from the [clock] fixed at {!create} (so seeded
+    replays stay faithful); [now] is ignored. *)
+
 val pending : t -> int
 
 (** {1 Fault control} *)

@@ -1,7 +1,7 @@
-module Static_ring = Static_ring
 module Udp = Udp
 module Faulty = Faulty
 module Client = Client
+module Driver = Driver
 
 module type S = sig
   type t
@@ -9,6 +9,7 @@ module type S = sig
   val send : t -> dst:int -> string -> unit
   val set_handler : t -> (src:int -> string -> unit) -> unit
   val local_addr : t -> int
+  val poll : t -> now:float -> unit
 end
 
 module Sim = struct
@@ -27,6 +28,9 @@ module Sim = struct
   let send t ~dst bytes = Net.send t.net ~src:t.addr ~dst bytes
   let set_handler t h = t.handler <- h
   let local_addr t = t.addr
+
+  (* Delivery is the scheduler's job; the endpoint holds no queues. *)
+  let poll _ ~now:_ = ()
 end
 
 (* Seal the implementations against the signature so drift in any is a

@@ -3,11 +3,9 @@
     A transport moves opaque datagrams between integer-addressed
     endpoints — the service i3 assumes of IP.  The codecs ([I3.Codec],
     [Chord.Codec], [I3.Packet]) turn protocol values into the bytes that
-    cross it, so the same daemon logic runs unchanged over the simulated
-    network or real UDP sockets ([bin/i3d]). *)
-
-module Static_ring = Static_ring
-(** Fixed name-hashed ring membership for standalone daemons. *)
+    cross it, and {!Driver} interprets an [I3.Engine]'s effects over
+    any of them, so the same sans-IO protocol core runs unchanged over
+    the simulated network or real UDP sockets ([bin/i3d]). *)
 
 module Udp = Udp
 (** IPv4 UDP datagrams over [Unix] sockets. *)
@@ -20,6 +18,9 @@ module Client = Client
 (** Reliable host-side client: ack-awaited inserts with retry/backoff,
     soft-state trigger refresh, liveness pings. *)
 
+module Driver = Driver
+(** Effect interpreter: pumps an [I3.Engine] over any byte sender. *)
+
 module type S = sig
   type t
 
@@ -30,6 +31,13 @@ module type S = sig
   (** Replace the receive callback. *)
 
   val local_addr : t -> int
+
+  val poll : t -> now:float -> unit
+  (** One non-blocking maintenance step at [now] (ms on the caller's
+      clock): drain due internal queues, dispatch already-queued
+      inbound datagrams.  Every implementation answers the same call,
+      so loops compose transports without knowing which one they
+      pump. *)
 end
 
 (** Byte datagrams over {!Net} — virtual time, fault injection

@@ -84,9 +84,10 @@ let set_handler t h = t.handler <- h
 let local_addr t = t.local
 
 (* Wait up to [timeout] seconds for one datagram and dispatch it;
-   returns whether one was handled.  A daemon's receive loop is just
-   [while running do ignore (poll t ~timeout:0.1) done]. *)
-let poll t ~timeout =
+   returns whether one was handled.  A daemon's receive loop is
+   [wait ~timeout] (block until traffic or deadline) followed by
+   [poll ~now] (drain whatever else is already queued). *)
+let wait t ~timeout =
   match Unix.select [ t.sock ] [] [] timeout with
   | [], _, _ -> false
   | _ -> (
@@ -96,5 +97,15 @@ let poll t ~timeout =
           t.handler ~src (Bytes.sub_string t.buf 0 len);
           true
       | None -> false)
+
+(* The [Transport.S] maintenance step: dispatch every datagram already
+   queued on the socket, without blocking.  EINTR counts as empty. *)
+let poll t ~now:_ =
+  let rec drain () =
+    if try wait t ~timeout:0.
+       with Unix.Unix_error (Unix.EINTR, _, _) -> false
+    then drain ()
+  in
+  drain ()
 
 let close t = Unix.close t.sock

@@ -20,10 +20,17 @@ val set_handler : t -> (src:int -> string -> unit) -> unit
 
 val local_addr : t -> int
 
-val poll : t -> timeout:float -> bool
-(** Wait up to [timeout] seconds for one datagram and hand it to the
-    handler; returns whether one arrived.  A receive loop is repeated
-    [poll]. *)
+val wait : t -> timeout:float -> bool
+(** Block up to [timeout] seconds for one datagram and hand it to the
+    handler; returns whether one arrived.  A receive loop is [wait]
+    (sleep until traffic or the next deadline) then {!poll} (drain the
+    rest of the queue). *)
+
+val poll : t -> now:float -> unit
+(** The {!Transport.S} maintenance step: dispatch every datagram
+    already queued on the socket without blocking ([now] is unused —
+    the socket has no internal timers — but keeps the uniform driver
+    convention). *)
 
 val close : t -> unit
 

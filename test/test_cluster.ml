@@ -60,6 +60,14 @@ let () =
   | exception Unix.Unix_error (e, _, _) ->
       skip ("cannot fork daemons: " ^ Unix.error_message e));
 
+  (* The ring now forms dynamically (every daemon joins via --join);
+     ownership is only meaningful once stabilization has converged. *)
+  if not (Harness.Cluster.await_converged cluster ~timeout_ms:15_000.) then begin
+    Harness.Cluster.stop cluster;
+    skip "ring did not converge within 15s"
+  end;
+  Printf.printf "cluster: ring converged\n%!";
+
   (* End-host: client behind default-intensity fault injection. *)
   let udp = Transport.Udp.create () in
   let faulty = Transport.Faulty.of_udp ~metrics ~rng:(Rng.split rng) udp in
@@ -109,8 +117,8 @@ let () =
   let t0 = wall_ms () in
   Harness.Cluster.run_schedule ~faulty
     ~tick:(fun ~now_ms ->
-      ignore (Transport.Client.poll client ~timeout:0.005);
-      Transport.Client.maintain client;
+      ignore (Transport.Client.wait client ~timeout:0.005);
+      Transport.Client.poll client ~now:now_ms;
       Harness.Live.flow_tick live flow ~now_ms;
       Harness.Live.monitor_tick mon ~now_ms)
     cluster

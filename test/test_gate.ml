@@ -218,7 +218,9 @@ let test_gate_default_checks_on_real_shape () =
                   "trigger_refresh":{"p99_ms":10.0}},
          "health":{"violated_scrapes":0,"degraded_scrapes":0},
          "codec":{"decode_errors":0,"corpus_bytes":2483,
-                  "data_frame_bytes":154}}|}
+                  "data_frame_bytes":154},
+         "engine":{"loopback_events":811,"loopback_effects":411,
+                   "loopback_delivers":1,"ring_formed":1}}|}
   in
   let results =
     Eval.Gate.compare_json ~baseline:full ~current:full Eval.Gate.default_checks

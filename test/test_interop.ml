@@ -1,7 +1,9 @@
-(* Two-process UDP loopback interop: spawn two [bin/i3d] daemons forming
-   a static ring, act as the end-host from this process, and drive the
-   paper's core exchange over real sockets — insert a trigger, send a
-   data packet, assert the payload comes back in a [Deliver] frame.
+(* Two-process UDP loopback interop: spawn two [bin/i3d] daemons that
+   form a ring dynamically (the second joins the first via [--join] and
+   Chord stabilization), act as the end-host from this process, and
+   drive the paper's core exchange over real sockets — insert a trigger,
+   send a data packet, assert the payload comes back in a [Deliver]
+   frame.
 
    The trigger id is chosen to be owned by the daemon we do NOT talk to,
    so both the insert and the data packet must cross the inter-server
@@ -50,20 +52,17 @@ let wait_ready name ic =
   in
   go ()
 
-let spawn_daemon ~port ~peers =
+let spawn_daemon ~port ~join =
   let out_r, out_w = Unix.pipe () in
   let argv =
-    [|
-      i3d_path;
-      "--host";
-      "127.0.0.1";
-      "--port";
-      string_of_int port;
-      "--peers";
-      peers;
-    |]
+    [ i3d_path; "--host"; "127.0.0.1"; "--port"; string_of_int port;
+      "--stabilize-ms"; "200"; "--rpc-timeout-ms"; "100" ]
+    @ (if join = "" then [] else [ "--join"; join ])
   in
-  let pid = Unix.create_process i3d_path argv Unix.stdin out_w Unix.stderr in
+  let pid =
+    Unix.create_process i3d_path (Array.of_list argv) Unix.stdin out_w
+      Unix.stderr
+  in
   Unix.close out_w;
   (pid, Unix.in_channel_of_descr out_r)
 
@@ -83,7 +82,6 @@ let () =
   let port_b = free_port () in
   let name_a = Printf.sprintf "127.0.0.1:%d" port_a in
   let name_b = Printf.sprintf "127.0.0.1:%d" port_b in
-  let peers = name_a ^ "," ^ name_b in
   let pids = ref [] in
   let cleanup () =
     List.iter
@@ -93,9 +91,10 @@ let () =
       !pids
   in
   at_exit cleanup;
-  let pid_a, out_a = spawn_daemon ~port:port_a ~peers in
+  (* A bootstraps alone; B joins it — the ring forms dynamically. *)
+  let pid_a, out_a = spawn_daemon ~port:port_a ~join:"" in
   pids := [ pid_a ];
-  let pid_b, out_b = spawn_daemon ~port:port_b ~peers in
+  let pid_b, out_b = spawn_daemon ~port:port_b ~join:name_a in
   pids := [ pid_a; pid_b ];
   (match wait_ready "daemon A" out_a with
   | () -> ()
@@ -107,19 +106,79 @@ let () =
   (* The host socket; its packed address is the trigger's target. *)
   let udp = Transport.Udp.create () in
   let me = Transport.Udp.local_addr udp in
-  let ring = Transport.Static_ring.create [ (name_a, 0); (name_b, 1) ] in
-  let daemon_a =
+  let pack port =
     Transport.Udp.pack
       ~ip:(Option.get (Transport.Udp.ip_of_string "127.0.0.1"))
-      ~port:port_a
+      ~port
   in
-  (* Find an id owned by daemon B, then talk only to daemon A: every
+  let daemon_a = pack port_a in
+  let daemon_b = pack port_b in
+
+  (* Wait for the two-node ring to converge — each daemon's successor
+     pointer must name the other — by asking over the wire with the
+     same [Get_state] probe the daemons answer for each other. *)
+  let probe = Transport.Udp.create () in
+  let probe_token = ref 0 in
+  let succ_head dst =
+    incr probe_token;
+    let token = !probe_token in
+    let result = ref None in
+    Transport.Udp.set_handler probe (fun ~src:_ bytes ->
+        match Chord.Codec.decode bytes with
+        | Ok (Chord.Protocol.State { token = tk; succs; _ }) when tk = token ->
+            result := Some succs
+        | Ok _ | Error _ -> ());
+    Transport.Udp.send probe ~dst
+      (Chord.Codec.encode
+         (Chord.Protocol.Get_state
+            { token; reply_to = Transport.Udp.local_addr probe }));
+    let deadline = Unix.gettimeofday () +. 0.3 in
+    let rec go () =
+      match !result with
+      | Some (s :: _) -> Some s.Chord.Protocol.addr
+      | Some [] -> None
+      | None ->
+          if Unix.gettimeofday () >= deadline then None
+          else begin
+            (try ignore (Transport.Udp.wait probe ~timeout:0.02)
+             with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            go ()
+          end
+    in
+    go ()
+  in
+  let ring_deadline = Unix.gettimeofday () +. 15. in
+  let rec await_ring () =
+    if Unix.gettimeofday () > ring_deadline then skip "ring never converged"
+    else if
+      succ_head daemon_a = Some daemon_b && succ_head daemon_b = Some daemon_a
+    then ()
+    else begin
+      Unix.sleepf 0.05;
+      await_ring ()
+    end
+  in
+  await_ring ();
+  Transport.Udp.close probe;
+
+  (* Find an id owned by daemon B — the daemons hash their own host:port
+     names into node ids, so ownership is computable here (Chord
+     successor rule: the smallest node id >= routing_key(id), wrapping
+     to the smallest overall).  Then talk only to daemon A: every
      message must cross the inter-daemon hop. *)
+  let node_a = Id.routing_key (Id.name_hash name_a) in
+  let node_b = Id.routing_key (Id.name_hash name_b) in
+  let owned_by_b id =
+    let k = Id.routing_key id in
+    match (Id.compare node_a k >= 0, Id.compare node_b k >= 0) with
+    | true, false -> false
+    | false, true -> true
+    | (true, true | false, false) -> Id.compare node_b node_a < 0
+  in
   let rng = Rng.of_int 99 in
   let rec id_owned_by_b () =
     let id = Id.random rng in
-    if (Transport.Static_ring.owner_of ring id).name = name_b then id
-    else id_owned_by_b ()
+    if owned_by_b id then id else id_owned_by_b ()
   in
   let id = id_owned_by_b () in
   let trigger = I3.Trigger.to_host ~id ~owner:me in
@@ -138,7 +197,7 @@ let () =
         let left = deadline -. Unix.gettimeofday () in
         if left <= 0. then None
         else begin
-          ignore (Transport.Udp.poll udp ~timeout:(Float.min left 0.2));
+          ignore (Transport.Udp.wait udp ~timeout:(Float.min left 0.2));
           go ()
         end
     in
@@ -172,4 +231,5 @@ let () =
       assert (trace = 7)
   | _ -> assert false);
   Transport.Udp.close udp;
-  print_endline "interop OK: insert -> data -> delivery over loopback UDP"
+  print_endline
+    "interop OK: dynamic join -> insert -> data -> delivery over loopback UDP"

@@ -1,0 +1,88 @@
+(* Partition and re-merge, at process granularity: two live [bin/i3d]
+   daemons form a ring dynamically; SIGSTOP makes one unreachable with
+   all its protocol state intact (a partition from the other's view);
+   the survivor must evict it and run as a singleton; SIGCONT heals the
+   "link" and the daemons' graveyard/contact probes must re-merge the
+   two one-node rings into one — with zero wire decode errors across
+   the whole episode.
+
+   Skips (exit 0 with a SKIP line) where sockets or fork/exec are
+   unavailable, exactly like test_cluster. *)
+
+let skip reason =
+  Printf.printf "SKIP ring_merge: %s\n%!" reason;
+  exit 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.printf "FAIL ring_merge: %s\n%!" s;
+      exit 1)
+    fmt
+
+let i3d_path =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat Filename.parent_dir_name
+       (Filename.concat "bin" "i3d.exe"))
+
+let () =
+  (match Transport.Udp.create () with
+  | u -> Transport.Udp.close u
+  | exception Unix.Unix_error (e, _, _) ->
+      skip ("no loopback UDP: " ^ Unix.error_message e));
+  if not (Sys.file_exists i3d_path) then skip ("no daemon at " ^ i3d_path);
+
+  let cluster =
+    Harness.Cluster.create
+      ~metrics:(Obs.Metrics.create ())
+      ~rng:(Rng.of_int 77) ~i3d:i3d_path ~n:2 ()
+  in
+  Harness.Cluster.on_event cluster (fun s ->
+      Printf.printf "[ring_merge] %s\n%!" s);
+  (match Harness.Cluster.start cluster with
+  | true -> ()
+  | false ->
+      Harness.Cluster.stop cluster;
+      skip "cluster did not become ready (fork/exec restricted?)"
+  | exception Unix.Unix_error (e, _, _) ->
+      skip ("cannot fork daemons: " ^ Unix.error_message e));
+
+  (* Phase 1: the two-node ring forms dynamically. *)
+  if not (Harness.Cluster.await_converged cluster ~timeout_ms:15_000.) then begin
+    Harness.Cluster.stop cluster;
+    skip "initial ring never converged"
+  end;
+  Printf.printf "ring_merge: two-node ring converged\n%!";
+
+  (* Phase 2: partition.  SIGSTOP daemon 1; daemon 0 must declare it
+     dead (missed stabilize RPCs) and close the ring around itself. *)
+  Harness.Cluster.pause cluster 1;
+  let survivor_alone () =
+    Harness.Cluster.await_converged
+      ~only:(fun i -> i = 0)
+      cluster ~timeout_ms:15_000.
+  in
+  if not (survivor_alone ()) then begin
+    Harness.Cluster.stop cluster;
+    fail "survivor never evicted the paused member"
+  end;
+  Printf.printf "ring_merge: survivor runs as a singleton\n%!";
+
+  (* Phase 3: heal.  SIGCONT wakes daemon 1 with its old ring state; the
+     graveyard/contact probes on both sides must stitch the two views
+     back into one two-node ring. *)
+  Harness.Cluster.resume cluster 1;
+  if not (Harness.Cluster.await_converged cluster ~timeout_ms:20_000.) then begin
+    Harness.Cluster.stop cluster;
+    fail "ring never re-merged after resume"
+  end;
+  Printf.printf "ring_merge: ring re-merged after resume\n%!";
+
+  (* Post-mortem: graceful stop flushes the daemons' metric dumps; the
+     whole episode must be wire-clean. *)
+  Harness.Cluster.stop cluster;
+  let decode_errors = Harness.Cluster.decode_errors cluster in
+  if decode_errors <> 0 then
+    fail "daemons counted %d wire decode errors" decode_errors;
+  print_endline "PASS ring_merge: partition -> singleton -> re-merge, wire clean"

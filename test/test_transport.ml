@@ -1,6 +1,6 @@
-(* Transport-layer robustness coverage: [Static_ring] edge cases
-   (single-node ring, wraparound at the id-space boundary, ownership
-   stability across address reuse), deterministic unit tests of the
+(* Transport-layer robustness coverage: the uniform [wait]/[poll]
+   conventions every transport now shares (blocking receive vs
+   non-blocking maintenance), deterministic unit tests of the
    [Transport.Faulty] send-boundary decorator against a fake lower
    transport and a fake clock, and — where loopback sockets are allowed
    — a maximal-depth maximal-payload frame pushed through a real UDP
@@ -8,75 +8,37 @@
 
 let rng0 = Rng.of_int 1812
 
-(* --- Static_ring: single-node ring --- *)
+(* --- poll/wait conventions --- *)
 
-let test_ring_single () =
-  let ring = Transport.Static_ring.create [ ("127.0.0.1:9001", 42) ] in
-  let m =
-    match Transport.Static_ring.members ring with
-    | [ m ] -> m
-    | _ -> Alcotest.fail "single-member ring has one member"
-  in
-  (* Every identifier, including the member's own id and both ends of
-     the circle, lands on the only member. *)
-  List.iter
-    (fun id ->
-      let o = Transport.Static_ring.owner_of ring id in
-      Alcotest.(check string) "owner" m.Transport.Static_ring.name
-        o.Transport.Static_ring.name)
-    [ Id.zero; Id.max_value; m.Transport.Static_ring.id;
-      Id.succ m.Transport.Static_ring.id; Id.random rng0 ]
-
-(* --- Static_ring: wraparound at the id-space boundary --- *)
-
-let test_ring_wraparound () =
-  let names = List.init 5 (fun i -> Printf.sprintf "10.0.0.%d:8000" i) in
-  let ring =
-    Transport.Static_ring.create (List.mapi (fun i n -> (n, i)) names)
-  in
-  let members = Transport.Static_ring.members ring in
-  let first = List.hd members in
-  let last = List.nth members (List.length members - 1) in
-  (* Successor rule: an id strictly above the largest member id wraps to
-     the smallest member, as does anything in (last, max] u [0, first]. *)
-  let check_owner what id expect =
-    let o = Transport.Static_ring.owner_of ring id in
-    Alcotest.(check string) what expect.Transport.Static_ring.name
-      o.Transport.Static_ring.name
-  in
-  check_owner "above last wraps" (Id.succ last.Transport.Static_ring.id) first;
-  check_owner "max_value wraps" Id.max_value first;
-  check_owner "zero -> first" Id.zero first;
-  check_owner "member id owns itself" last.Transport.Static_ring.id last;
-  check_owner "just above a member id -> its successor"
-    (Id.succ first.Transport.Static_ring.id)
-    (List.nth members 1)
-
-(* --- Static_ring: ownership is stable across address reuse --- *)
-
-let test_ring_address_reuse () =
-  (* The ring hashes *names*; rebinding members to new transport
-     addresses (daemon restarts on a recycled port, NAT renumbering)
-     must not move any identifier's responsible member. *)
-  let names = List.init 6 (fun i -> Printf.sprintf "node%d:7%03d" i i) in
-  let ring_a =
-    Transport.Static_ring.create (List.mapi (fun i n -> (n, 100 + i)) names)
-  in
-  let ring_b =
-    Transport.Static_ring.create
-      (List.mapi (fun i n -> (n, 100 + ((i + 3) mod 6))) names)
-  in
-  for _ = 1 to 64 do
-    let id = Id.random rng0 in
-    let a = Transport.Static_ring.owner_of ring_a id in
-    let b = Transport.Static_ring.owner_of ring_b id in
-    Alcotest.(check string) "same owner name" a.Transport.Static_ring.name
-      b.Transport.Static_ring.name
-  done;
-  (* And the reused address resolves to whichever member holds it now. *)
-  match Transport.Static_ring.find_name ring_b (List.hd names) with
-  | Some m -> Alcotest.(check int) "rebound addr" 103 m.Transport.Static_ring.addr
-  | None -> Alcotest.fail "find_name lost a member"
+let test_udp_poll_drains () =
+  match (Transport.Udp.create (), Transport.Udp.create ()) with
+  | exception Unix.Unix_error _ -> ()
+  | a, b ->
+      let got = ref 0 in
+      Transport.Udp.set_handler b (fun ~src:_ _ -> incr got);
+      for i = 1 to 3 do
+        Transport.Udp.send a ~dst:(Transport.Udp.local_addr b)
+          (string_of_int i)
+      done;
+      (* [wait] blocks for the first arrival; [poll] then drains whatever
+         else is queued without blocking. *)
+      let deadline = Unix.gettimeofday () +. 2. in
+      let rec go () =
+        if !got < 3 && Unix.gettimeofday () < deadline then begin
+          ignore (Transport.Udp.wait b ~timeout:0.1);
+          Transport.Udp.poll b ~now:0.;
+          go ()
+        end
+      in
+      go ();
+      Alcotest.(check int) "all datagrams drained" 3 !got;
+      (* On an empty socket poll must return immediately. *)
+      let t0 = Unix.gettimeofday () in
+      Transport.Udp.poll b ~now:0.;
+      Alcotest.(check bool) "poll never blocks" true
+        (Unix.gettimeofday () -. t0 < 0.05);
+      Transport.Udp.close a;
+      Transport.Udp.close b
 
 (* --- Faulty: fake lower + fake clock harness --- *)
 
@@ -178,6 +140,21 @@ let test_faulty_deterministic () =
       Alcotest.(check string) "bytes" b1 b2)
     a b
 
+let test_faulty_poll_releases () =
+  (* [poll] is the uniform maintenance entry point: for Faulty it
+     flushes parked datagrams that have come due on its *own* clock
+     (the [~now] argument is deliberately ignored — the decorator's
+     clock closure stays authoritative). *)
+  let f, sent, now = fake_faulty () in
+  Transport.Faulty.apply f (Faults.Latency_spike 50.);
+  Transport.Faulty.send f ~dst:2 "a";
+  Transport.Faulty.send f ~dst:2 "b";
+  Transport.Faulty.poll f ~now:10_000.;
+  Alcotest.(check int) "own clock rules, not ~now" 0 (delivered sent);
+  now := 60.;
+  Transport.Faulty.poll f ~now:0.;
+  Alcotest.(check int) "due datagrams released" 2 (delivered sent)
+
 let test_faulty_burst () =
   (* Always-bad Gilbert-Elliott channel with loss_bad = 1 drops
      everything; Burst_end restores. *)
@@ -214,7 +191,7 @@ let test_udp_max_frame () =
       let rec wait n =
         if n = 0 then ()
         else if !got = None then begin
-          ignore (Transport.Udp.poll b ~timeout:0.1);
+          ignore (Transport.Udp.wait b ~timeout:0.1);
           wait (n - 1)
         end
       in
@@ -245,14 +222,10 @@ let test_udp_oversize_rejected () =
 let () =
   Alcotest.run "transport"
     [
-      ( "static_ring",
+      ( "conventions",
         [
-          Alcotest.test_case "single node owns everything" `Quick
-            test_ring_single;
-          Alcotest.test_case "wraparound at id-space boundary" `Quick
-            test_ring_wraparound;
-          Alcotest.test_case "ownership stable across address reuse" `Quick
-            test_ring_address_reuse;
+          Alcotest.test_case "udp wait blocks, poll drains" `Quick
+            test_udp_poll_drains;
         ] );
       ( "faulty",
         [
@@ -263,6 +236,8 @@ let () =
           Alcotest.test_case "partition cut + heal" `Quick
             test_faulty_partition_heal;
           Alcotest.test_case "gray link one-way" `Quick test_faulty_gray;
+          Alcotest.test_case "poll releases due datagrams" `Quick
+            test_faulty_poll_releases;
           Alcotest.test_case "burst loss channel" `Quick test_faulty_burst;
           Alcotest.test_case "seeded replay is deterministic" `Quick
             test_faulty_deterministic;

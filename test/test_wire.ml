@@ -124,9 +124,10 @@ let gen_chord_msg =
          gen_addr >>= fun reply_to ->
          return (Chord.Protocol.Get_state { token; reply_to }));
         (int_range 0 1_000_000 >>= fun token ->
+         gen_peer >>= fun self ->
          opt gen_peer >>= fun pred ->
          list_size (int_range 0 8) gen_peer >>= fun succs ->
-         return (Chord.Protocol.State { token; pred; succs }));
+         return (Chord.Protocol.State { token; self; pred; succs }));
         (gen_peer >>= fun who ->
          list_size (int_range 0 8) gen_peer >>= fun chain ->
          return (Chord.Protocol.Notify { who; chain }));
