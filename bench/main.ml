@@ -740,6 +740,95 @@ let section_engine () =
         ] );
   ]
 
+(* --- scrape: telemetry-plane overhead ---
+
+   What a Stats_request costs the daemon (registry snapshot + reply
+   built inside [Engine.step]) and what the resulting Stats_response
+   frame costs the collector to decode.  The engine is driven by a
+   fixed virtual schedule, so the captured response — its wire size,
+   sample count, drained-event count and round-trip decode errors — is
+   a pure function of the seeds and is pinned by Eval.Gate; the ns/op
+   numbers are wall-clock and unguarded. *)
+
+let section_scrape () =
+  print_endline "=== scrape: telemetry plane ===";
+  let metrics = Obs.Metrics.create () in
+  let tracer = Obs.Trace.create () in
+  let e = I3.Engine.create ~seed:21 ~addr:1 ~metrics ~tracer ~site:1 () in
+  (* Populate the registry the way a live daemon would: resident
+     triggers, matched data packets (which also feed the trace ring —
+     the ids are non-zero), and the introspection gauges refreshed by
+     each step. *)
+  let sid i = Id.name_hash (Printf.sprintf "bench-scrape-%d" (i mod 16)) in
+  for i = 0 to 15 do
+    ignore
+      (I3.Engine.step e ~now:(float_of_int i)
+         (I3.Engine.Insert_trigger (I3.Trigger.to_host ~id:(sid i) ~owner:0xf00d)))
+  done;
+  for i = 0 to 255 do
+    let pkt =
+      I3.Packet.make ~stack:[ I3.Packet.Sid (sid i) ]
+        ~payload:(String.make 32 'y') ~trace:(100 + i) ()
+    in
+    ignore (I3.Engine.step e ~now:(20. +. float_of_int i) (I3.Engine.Send_packet pkt))
+  done;
+  let ask ~nonce ~drain =
+    let frame =
+      I3.Engine.I3 (I3.Message.Stats_request { nonce; prefix = ""; drain })
+    in
+    List.find_map
+      (function
+        | I3.Engine.Send (_, (I3.Message.Stats_response _ as m)) -> Some m
+        | _ -> None)
+      (I3.Engine.step e ~now:1_000. (I3.Engine.Frame { src = 0xc0; frame }))
+  in
+  (* Capture the pinned response with a drain (the ring empties into it
+     exactly once); the rate loop then scrapes without draining so every
+     iteration does the same work. *)
+  let response =
+    match ask ~nonce:43 ~drain:true with
+    | Some m -> m
+    | None -> failwith "bench: engine did not answer Stats_request"
+  in
+  let n_samples, n_events =
+    match response with
+    | I3.Message.Stats_response { samples; events; _ } ->
+        (List.length samples, List.length events)
+    | _ -> assert false
+  in
+  let frame = I3.Codec.encode response in
+  let decode_errors = if Result.is_ok (I3.Codec.decode frame) then 0 else 1 in
+  let iters = if smoke then 5_000 else 50_000 in
+  let step_rate =
+    rate_per_sec (fun () -> ignore (ask ~nonce:44 ~drain:false)) iters
+  in
+  let encode_rate =
+    rate_per_sec (fun () -> ignore (I3.Codec.encode response)) iters
+  in
+  let decode_rate =
+    rate_per_sec (fun () -> ignore (I3.Codec.decode frame)) iters
+  in
+  let ns rate = if Float.is_nan rate then nan else 1e9 /. rate in
+  Printf.printf "  response: %d B (%d samples, %d drained events)\n"
+    (String.length frame) n_samples n_events;
+  Printf.printf
+    "  engine answer: %.0f ns/op   encode: %.0f ns/op   decode: %.0f ns/op   \
+     decode errors: %d\n\n"
+    (ns step_rate) (ns encode_rate) (ns decode_rate) decode_errors;
+  [
+    ( "scrape",
+      Json.Obj
+        [
+          ("response_bytes", Json.Int (String.length frame));
+          ("samples", Json.Int n_samples);
+          ("drained_events", Json.Int n_events);
+          ("wire_decode_errors", Json.Int decode_errors);
+          ("answer_ns_per_op", Json.Float (ns step_rate));
+          ("encode_ns_per_op", Json.Float (ns encode_rate));
+          ("decode_ns_per_op", Json.Float (ns decode_rate));
+        ] );
+  ]
+
 let write_bench_json fields =
   let json =
     Json.Obj
@@ -766,7 +855,8 @@ let () =
     let ctl = section_control_plane () in
     let codec = section_codec () in
     let eng = section_engine () in
-    write_bench_json (obs @ ctl @ codec @ eng)
+    let scrape = section_scrape () in
+    write_bench_json (obs @ ctl @ codec @ eng @ scrape)
   end
   else begin
     section_micro ();
@@ -777,7 +867,8 @@ let () =
     let ctl = section_control_plane () in
     let codec = section_codec () in
     let eng = section_engine () in
-    write_bench_json (obs @ ctl @ codec @ eng);
+    let scrape = section_scrape () in
+    write_bench_json (obs @ ctl @ codec @ eng @ scrape);
     section_fig8 ();
     section_fig9 ()
   end;

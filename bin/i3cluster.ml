@@ -8,15 +8,23 @@
    intensity at its send boundary) registers triggers and keeps them
    refreshed; a probe flow measures delivery; an [Obs.Health] monitor
    judges SLO rules on the wall clock; and a kill/restart schedule is
-   executed against the daemon owning the probed identifier.  On exit
-   the run asserts the same invariants the simulator's chaos matrix
-   pins — triggers conserved via client refresh, delivery restored
-   after failover, zero wire decode errors, zero client give-ups — and
-   exits non-zero when any fails, so CI can run it as a smoke job.
+   executed against the daemon owning the probed identifier.  A
+   [Harness.Telemetry] collector polls every daemon with Stats_request
+   frames throughout, so a second monitor judges per-daemon rules
+   against *wire-scraped* series (not exit dumps) and drained trace
+   rings are assembled into cross-process hop trees.  On exit the run
+   asserts the same invariants the simulator's chaos matrix pins —
+   triggers conserved via client refresh, delivery restored after
+   failover, zero wire decode errors (post-mortem AND live-scraped),
+   zero client give-ups — writes the scraped series and assembled
+   traces as artifacts next to the logs, and exits non-zero when any
+   invariant fails, so CI can run it as a smoke job.
 
    Usage:
      i3cluster --n 5 --duration-ms 12000 --seed 7
      i3cluster --n 3 --schedule "2000:crash;5000:restart" --json
+     i3cluster top --n 3 --duration-ms 10000       # live telemetry table
+     i3cluster top --targets 127.0.0.1:4001,127.0.0.1:4002
 
    Schedule DSL (semicolon-separated "OFFSET_MS:EVENT[:ARG]"):
      crash[:i] restart[:i] loss:P dup:P jitter:MS spike:MS heal
@@ -25,7 +33,9 @@
 let usage =
   "i3cluster --n N [--i3d PATH] [--seed S] [--duration-ms MS] [--triggers K]\n\
   \          [--loss P] [--jitter MS] [--schedule SPEC] [--dir DIR]\n\
-  \          [--json] [--no-faults] [-v]"
+  \          [--json] [--no-faults] [-v]\n\
+   i3cluster top [--targets HOST:PORT,...] [--n N] [--interval-ms MS]\n\
+  \          [--refresh-ms MS] [--duration-ms MS]"
 
 let n = ref 5
 let i3d = ref ""
@@ -39,6 +49,10 @@ let out_dir = ref ""
 let json_out = ref false
 let no_faults = ref false
 let verbose = ref false
+let targets = ref ""
+let scrape_interval_ms = ref 500.
+let refresh_ms = ref 1_000.
+let top_mode = ref false
 
 let args =
   [
@@ -59,6 +73,16 @@ let args =
     ("--dir", Arg.Set_string out_dir, "logs/dumps directory (default: temp)");
     ("--json", Arg.Set json_out, "machine-readable verdict on stdout");
     ("--no-faults", Arg.Set no_faults, "disable send-boundary fault injection");
+    ( "--targets",
+      Arg.Set_string targets,
+      "top: scrape these daemons instead of spawning a cluster \
+       (HOST:PORT,...)" );
+    ( "--interval-ms",
+      Arg.Float (fun f -> scrape_interval_ms := f),
+      "top: scrape interval (default 500)" );
+    ( "--refresh-ms",
+      Arg.Float (fun f -> refresh_ms := f),
+      "top: table refresh period (default 1000)" );
     ("-v", Arg.Set verbose, "log supervision events to stderr");
   ]
 
@@ -66,6 +90,17 @@ let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
 let default_i3d () =
   Filename.concat (Filename.dirname Sys.executable_name) "i3d.exe"
+
+let addr_of_name name =
+  match String.index_opt name ':' with
+  | None -> die "bad target %S (want host:port)" name
+  | Some i -> (
+      let h = String.sub name 0 i in
+      let p = String.sub name (i + 1) (String.length name - i - 1) in
+      match (Transport.Udp.ip_of_string h, int_of_string_opt p) with
+      | Some ip, Some port when port > 0 && port < 0x10000 ->
+          Transport.Udp.pack ~ip ~port
+      | _ -> die "bad target %S (want ipv4:port)" name)
 
 let parse_schedule ~owner spec : Faults.schedule =
   let event_of = function
@@ -90,8 +125,149 @@ let parse_schedule ~owner spec : Faults.schedule =
           | [] -> None))
     (String.split_on_char ';' spec)
 
-let () =
-  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+(* --- the live telemetry table ("i3cluster top") --- *)
+
+(* Every daemon registers its engine metrics as instance="srv1" (a
+   per-process counter), so the scraped store tells their series apart
+   only by the ("target", host:port) tag the collector adds.  Look
+   series up by name + target (+ any extra label pins) rather than by
+   the full label set. *)
+let find_series store ?(extra = []) ~target name =
+  List.find_opt
+    (fun s ->
+      Obs.Series.name s = name
+      &&
+      let ls = Obs.Series.labels s in
+      List.assoc_opt "target" ls = Some target
+      && List.for_all (fun (k, v) -> List.assoc_opt k ls = Some v) extra)
+    (Obs.Series.all store)
+
+let latest_of store ?extra ~target name =
+  Option.bind (find_series store ?extra ~target name) (fun s ->
+      Option.map (fun p -> p.Obs.Series.value) (Obs.Series.latest s))
+
+let rate_of store ?extra ~target ~now name =
+  Option.bind (find_series store ?extra ~target name) (fun s ->
+      Obs.Series.rate_per_sec s ~now ~window_ms:5_000.)
+
+let fmt_f = function None -> "-" | Some v -> Printf.sprintf "%.1f" v
+let fmt_i = function None -> "-" | Some v -> Printf.sprintf "%.0f" v
+
+let render_top tel ~names ~now =
+  let scr = Harness.Telemetry.scrape tel in
+  let store = Harness.Telemetry.store tel in
+  let header =
+    [
+      "instance"; "seen"; "rx/s"; "tx/s"; "trig"; "rpcs"; "wheel";
+      "step_p99"; "dec_err";
+    ]
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let seen =
+          match Obs.Scrape.last_seen scr name with
+          | None -> "-"
+          | Some at -> Printf.sprintf "%.1fs" ((now -. at) /. 1000.)
+        in
+        [
+          name;
+          seen;
+          fmt_f (rate_of store ~target:name ~now "driver.frames");
+          fmt_f (rate_of store ~target:name ~now "driver.sends");
+          fmt_i (latest_of store ~target:name "engine.triggers");
+          fmt_i (latest_of store ~target:name "engine.pending_rpcs");
+          fmt_i (latest_of store ~target:name "engine.wheel_depth");
+          fmt_f
+            (latest_of store
+               ~extra:[ ("event", "frame") ]
+               ~target:name "driver.step_ms.p99");
+          fmt_i
+            (latest_of store
+               ~extra:[ ("proto", "frame") ]
+               ~target:name "wire.decode_errors");
+        ])
+      names
+  in
+  let trees = Harness.Telemetry.assemble tel in
+  let spanning =
+    List.filter (fun t -> List.length t.Obs.Trace.a_sites >= 2) trees
+  in
+  Printf.printf
+    "\n== i3cluster top  t=%.1fs  polls=%d responses=%d timeouts=%d  \
+     traces=%d (%d cross-process)\n"
+    (now /. 1000.) (Obs.Scrape.polls scr) (Obs.Scrape.responses scr)
+    (Obs.Scrape.timeouts scr) (List.length trees) (List.length spanning);
+  Obs.Sink.aligned_table (header :: rows);
+  flush stdout
+
+let running = ref true
+
+let run_top () =
+  let stop _ = running := false in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  let cluster, target_list =
+    if !targets <> "" then
+      ( None,
+        String.split_on_char ',' !targets
+        |> List.filter (fun s -> String.trim s <> "")
+        |> List.map (fun name ->
+               let name = String.trim name in
+               { Obs.Scrape.addr = addr_of_name name; instance = name }) )
+    else begin
+      let i3d = if !i3d = "" then default_i3d () else !i3d in
+      if not (Sys.file_exists i3d) then die "i3d binary not found at %s" i3d;
+      let cluster =
+        Harness.Cluster.create
+          ?dir:(if !out_dir = "" then None else Some !out_dir)
+          ~rng:(Rng.of_int !seed) ~i3d ~n:!n ()
+      in
+      if !verbose then
+        Harness.Cluster.on_event cluster (fun s ->
+            Printf.eprintf "[cluster] %s\n%!" s);
+      if not (Harness.Cluster.start cluster) then begin
+        Harness.Cluster.stop cluster;
+        die "cluster failed to become ready (no loopback UDP?)"
+      end;
+      ignore (Harness.Cluster.await_converged cluster ~timeout_ms:15_000.);
+      ( Some cluster,
+        List.map
+          (fun (m : Harness.Cluster.member) ->
+            { Obs.Scrape.addr = m.addr; instance = m.name })
+          (Harness.Cluster.members cluster) )
+    end
+  in
+  if target_list = [] then die "top: no targets (use --targets or --n)";
+  let tel =
+    Harness.Telemetry.create ~interval_ms:!scrape_interval_ms target_list
+  in
+  let names = List.map (fun t -> t.Obs.Scrape.instance) target_list in
+  let started = Unix.gettimeofday () *. 1000. in
+  let next_render = ref 0. in
+  while
+    !running
+    && (Unix.gettimeofday () *. 1000.) -. started < !duration_ms
+  do
+    let now = (Unix.gettimeofday () *. 1000.) -. started in
+    Harness.Telemetry.tick tel ~now_ms:now;
+    (match cluster with Some c -> Harness.Cluster.supervise c | None -> ());
+    if now >= !next_render then begin
+      render_top tel ~names ~now;
+      next_render := now +. !refresh_ms
+    end;
+    match Unix.select [] [] [] 0.02 with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  render_top tel ~names ~now:((Unix.gettimeofday () *. 1000.) -. started);
+  Harness.Telemetry.close tel;
+  (match cluster with Some c -> Harness.Cluster.stop c | None -> ());
+  exit 0
+
+(* --- the chaos scenario --- *)
+
+let run_chaos () =
   if !n < 1 then die "%s" usage;
   let i3d = if !i3d = "" then default_i3d () else !i3d in
   if not (Sys.file_exists i3d) then die "i3d binary not found at %s" i3d;
@@ -119,6 +295,35 @@ let () =
     die "ring did not converge within 15s"
   end;
   Printf.eprintf "i3cluster: ring converged\n%!";
+
+  (* The telemetry plane: scrape every daemon over the wire throughout
+     the run; a dedicated monitor judges per-daemon rules against the
+     scraped series — no exit dumps involved — and dumps a flight
+     record on each entry into Violated. *)
+  let tel = Harness.Telemetry.of_cluster ~interval_ms:400. cluster in
+  let wire_rules =
+    List.map
+      (fun (m : Harness.Cluster.member) ->
+        {
+          Obs.Health.rule = "decode-errors/" ^ m.name;
+          signal =
+            Obs.Health.Latest
+              {
+                metric = "wire.decode_errors";
+                labels =
+                  [
+                    ("instance", m.name);
+                    ("proto", "frame");
+                    ("target", m.name);
+                  ];
+              };
+          bound = Obs.Health.At_most { ok = 0.; degraded = 0. };
+        })
+      (Harness.Cluster.members cluster)
+  in
+  let wire_mon = Harness.Telemetry.monitor ~rules:wire_rules tel in
+  Harness.Telemetry.flight_recorder tel
+    ~path:(Filename.concat (Harness.Cluster.dir cluster) "flight-records.json");
 
   (* The end-host: client + fault decorator + live checkers. *)
   let udp =
@@ -211,13 +416,37 @@ let () =
       ignore (Transport.Client.wait client ~timeout:0.005);
       Transport.Client.poll client ~now:now_ms;
       Harness.Live.flow_tick live flow ~now_ms;
-      Harness.Live.monitor_tick mon ~now_ms)
+      Harness.Live.monitor_tick mon ~now_ms;
+      Harness.Telemetry.tick tel ~now_ms)
     cluster schedule ~duration_ms:!duration_ms;
   Harness.Live.stop_flow flow;
 
   (* Invariants, then the post-mortem over the daemons' dumps. *)
   let conserved = Harness.Live.triggers_conserved live in
   Harness.Cluster.stop cluster;
+  (* Telemetry artifacts: what the collector saw over the wire. *)
+  let dir = Harness.Cluster.dir cluster in
+  let scraped_store = Harness.Telemetry.store tel in
+  Json.lines_to_file
+    ~path:(Filename.concat dir "scraped-series.json")
+    (List.map
+       (Obs.Sink.series_to_json ~tail:128)
+       (Obs.Series.all scraped_store));
+  let trees = Harness.Telemetry.assemble tel in
+  Json.lines_to_file
+    ~path:(Filename.concat dir "assembled-traces.json")
+    (List.map Obs.Sink.tree_to_json trees);
+  let scr = Harness.Telemetry.scrape tel in
+  let scrape_polls = Obs.Scrape.polls scr in
+  let scrape_responses = Obs.Scrape.responses scr in
+  let scrape_timeouts = Obs.Scrape.timeouts scr in
+  let w_ok, w_deg, w_vio = Obs.Health.counts wire_mon in
+  let max_trace_sites =
+    List.fold_left
+      (fun acc t -> max acc (List.length t.Obs.Trace.a_sites))
+      0 trees
+  in
+  Harness.Telemetry.close tel;
   let counter name =
     match
       Obs.Metrics.find metrics ~labels:[ ("instance", "client") ] name
@@ -250,7 +479,7 @@ let () =
   let recovered = !fault_at = None || ttr <> None in
   let ok =
     conserved && recovered && gave_up = 0 && daemon_decode_errors = 0
-    && client_decode_errors = 0
+    && client_decode_errors = 0 && w_vio = 0
   in
   let fmt_opt = function None -> "-" | Some v -> Printf.sprintf "%.0f" v in
   if !json_out then
@@ -277,6 +506,14 @@ let () =
           ("decode_errors_daemons", Json.Int daemon_decode_errors);
           ("decode_errors_client", Json.Int client_decode_errors);
           ("longest_outage_ms", Json.Float (Harness.Live.longest_outage flow));
+          ("scrape_polls", Json.Int scrape_polls);
+          ("scrape_responses", Json.Int scrape_responses);
+          ("scrape_timeouts", Json.Int scrape_timeouts);
+          ("wire_verdicts_ok", Json.Int w_ok);
+          ("wire_verdicts_degraded", Json.Int w_deg);
+          ("wire_verdicts_violated", Json.Int w_vio);
+          ("assembled_traces", Json.Int (List.length trees));
+          ("max_trace_sites", Json.Int max_trace_sites);
           ("dir", Json.String (Harness.Cluster.dir cluster));
         ]
     in
@@ -298,9 +535,23 @@ let () =
       (counter "client.refreshes");
     Printf.printf "wire     : decode_errors daemons=%d client=%d\n"
       daemon_decode_errors client_decode_errors;
+    Printf.printf
+      "telemetry: scrapes %d/%d (%d timeouts), wire verdicts \
+       ok=%d degraded=%d violated=%d\n"
+      scrape_responses scrape_polls scrape_timeouts w_ok w_deg w_vio;
+    Printf.printf "traces   : %d assembled, widest spans %d daemons\n"
+      (List.length trees) max_trace_sites;
     Printf.printf "invariants: conserved=%b recovered=%b -> %s\n" conserved
       recovered
       (if ok then "OK" else "FAILED");
     Printf.printf "artifacts : %s\n" (Harness.Cluster.dir cluster)
   end;
   exit (if ok then 0 else 1)
+
+let () =
+  Arg.parse args
+    (fun a ->
+      if a = "top" then top_mode := true
+      else raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage;
+  if !top_mode then run_top () else run_chaos ()

@@ -35,7 +35,7 @@
 
 let usage =
   "i3d --host HOST --port PORT [--join HOST:PORT,...] [--stabilize-ms N] \
-   [--rpc-timeout-ms N] [--metrics-out PATH]"
+   [--rpc-timeout-ms N] [--metrics-out PATH] [--metrics-flush-ms N]"
 
 let host = ref "127.0.0.1"
 let port = ref 0
@@ -43,6 +43,7 @@ let join = ref ""
 let stabilize_ms = ref 2_000.
 let rpc_timeout_ms = ref 500.
 let metrics_out = ref ""
+let metrics_flush_ms = ref 0.
 let verbose = ref false
 
 let args =
@@ -62,6 +63,11 @@ let args =
     ( "--metrics-out",
       Arg.Set_string metrics_out,
       "write the exit metrics dump (JSON lines) here instead of stderr" );
+    ( "--metrics-flush-ms",
+      Arg.Set_float metrics_flush_ms,
+      "also append a marker-delimited snapshot generation to --metrics-out \
+       every N ms, so a SIGKILL'd daemon leaves recent samples (default 0: \
+       exit dump only)" );
     ("-v", Arg.Set verbose, "log effects to stderr");
   ]
 
@@ -117,10 +123,14 @@ let () =
       rpc_timeout = !rpc_timeout_ms;
     }
   in
+  (* Hop events are stamped with the port as the topology site: unique
+     per daemon on one host, so cross-process assembly ([Obs.Trace
+     .assemble] over wire-drained rings) can tell the hops apart. *)
+  let tracer = Obs.Trace.create () in
   let engine =
     I3.Engine.create ~seed:(!port + 1) ~addr:self_addr
       ~id:(Id.routing_key (Id.name_hash self_name))
-      ~join:join_addrs ~chord_config ~metrics:registry ()
+      ~join:join_addrs ~chord_config ~metrics:registry ~tracer ~site:!port ()
   in
   let udp = Transport.Udp.create ~host:!host ~port:!port () in
   let driver =
@@ -148,10 +158,47 @@ let () =
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
 
+  (* Periodic flush: append one marker-delimited snapshot generation to
+     the metrics file, so a SIGKILL'd daemon (the chaos case, which the
+     exit dump by definition misses) still leaves samples no older than
+     one flush interval.  The first generation truncates — a respawned
+     daemon starts its file over rather than mixing incarnations — and
+     readers ([Harness.Cluster]) use only the last generation, so
+     counters are never double-summed. *)
+  let flushed_once = ref false in
+  let flush_generation ~now =
+    Obs.Metrics.set g_triggers
+      (float_of_int
+         (I3.Trigger_table.size (I3.Server.triggers (I3.Engine.server engine))));
+    let samples = Obs.Metrics.snapshot registry in
+    let marker =
+      Json.Obj
+        [
+          ("marker", Json.String "flush");
+          ("at", Json.Float now);
+          ("instance", Json.String self_name);
+        ]
+    in
+    Json.lines_to_file ~append:!flushed_once ~path:!metrics_out
+      (marker :: List.map Obs.Sink.sample_to_json samples);
+    flushed_once := true;
+    samples
+  in
+  let flush_period =
+    if !metrics_flush_ms > 0. && !metrics_out <> "" then Some !metrics_flush_ms
+    else None
+  in
+  let next_flush = ref (match flush_period with Some p -> p | None -> infinity) in
+
   Printf.printf "READY %s\n%!" self_name;
   while !running do
     let now = elapsed_ms () in
     let timeout = Transport.Driver.timeout driver ~now ~cap:0.25 in
+    (* Wake no later than the flush deadline, whatever the engine's
+       timers say. *)
+    let timeout =
+      Float.min timeout (Float.max 0. ((!next_flush -. now) /. 1000.))
+    in
     (* select() returns EINTR when a signal lands mid-wait; treat it as
        an empty wait so the flag check decides. *)
     (match Transport.Udp.wait udp ~timeout with
@@ -159,18 +206,30 @@ let () =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
     (* Drain whatever else already arrived, then fire due timers. *)
     Transport.Udp.poll udp ~now:(elapsed_ms ());
-    Transport.Driver.tick driver ~now:(elapsed_ms ())
+    Transport.Driver.tick driver ~now:(elapsed_ms ());
+    match flush_period with
+    | Some period when elapsed_ms () >= !next_flush ->
+        let now = elapsed_ms () in
+        ignore (flush_generation ~now);
+        next_flush := now +. period
+    | _ -> ()
   done;
   Transport.Udp.close udp;
-  Obs.Metrics.set g_triggers
-    (float_of_int
-       (I3.Trigger_table.size (I3.Server.triggers (I3.Engine.server engine))));
-  let samples = Obs.Metrics.snapshot registry in
-  (if !metrics_out <> "" then
-     Obs.Sink.metrics_json_lines ~path:!metrics_out samples
-   else
-     List.iter
-       (fun s -> prerr_endline (Json.to_string (Obs.Sink.sample_to_json s)))
-       samples);
-  log "i3d %s: clean shutdown (%d samples flushed)" self_name
-    (List.length samples)
+  (* Final generation: same marker convention, so the exit dump is just
+     the last (and freshest) generation in the file. *)
+  if !metrics_out <> "" then begin
+    let samples = flush_generation ~now:(elapsed_ms ()) in
+    log "i3d %s: clean shutdown (%d samples flushed)" self_name
+      (List.length samples)
+  end
+  else begin
+    Obs.Metrics.set g_triggers
+      (float_of_int
+         (I3.Trigger_table.size (I3.Server.triggers (I3.Engine.server engine))));
+    let samples = Obs.Metrics.snapshot registry in
+    List.iter
+      (fun s -> prerr_endline (Json.to_string (Obs.Sink.sample_to_json s)))
+      samples;
+    log "i3d %s: clean shutdown (%d samples flushed)" self_name
+      (List.length samples)
+  end

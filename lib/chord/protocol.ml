@@ -139,6 +139,7 @@ let create_detached ?(metrics = Obs.Metrics.default)
 let engine nw = nw.engine
 let instance_label nw = nw.label
 let spans nw = nw.spans
+let pending_rpcs n = Hashtbl.length n.pending
 
 let sim_net_exn what nw =
   match nw.sim_net with

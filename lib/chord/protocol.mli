@@ -104,6 +104,11 @@ val instance_label : network -> string
 val spans : network -> Obs.Span.t
 (** The span collector handed to {!create}. *)
 
+val pending_rpcs : node -> int
+(** RPCs this node has in flight right now (lookup steps, stabilize
+    queries, probes awaiting a reply or timeout) — an introspection
+    gauge for the telemetry plane. *)
+
 val set_loss_rate : network -> float -> unit
 (** Inject uniform message loss on the underlying network (robustness
     tests). *)

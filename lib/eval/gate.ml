@@ -126,4 +126,13 @@ let default_checks =
     check "engine.loopback_effects" ~direction:Exact;
     check "engine.loopback_delivers" ~direction:Exact;
     check "engine.ring_formed" ~direction:Exact;
+    (* Telemetry-plane pins: the scrape response the bench engine
+       builds is a pure function of its seeds and virtual schedule, so
+       its wire size, sample/event counts and round-trip decode errors
+       (must stay 0) are exact; the ns/op costs are wall-clock and
+       unguarded. *)
+    check "scrape.wire_decode_errors" ~direction:Exact;
+    check "scrape.response_bytes" ~direction:Exact;
+    check "scrape.samples" ~direction:Exact;
+    check "scrape.drained_events" ~direction:Exact;
   ]

@@ -59,6 +59,8 @@ type config = {
          and recycled *)
   stabilize_ms : float;  (* daemons' Chord stabilization period *)
   rpc_timeout_ms : float;  (* daemons' Chord RPC timeout *)
+  metrics_flush_ms : float;
+      (* daemons' periodic metrics-flush interval (0 = exit dump only) *)
 }
 
 let default_config =
@@ -72,6 +74,9 @@ let default_config =
        paper's 30 s periods would dominate wall time. *)
     stabilize_ms = 300.;
     rpc_timeout_ms = 150.;
+    (* Chaos kills with SIGKILL; a 1 s flush bounds how stale a dead
+       member's last metrics generation can be. *)
+    metrics_flush_ms = 1_000.;
   }
 
 type t = {
@@ -243,6 +248,9 @@ let spawn t i =
          "--metrics-out";
          m.metrics_path;
        ]
+      @ (if t.cfg.metrics_flush_ms > 0. then
+           [ "--metrics-flush-ms"; Printf.sprintf "%g" t.cfg.metrics_flush_ms ]
+         else [])
       @ if join = "" then [] else [ "--join"; join ])
   in
   let pid = Unix.create_process t.i3d argv Unix.stdin log_fd log_fd in
@@ -527,9 +535,28 @@ let read_json_lines path =
       in
       go []
 
+(* A metrics file holds one or more marker-delimited snapshot
+   generations (periodic flushes plus the exit dump, see i3d's
+   [--metrics-flush-ms]).  Only the last generation is the daemon's
+   state; summing counters across generations would count each increment
+   once per flush.  Files without markers (flush disabled) are one
+   generation. *)
+let is_flush_marker j =
+  match Json.member "marker" j with
+  | Some (Json.String "flush") -> true
+  | _ -> false
+
+let last_generation lines =
+  List.fold_left
+    (fun acc j -> if is_flush_marker j then [] else j :: acc)
+    [] lines
+  |> List.rev
+
 let metrics_dumps t =
   Array.to_list
-    (Array.map (fun m -> (m.name, read_json_lines m.metrics_path)) t.members)
+    (Array.map
+       (fun m -> (m.name, last_generation (read_json_lines m.metrics_path)))
+       t.members)
 
 (* Sum one counter across every member's dump, by metric name (labels
    beyond the name are ignored: instances differ per daemon). *)

@@ -48,6 +48,11 @@ type config = {
           so convergence costs little wall time; paper: 30 000) *)
   rpc_timeout_ms : float;
       (** the daemons' Chord RPC timeout (default 150) *)
+  metrics_flush_ms : float;
+      (** the daemons' periodic metrics-flush interval: every so many ms
+          each daemon appends a marker-delimited snapshot generation to
+          its metrics file, so even a SIGKILL'd member leaves recent
+          samples (default 1000; 0 disables — exit dump only) *)
 }
 
 val default_config : config

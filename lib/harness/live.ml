@@ -41,6 +41,7 @@ type t = {
   flows : (string, flow) Hashtbl.t;
   cons : (int, unit) Hashtbl.t;  (* conservation-probe nonces seen *)
   mutable nonce : int;
+  mutable next_trace : int;
   metrics : Obs.Metrics.t;
 }
 
@@ -51,6 +52,10 @@ let cons_payload nonce = Printf.sprintf "i3cons %d" nonce
 let attach ?(metrics = Obs.Metrics.default) client =
   let t =
     { client; flows = Hashtbl.create 4; cons = Hashtbl.create 16; nonce = 0;
+      (* Probe packets carry fresh trace ids so daemons record their
+         hops (trace 0 = untraced); pid-salted so two clients' ids
+         cannot collide when their drained events are assembled. *)
+      next_trace = (Unix.getpid () land 0xffff) lsl 32;
       metrics }
   in
   Transport.Client.on_deliver client (fun ~stack:_ ~payload ->
@@ -109,7 +114,8 @@ let flow_tick t f ~now_ms =
     f.last_send <- now_ms;
     f.seq <- f.seq + 1;
     Obs.Metrics.incr f.c_sent;
-    Transport.Client.send_data t.client
+    t.next_trace <- t.next_trace + 1;
+    Transport.Client.send_data t.client ~trace:t.next_trace
       ~stack:[ I3.Packet.Sid f.id ]
       ~payload:(flow_payload f.name f.seq)
       ()

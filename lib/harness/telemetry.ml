@@ -1,0 +1,125 @@
+(* The I/O half of the live telemetry plane.
+
+   [Obs.Scrape] decides when to poll which daemon and where the answers
+   land; this module owns what that module may not (obs sits below the
+   transport and protocol layers): a dedicated UDP socket, the
+   [I3.Codec] framing, and the wall clock handed in by the caller.  The
+   socket is separate from the chaos client's for the same reason the
+   cluster's chord probe is — a [Stats_response] landing on the client
+   socket would read as an i3 decode error in the very counter the
+   telemetry is supposed to pin at zero.
+
+   On top of the scraper this module wires the two consumers the chaos
+   harness wants: an [Obs.Health] monitor whose rules are judged
+   directly against the wire-scraped series store (no exit dumps
+   involved), with an optional flight-recorder dump appended to a file
+   on each entry into [Violated]; and cross-process trace assembly —
+   drained hop events from every daemon joined on the trace id into
+   causal trees. *)
+
+type t = {
+  udp : Transport.Udp.t;
+  scrape : Obs.Scrape.t;
+  mutable now_ms : float;  (* stamp for datagrams handled inside tick *)
+  mutable monitor : Obs.Health.t option;
+  mutable eval_period_ms : float;
+  mutable last_eval : float;
+  mutable on_scrape_error : string -> unit;
+}
+
+let handle_datagram t bytes =
+  match I3.Codec.decode bytes with
+  | Ok (I3.Message.Stats_response { nonce; server = _; samples; events }) ->
+      ignore
+        (Obs.Scrape.on_response t.scrape ~now:t.now_ms ~nonce ~samples ~events)
+  | Ok _ -> () (* stray frame; not ours *)
+  | Error e -> t.on_scrape_error e
+
+let create ?(interval_ms = 500.) ?(timeout_ms = 1000.) ?prefix ?drain
+    ?series_capacity ?max_events ?(host = "127.0.0.1") targets =
+  let udp = Transport.Udp.create ~host () in
+  let scrape =
+    Obs.Scrape.create ~interval_ms ~timeout_ms ?prefix ?drain ?series_capacity
+      ?max_events targets
+  in
+  let t =
+    {
+      udp;
+      scrape;
+      now_ms = 0.;
+      monitor = None;
+      eval_period_ms = interval_ms;
+      last_eval = neg_infinity;
+      on_scrape_error = (fun _ -> ());
+    }
+  in
+  Transport.Udp.set_handler udp (fun ~src:_ bytes -> handle_datagram t bytes);
+  t
+
+let of_cluster ?interval_ms ?timeout_ms ?prefix ?drain ?series_capacity
+    ?max_events cluster =
+  create ?interval_ms ?timeout_ms ?prefix ?drain ?series_capacity ?max_events
+    (List.map
+       (fun (m : Cluster.member) ->
+         { Obs.Scrape.addr = m.addr; instance = m.name })
+       (Cluster.members cluster))
+
+let scrape t = t.scrape
+let store t = Obs.Scrape.store t.scrape
+let on_scrape_error t f = t.on_scrape_error <- f
+
+let monitor ?eval_period_ms ?history_capacity ~rules t =
+  let h =
+    Obs.Health.create ?history_capacity ~store:(store t) ~rules
+      (Obs.Metrics.create ())
+  in
+  (match eval_period_ms with Some p -> t.eval_period_ms <- p | None -> ());
+  t.monitor <- Some h;
+  h
+
+let health t = t.monitor
+
+(* Append one flight-recorder dump per breach episode: the monitor's
+   evaluations, the tail of every wire-scraped series, and the hop
+   events drained so far (kept, not consumed — assembly still sees
+   them). *)
+let flight_recorder ?(series_tail = 32) t ~path =
+  match t.monitor with
+  | None -> invalid_arg "Telemetry.flight_recorder: no monitor installed"
+  | Some h ->
+      Obs.Health.on_violation h (fun evals ->
+          let record =
+            Obs.Sink.flight_record ~at:t.now_ms ~reason:"slo-violated"
+              ~series:(Obs.Series.all (store t))
+              ~series_tail
+              ~events:(Obs.Scrape.events t.scrape)
+              ~evaluations:evals ()
+          in
+          Json.lines_to_file ~append:true ~path [ record ])
+
+let tick t ~now_ms =
+  t.now_ms <- now_ms;
+  (* Drain answers first so this interval's requests can't be satisfied
+     by last interval's datagrams queued behind them. *)
+  Transport.Udp.poll t.udp ~now:now_ms;
+  List.iter
+    (fun (r : Obs.Scrape.request) ->
+      let bytes =
+        I3.Codec.encode
+          (I3.Message.Stats_request
+             { nonce = r.nonce; prefix = r.prefix; drain = r.drain })
+      in
+      try Transport.Udp.send t.udp ~dst:r.dst bytes
+      with Unix.Unix_error _ -> () (* dead member: the nonce will expire *))
+    (Obs.Scrape.tick t.scrape ~now:now_ms);
+  match t.monitor with
+  | Some h when now_ms -. t.last_eval >= t.eval_period_ms ->
+      t.last_eval <- now_ms;
+      ignore (Obs.Health.evaluate h ~time:now_ms)
+  | _ -> ()
+
+let assemble t = Obs.Trace.assemble (Obs.Scrape.events t.scrape)
+
+let take_trees t = Obs.Trace.assemble (Obs.Scrape.take_events t.scrape)
+
+let close t = Transport.Udp.close t.udp

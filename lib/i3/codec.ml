@@ -28,6 +28,108 @@ let read_addr r what =
   let* a = Io.u64 r what in
   Ok (Int64.to_int a)
 
+(* --- telemetry snapshot building blocks ---
+
+   A registry sample: name, labels (u8 count, str16 k/v pairs), then a
+   kind tag — 0 counter (u64), 1 gauge (f64), 2 histogram (u32 count +
+   f64 sum/p50/p90/p99/max).  Percentiles of an empty histogram are
+   pinned to 0. by Obs.Metrics, so every float here is comparable
+   structurally after a roundtrip. *)
+
+let put_sample buf (s : Obs.Metrics.sample) =
+  if List.length s.labels > L.max_stats_labels then
+    invalid_arg "I3.Codec: too many sample labels";
+  Io.put_str16 buf s.name;
+  Io.put_u8 buf (List.length s.labels);
+  List.iter
+    (fun (k, v) ->
+      Io.put_str16 buf k;
+      Io.put_str16 buf v)
+    s.labels;
+  match s.value with
+  | Obs.Metrics.Counter c ->
+      Io.put_u8 buf 0;
+      Io.put_u64 buf (Int64.of_int c)
+  | Obs.Metrics.Gauge g ->
+      Io.put_u8 buf 1;
+      Io.put_f64 buf g
+  | Obs.Metrics.Histogram { count; sum; p50; p90; p99; max } ->
+      Io.put_u8 buf 2;
+      Io.put_u32 buf count;
+      Io.put_f64 buf sum;
+      Io.put_f64 buf p50;
+      Io.put_f64 buf p90;
+      Io.put_f64 buf p99;
+      Io.put_f64 buf max
+
+let read_sample r : (Obs.Metrics.sample, string) result =
+  let* name = Io.str16 r "sample name" in
+  let* nlabels = Io.u8 r "label count" in
+  let* labels =
+    Io.list_of r ~count:nlabels ~max:L.max_stats_labels "labels" (fun r ->
+        let* k = Io.str16 r "label key" in
+        let* v = Io.str16 r "label value" in
+        Ok (k, v))
+  in
+  let* tag = Io.u8 r "sample kind" in
+  let* value =
+    match tag with
+    | 0 ->
+        let* c = Io.u64 r "counter value" in
+        Ok (Obs.Metrics.Counter (Int64.to_int c))
+    | 1 ->
+        let* g = Io.f64 r "gauge value" in
+        Ok (Obs.Metrics.Gauge g)
+    | 2 ->
+        let* count = Io.u32 r "histogram count" in
+        let* sum = Io.f64 r "histogram sum" in
+        let* p50 = Io.f64 r "histogram p50" in
+        let* p90 = Io.f64 r "histogram p90" in
+        let* p99 = Io.f64 r "histogram p99" in
+        let* max = Io.f64 r "histogram max" in
+        Ok (Obs.Metrics.Histogram { count; sum; p50; p90; p99; max })
+    | _ -> Error "bad sample kind tag"
+  in
+  Ok { Obs.Metrics.name; labels; value }
+
+let trace_kind_tag : Obs.Trace.kind -> int = function
+  | Send -> 0
+  | Enqueue -> 1
+  | Relay -> 2
+  | Cache_hit -> 3
+  | Trigger_match -> 4
+  | Deliver -> 5
+  | Drop _ -> 6
+
+let put_trace_event buf (e : Obs.Trace.event) =
+  Io.put_u64 buf (Int64.of_int e.trace);
+  Io.put_f64 buf e.time;
+  Io.put_u32 buf e.site;
+  Io.put_u8 buf (trace_kind_tag e.kind);
+  match e.kind with
+  | Drop cause -> Io.put_str16 buf cause
+  | _ -> ()
+
+let read_trace_event r : (Obs.Trace.event, string) result =
+  let* trace = Io.u64 r "trace id" in
+  let* time = Io.f64 r "event time" in
+  let* site = Io.u32 r "event site" in
+  let* tag = Io.u8 r "event kind" in
+  let* kind =
+    match tag with
+    | 0 -> Ok Obs.Trace.Send
+    | 1 -> Ok Obs.Trace.Enqueue
+    | 2 -> Ok Obs.Trace.Relay
+    | 3 -> Ok Obs.Trace.Cache_hit
+    | 4 -> Ok Obs.Trace.Trigger_match
+    | 5 -> Ok Obs.Trace.Deliver
+    | 6 ->
+        let* cause = Io.str16 r "drop cause" in
+        Ok (Obs.Trace.Drop cause)
+    | _ -> Error "bad trace event kind tag"
+  in
+  Ok { Obs.Trace.trace = Int64.to_int trace; time; site; kind }
+
 (* --- messages --- *)
 
 let kind_of : Message.t -> int = function
@@ -43,6 +145,8 @@ let kind_of : Message.t -> int = function
   | Deliver _ -> L.kind_deliver
   | Ping _ -> L.kind_ping
   | Pong _ -> L.kind_pong
+  | Stats_request _ -> L.kind_stats_request
+  | Stats_response _ -> L.kind_stats_response
 
 let encode (m : Message.t) =
   match m with
@@ -103,7 +207,28 @@ let encode (m : Message.t) =
           Io.put_u64 buf (Int64.of_int nonce);
           put_addr buf server;
           Io.put_u32 buf triggers;
-          Io.put_f64 buf uptime_ms);
+          Io.put_f64 buf uptime_ms
+      | Stats_request { nonce; prefix; drain } ->
+          Io.put_u64 buf (Int64.of_int nonce);
+          Io.put_str16 buf prefix;
+          Io.put_u8 buf (if drain then 1 else 0)
+      | Stats_response { nonce; server; samples; events } ->
+          if List.length samples > L.max_stats_samples then
+            invalid_arg "I3.Codec: stats snapshot too large";
+          if List.length events > L.max_trace_drain then
+            invalid_arg "I3.Codec: trace drain too large";
+          Io.put_u64 buf (Int64.of_int nonce);
+          put_addr buf server;
+          (* The snapshot travels as a versioned, length-prefixed blob so
+             a collector can reject a layout it does not understand (and
+             skip the whole blob) instead of misparsing it. *)
+          Io.put_u8 buf L.stats_snapshot_version;
+          let blob = Buffer.create 512 in
+          Io.put_u16 blob (List.length samples);
+          List.iter (put_sample blob) samples;
+          Io.put_u16 blob (List.length events);
+          List.iter (put_trace_event blob) events;
+          Io.put_str32 buf (Buffer.contents blob));
       Buffer.contents buf
 
 let read_body kind r : (Message.t, string) result =
@@ -167,6 +292,41 @@ let read_body kind r : (Message.t, string) result =
     let* triggers = Io.u32 r "pong triggers" in
     let* uptime_ms = Io.f64 r "pong uptime" in
     Ok (Message.Pong { nonce = Int64.to_int nonce; server; triggers; uptime_ms })
+  else if kind = L.kind_stats_request then
+    let* nonce = Io.u64 r "stats nonce" in
+    let* prefix = Io.str16 r "stats prefix" in
+    let* drain = Io.u8 r "drain flag" in
+    let* drain =
+      match drain with
+      | 0 -> Ok false
+      | 1 -> Ok true
+      | _ -> Error "bad drain flag"
+    in
+    Ok (Message.Stats_request { nonce = Int64.to_int nonce; prefix; drain })
+  else if kind = L.kind_stats_response then
+    let* nonce = Io.u64 r "stats nonce" in
+    let* server = read_addr r "stats server" in
+    let* version = Io.u8 r "snapshot version" in
+    let* () =
+      if version = L.stats_snapshot_version then Ok ()
+      else Error "unsupported stats snapshot version"
+    in
+    let* blob = Io.str32 r "snapshot blob" in
+    let br = Io.reader blob in
+    let* nsamples = Io.u16 br "sample count" in
+    let* samples =
+      Io.list_of br ~count:nsamples ~max:L.max_stats_samples "samples"
+        read_sample
+    in
+    let* nevents = Io.u16 br "trace event count" in
+    let* events =
+      Io.list_of br ~count:nevents ~max:L.max_trace_drain "trace events"
+        read_trace_event
+    in
+    let* () = Io.expect_end br in
+    Ok
+      (Message.Stats_response
+         { nonce = Int64.to_int nonce; server; samples; events })
   else Error "unknown i3 message kind"
 
 let decode s =

@@ -43,9 +43,14 @@ type t = {
   server : Server.t;
   network : Chord.Protocol.network;
   node : Chord.Protocol.node;
+  metrics : Obs.Metrics.t;
+  tracer : Obs.Trace.t;
   c_events : Obs.Metrics.counter;
   c_effects : Obs.Metrics.counter;
   h_batch : Obs.Metrics.histogram;
+  g_wheel_depth : Obs.Metrics.gauge;
+  g_pending_rpcs : Obs.Metrics.gauge;
+  g_triggers : Obs.Metrics.gauge;
 }
 
 (* A joined node's ring view is its Chord node's local state; chord and
@@ -67,7 +72,7 @@ let view_for node =
 
 let batch_buckets = [| 0.; 1.; 2.; 3.; 4.; 6.; 8.; 12.; 16.; 24.; 32.; 64. |]
 
-let create ?(seed = 1) ~addr ?id ?(join = []) ?config
+let create ?(seed = 1) ~addr ?id ?(join = []) ?(site = 0) ?config
     ?(chord_config = Chord.Protocol.default_config)
     ?(metrics = Obs.Metrics.default) ?tracer ?spans () =
   let wheel = Sim.Engine.create () in
@@ -82,7 +87,7 @@ let create ?(seed = 1) ~addr ?id ?(join = []) ?config
   let id =
     match id with Some i -> i | None -> Id.routing_key (Id.random rng)
   in
-  let node = Chord.Protocol.bootstrap network ~id ~addr ~site:0 () in
+  let node = Chord.Protocol.bootstrap network ~id ~addr ~site () in
   let server =
     Server.create_detached ~engine:wheel ~addr
       ~emit:(fun ~dst msg ->
@@ -92,7 +97,7 @@ let create ?(seed = 1) ~addr ?id ?(join = []) ?config
                count/route deliveries without decoding. *)
             Queue.add (Deliver { dst; stack; payload; trace }) outbox
         | msg -> Queue.add (Send (dst, msg)) outbox)
-      ~view:(view_for node) ~id ?config ~metrics ?tracer ()
+      ~view:(view_for node) ~site ~id ?config ~metrics ?tracer ()
   in
   (if join <> [] then begin
      (* Join by address: probe the bootstrap contacts immediately, then
@@ -116,11 +121,16 @@ let create ?(seed = 1) ~addr ?id ?(join = []) ?config
     server;
     network;
     node;
+    metrics;
+    tracer = Option.value ~default:Obs.Trace.disabled tracer;
     c_events = Obs.Metrics.counter metrics ~labels "engine.events";
     c_effects = Obs.Metrics.counter metrics ~labels "engine.effects";
     h_batch =
       Obs.Metrics.histogram metrics ~labels ~buckets:batch_buckets
         "engine.effect_batch";
+    g_wheel_depth = Obs.Metrics.gauge metrics ~labels "engine.wheel_depth";
+    g_pending_rpcs = Obs.Metrics.gauge metrics ~labels "engine.pending_rpcs";
+    g_triggers = Obs.Metrics.gauge metrics ~labels "engine.triggers";
   }
 
 let addr t = t.addr
@@ -158,8 +168,49 @@ let encode_effect = function
 
 (* --- the state machine --- *)
 
+(* Refresh the engine's introspection gauges so any snapshot — a wire
+   scrape or a shutdown dump — reads current values, not whatever the
+   last refresh left behind. *)
+let refresh_introspection t =
+  Obs.Metrics.set t.g_wheel_depth (float_of_int (Sim.Engine.pending t.wheel));
+  Obs.Metrics.set t.g_pending_rpcs
+    (float_of_int (Chord.Protocol.pending_rpcs t.node));
+  Obs.Metrics.set t.g_triggers
+    (float_of_int (Trigger_table.size (Server.triggers t.server)))
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+(* Answer a telemetry scrape as a pure effect: snapshot the registry
+   slice, optionally drain the trace ring (so each hop event crosses the
+   wire exactly once), and queue the response.  Truncation to the wire
+   caps keeps the response a legal single datagram even against a
+   pathological registry. *)
+let handle_stats t ~src ~nonce ~prefix ~drain =
+  let module L = Wire.Layout in
+  refresh_introspection t;
+  let samples =
+    Obs.Metrics.snapshot
+      ?prefix:(if prefix = "" then None else Some prefix)
+      t.metrics
+    |> List.filter (fun (s : Obs.Metrics.sample) ->
+           List.length s.labels <= L.max_stats_labels)
+    |> take L.max_stats_samples
+  in
+  let events =
+    if drain then take L.max_trace_drain (Obs.Trace.drain t.tracer) else []
+  in
+  Queue.add
+    (Send (src, Message.Stats_response { nonce; server = t.addr; samples; events }))
+    t.outbox
+
 let dispatch t = function
   | Tick -> ()
+  | Frame { src; frame = I3 (Message.Stats_request { nonce; prefix; drain }) }
+    ->
+      handle_stats t ~src ~nonce ~prefix ~drain
   | Frame { src; frame = I3 msg } -> Server.handle_message t.server ~src msg
   | Frame { src; frame = Chord msg } -> Chord.Protocol.handle t.node ~src msg
   | Insert_trigger trigger ->
@@ -182,6 +233,7 @@ let step t ~now event =
   Queue.clear t.outbox;
   Obs.Metrics.incr ~by:(List.length effects) t.c_effects;
   Obs.Metrics.observe t.h_batch (float_of_int (List.length effects));
+  refresh_introspection t;
   match Sim.Engine.next_due t.wheel with
   | Some due -> effects @ [ Set_timer due ]
   | None -> effects

@@ -65,6 +65,7 @@ val create :
   addr:Packet.addr ->
   ?id:Id.t ->
   ?join:Packet.addr list ->
+  ?site:int ->
   ?config:Server.config ->
   ?chord_config:Chord.Protocol.config ->
   ?metrics:Obs.Metrics.t ->
@@ -78,9 +79,27 @@ val create :
     stable across restarts.  With [join] contacts the node probes them
     by address immediately and keeps retrying every other RPC timeout
     while it is still alone ({!Chord.Protocol.probe_addr}); without, it
-    bootstraps a fresh ring.  Registers [engine.events] /
-    [engine.effects] counters and the [engine.effect_batch] histogram
-    in [metrics] under the server's [instance] label. *)
+    bootstraps a fresh ring.
+
+    [site] (default 0) stamps every {!Obs.Trace} event this node records
+    — daemons pass their port so hop events drained from different
+    processes stay distinguishable when {!Obs.Trace.assemble} joins them
+    into cross-process trees.
+
+    Registers [engine.events] / [engine.effects] counters, the
+    [engine.effect_batch] histogram, and the introspection gauges
+    [engine.wheel_depth] (pending timers), [engine.pending_rpcs]
+    (in-flight Chord RPCs) and [engine.triggers] (resident triggers) in
+    [metrics] under the server's [instance] label; the gauges are
+    refreshed on every {!step}.
+
+    A received [Message.Stats_request] frame is answered by the engine
+    itself (never forwarded to the server) as a pure {!effect.Send} of a
+    [Message.Stats_response]: a snapshot of [metrics] filtered by the
+    requested name prefix, truncated to [Wire.Layout.max_stats_samples],
+    plus — when the request asks to drain — the events still in
+    [tracer]'s ring (which are consumed: each one crosses the wire
+    exactly once). *)
 
 val addr : t -> Packet.addr
 val id : t -> Id.t

@@ -143,7 +143,8 @@ let handle t ~src:_ (msg : Message.t) =
       close_first_packet t prefix
   | Message.Data _ | Message.Insert _ | Message.Remove _
   | Message.Cache_push _ | Message.Pushback _ | Message.Replica _
-  | Message.Ping _ | Message.Pong _ ->
+  | Message.Ping _ | Message.Pong _ | Message.Stats_request _
+  | Message.Stats_response _ ->
       (* Server-bound traffic; hosts ignore it. *)
       ()
 

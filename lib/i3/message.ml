@@ -16,6 +16,13 @@ type t =
       triggers : int;
       uptime_ms : float;
     }
+  | Stats_request of { nonce : int; prefix : string; drain : bool }
+  | Stats_response of {
+      nonce : int;
+      server : Packet.addr;
+      samples : Obs.Metrics.sample list;
+      events : Obs.Trace.event list;
+    }
 
 let pp ppf = function
   | Data p ->
@@ -44,6 +51,12 @@ let pp ppf = function
   | Pong { nonce; server; triggers; uptime_ms } ->
       Format.fprintf ppf "pong #%d from %a (%d triggers, up %.0f ms)" nonce
         Net.pp_addr server triggers uptime_ms
+  | Stats_request { nonce; prefix; drain } ->
+      Format.fprintf ppf "stats-request #%d prefix=%S%s" nonce prefix
+        (if drain then " +drain" else "")
+  | Stats_response { nonce; server; samples; events } ->
+      Format.fprintf ppf "stats-response #%d from %a (%d samples, %d events)"
+        nonce Net.pp_addr server (List.length samples) (List.length events)
 
 (* The trace id carried by a message, if the message participates in
    per-packet tracing (data path only: control messages are untraced). *)
@@ -51,5 +64,6 @@ let trace_of = function
   | Data p -> if p.Packet.trace = 0 then None else Some p.Packet.trace
   | Deliver { trace; _ } -> if trace = 0 then None else Some trace
   | Insert _ | Remove _ | Challenge _ | Insert_ack _ | Cache_info _
-  | Cache_push _ | Pushback _ | Replica _ | Ping _ | Pong _ ->
+  | Cache_push _ | Pushback _ | Replica _ | Ping _ | Pong _
+  | Stats_request _ | Stats_response _ ->
       None

@@ -41,6 +41,26 @@ type t =
       triggers : int;  (** resident (unexpired) triggers *)
       uptime_ms : float;
     }  (** status reply to a {!Ping}: a one-datagram health summary *)
+  | Stats_request of {
+      nonce : int;
+      prefix : string;  (** registry name prefix to snapshot ("" = all) *)
+      drain : bool;  (** also drain the server's trace ring *)
+    }
+      (** telemetry scrape: ask a server for a snapshot of its metrics
+          registry (and, with [drain], the events still in its
+          {!Obs.Trace} ring, which the server empties — each event
+          crosses the wire exactly once) *)
+  | Stats_response of {
+      nonce : int;
+      server : Packet.addr;
+      samples : Obs.Metrics.sample list;
+      events : Obs.Trace.event list;
+    }
+      (** scrape reply: a versioned, length-prefixed snapshot blob on the
+          wire (see [Wire.Layout.stats_snapshot_version] and the caps
+          [max_stats_samples] / [max_trace_drain]); collectors join the
+          [events] of many servers on the trace id with
+          {!Obs.Trace.assemble} *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -394,6 +394,11 @@ let handle t ~src (msg : Message.t) =
     | Message.Deliver _ | Message.Pong _ ->
         (* Host-bound control traffic; not for servers. *)
         ()
+    | Message.Stats_request _ | Message.Stats_response _ ->
+        (* Telemetry is answered above the server: I3.Engine intercepts
+           stats requests (it owns the registry-wide view, timer wheel
+           and Chord introspection); a bare sim server has no scraper. *)
+        ()
 
 let handle_message = handle
 

@@ -67,13 +67,17 @@ let validate r =
            r.rule)
   | _ -> ()
 
-let create ?(series_capacity = 512) ?(history_capacity = 8192) ~rules registry =
+let create ?(series_capacity = 512) ?store ?(history_capacity = 8192) ~rules
+    registry =
   List.iter validate rules;
   if history_capacity <= 0 then
     invalid_arg "Obs.Health.create: history_capacity must be > 0";
   {
     rules;
-    store = Series.store ~capacity:series_capacity ();
+    store =
+      (match store with
+      | Some s -> s
+      | None -> Series.store ~capacity:series_capacity ());
     registry;
     history = Array.make history_capacity (0., Ok);
     h_write = 0;
@@ -144,8 +148,7 @@ let judge t ~time r =
 let overall evals =
   List.fold_left (fun acc e -> worst acc e.verdict) Ok evals
 
-let scrape t ~time =
-  Series.scrape t.store ~time t.registry;
+let evaluate t ~time =
   let evals =
     List.map
       (fun r ->
@@ -164,6 +167,14 @@ let scrape t ~time =
   | _ -> ());
   t.prev_overall <- v;
   evals
+
+let scrape t ~time =
+  Series.scrape t.store ~time t.registry;
+  evaluate t ~time
+
+let ingest t ~time samples =
+  Series.ingest t.store ~time samples;
+  evaluate t ~time
 
 let last t = t.last_eval
 

@@ -64,11 +64,15 @@ type t
 
 val create :
   ?series_capacity:int ->
+  ?store:Series.store ->
   ?history_capacity:int ->
   rules:rule list ->
   Metrics.t ->
   t
-(** @raise Invalid_argument on malformed rules (inverted thresholds,
+(** [store] lets the monitor judge rules against an externally owned
+    store (e.g. one fed by a wire scraper, see {!Scrape}) instead of a
+    private one; [series_capacity] is then ignored.
+    @raise Invalid_argument on malformed rules (inverted thresholds,
     [Stable_within] over a non-[Latest] signal). *)
 
 val rules : t -> rule list
@@ -82,6 +86,19 @@ val on_violation : t -> (evaluation list -> unit) -> unit
 val scrape : t -> time:float -> evaluation list
 (** Sample the registry into the store, evaluate all rules, record the
     overall verdict in the history. *)
+
+val ingest : t -> time:float -> Metrics.sample list -> evaluation list
+(** Like {!scrape}, but over an externally produced snapshot instead of
+    the local registry — the live-telemetry path: a collector decodes a
+    remote daemon's wire snapshot, tags it with its origin, and the
+    monitor judges the same rules against those series.  The local
+    registry is not sampled. *)
+
+val evaluate : t -> time:float -> evaluation list
+(** Evaluate the rules against the store as it stands, without sampling
+    anything first — for callers that feed {!store} directly (e.g. one
+    monitor fed by several scrape responses per interval, evaluated once
+    at the end). *)
 
 val last : t -> evaluation list
 (** Most recent scrape's evaluations ([[]] before the first scrape). *)

@@ -113,7 +113,10 @@ let hist_sum h = h.h_sum
 let hist_mean h = if h.h_count = 0 then nan else h.h_sum /. float_of_int h.h_count
 
 let quantile h q =
-  if h.h_count = 0 then nan
+  (* Pinned: an empty histogram has quantile 0 (not nan).  The telemetry
+     plane serializes percentiles over the wire and compares decoded
+     snapshots structurally; nan would poison both (nan <> nan). *)
+  if h.h_count = 0 then 0.
   else begin
     let q = Float.max 0. (Float.min 1. q) in
     let rank = q *. float_of_int h.h_count in
@@ -187,7 +190,7 @@ let read = function
           p50 = quantile h 0.5;
           p90 = quantile h 0.9;
           p99 = quantile h 0.99;
-          max = (if h.h_count = 0 then nan else h.h_max);
+          max = (if h.h_count = 0 then 0. else h.h_max);
         }
 
 let snapshot ?prefix reg =

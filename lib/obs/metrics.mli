@@ -66,7 +66,12 @@ val quantile : histogram -> float -> float
 (** [quantile h q] estimates the [q]-quantile ([0. <= q <= 1.]) by linear
     interpolation within the bucket that contains it, clamped to the
     observed [min, max] (so p50 of a single observation is that
-    observation, not a bucket midpoint).  [nan] when empty. *)
+    observation, not a bucket midpoint).
+
+    An {e empty} histogram has quantile [0.] — pinned, not [nan], because
+    snapshots serialize percentiles over the wire and decoded snapshots
+    are compared structurally ([nan <> nan] would poison both).  The
+    [max] field of a read {!value} is likewise [0.] when empty. *)
 
 (** {1 Bucket helpers} *)
 

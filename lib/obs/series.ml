@@ -87,10 +87,14 @@ let series_of st name labels =
       Hashtbl.replace st.tbl k s;
       s
 
-let scrape st ~time reg =
+let canon_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let ingest st ~time samples =
   st.n_scrapes <- st.n_scrapes + 1;
   List.iter
     (fun { Metrics.name; labels; value } ->
+      let labels = canon_labels labels in
       let put n v = push (series_of st n labels) ~at:time v in
       match value with
       | Metrics.Counter c -> put name (float_of_int c)
@@ -102,12 +106,11 @@ let scrape st ~time reg =
             put (name ^ ".p90") p90;
             put (name ^ ".p99") p99
           end)
-    (Metrics.snapshot reg)
+    samples
+
+let scrape st ~time reg = ingest st ~time (Metrics.snapshot reg)
 
 let scrapes st = st.n_scrapes
-
-let canon_labels labels =
-  List.sort (fun (a, _) (b, _) -> compare a b) labels
 
 let get st ?(labels = []) name =
   Hashtbl.find_opt st.tbl { sk_name = name; sk_labels = canon_labels labels }

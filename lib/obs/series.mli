@@ -56,6 +56,14 @@ val scrape : store -> time:float -> Metrics.t -> unit
     histograms contribute only their [.count] sub-series (quantiles of
     nothing are skipped, not NaN points). *)
 
+val ingest : store -> time:float -> Metrics.sample list -> unit
+(** Append the given samples at time [time] — {!scrape} over an
+    externally produced snapshot instead of a local registry.  This is
+    how wire-scraped telemetry (a remote daemon's [Stats_response])
+    lands in a store: the collector decodes the snapshot, tags each
+    sample with its origin, and ingests.  Labels are re-canonicalised
+    here since remote snapshots may have been re-tagged in transit. *)
+
 val scrapes : store -> int
 
 val get : store -> ?labels:(string * string) list -> string -> t option

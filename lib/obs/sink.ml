@@ -21,6 +21,8 @@ let print_aligned out rows =
       output_char out '\n')
     rows
 
+let aligned_table ?(out = stdout) rows = print_aligned out rows
+
 let metrics_table ?(out = stdout) samples =
   let rows =
     [ "name"; "labels"; "value" ]
@@ -94,8 +96,8 @@ let sample_to_json (s : Metrics.sample) =
     :: ("labels", json_labels s.Metrics.labels)
     :: value_fields)
 
-let metrics_json_lines ~path samples =
-  Json.lines_to_file ~path (List.map sample_to_json samples)
+let metrics_json_lines ?append ~path samples =
+  Json.lines_to_file ?append ~path (List.map sample_to_json samples)
 
 let event_to_json (e : Trace.event) =
   let open Json in
@@ -121,6 +123,16 @@ let summary_to_json (s : Trace.summary) =
         List (List.map (fun c -> String c) s.Trace.drop_causes) );
       ("first_time_ms", Float s.Trace.first_time);
       ("last_time_ms", Float s.Trace.last_time);
+    ]
+
+let tree_to_json (t : Trace.tree) =
+  let open Json in
+  Obj
+    [
+      ("trace", Int t.Trace.a_trace);
+      ("sites", List (List.map (fun s -> Int s) t.Trace.a_sites));
+      ("terminal", Bool t.Trace.a_terminal);
+      ("events", List (List.map event_to_json t.Trace.a_events));
     ]
 
 let trace_table ?(out = stdout) events =

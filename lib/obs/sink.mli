@@ -6,6 +6,11 @@
 
 (** {1 Metrics} *)
 
+val aligned_table : ?out:out_channel -> string list list -> unit
+(** Column-aligned rendering of arbitrary rows (first row is usually a
+    header) — the primitive behind {!metrics_table} and friends, exposed
+    for dashboards like [i3cluster top]. *)
+
 val metrics_table : ?out:out_channel -> Metrics.sample list -> unit
 (** Aligned [name labels value] table (labels rendered [k=v,k=v]). *)
 
@@ -15,13 +20,21 @@ val metrics_csv : ?out:out_channel -> Metrics.sample list -> unit
 
 val sample_to_json : Metrics.sample -> Json.t
 
-val metrics_json_lines : path:string -> Metrics.sample list -> unit
-(** One JSON object per line per sample. *)
+val metrics_json_lines :
+  ?append:bool -> path:string -> Metrics.sample list -> unit
+(** One JSON object per line per sample.  [append] (default false) adds
+    a new snapshot generation to an existing file; writers should
+    precede each generation with a marker line (see [bin/i3d]'s periodic
+    flush) so readers can pick the freshest one. *)
 
 (** {1 Traces} *)
 
 val event_to_json : Trace.event -> Json.t
 val summary_to_json : Trace.summary -> Json.t
+
+val tree_to_json : Trace.tree -> Json.t
+(** An assembled cross-process hop tree ({!Trace.assemble}):
+    [{trace; sites; terminal; events}]. *)
 
 val trace_table : ?out:out_channel -> Trace.event list -> unit
 (** Aligned [trace time site event] listing. *)

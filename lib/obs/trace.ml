@@ -142,6 +142,81 @@ let orphans ?started_before t =
          | Some hi -> s.s_trace < hi
          | None -> true)
 
+let drain t =
+  let evs = events t in
+  if enabled t then begin
+    (* Unlike [reset], draining must NOT reset [next_id] (ids stay unique
+       across drains so a collector scraping periodically never sees two
+       distinct packets share an id) nor [skip] (sampling cadence is
+       unaffected by observation). *)
+    Array.fill t.ring 0 (Array.length t.ring) dummy;
+    t.write <- 0
+  end;
+  evs
+
+(* --- cross-process assembly ---
+
+   Each daemon drains its own ring; the collector concatenates the drains
+   and joins them on the trace id carried in packet bytes 28–35
+   (Wire.Layout.off_trace).  Within one trace, events are ordered by
+   timestamp (daemon clocks are close enough on one host; ties broken by
+   site then kind) — the result reads as the packet's causal path across
+   the fleet. *)
+
+type tree = {
+  a_trace : id;
+  a_events : event list;  (** time-ordered across all sites *)
+  a_sites : int list;  (** distinct sites touched, in first-seen order *)
+  a_terminal : bool;  (** a Deliver or Drop is present *)
+}
+
+let kind_rank = function
+  | Send -> 0
+  | Enqueue -> 1
+  | Relay -> 2
+  | Cache_hit -> 3
+  | Trigger_match -> 4
+  | Deliver -> 5
+  | Drop _ -> 6
+
+let assemble evs =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if e.trace <> none then
+        let prev = Option.value ~default:[] (Hashtbl.find_opt tbl e.trace) in
+        Hashtbl.replace tbl e.trace (e :: prev))
+    evs;
+  Hashtbl.fold
+    (fun trace rev acc ->
+      let ordered =
+        List.stable_sort
+          (fun a b ->
+            match compare a.time b.time with
+            | 0 -> (
+                match compare (kind_rank a.kind) (kind_rank b.kind) with
+                | 0 -> compare a.site b.site
+                | c -> c)
+            | c -> c)
+          (List.rev rev)
+      in
+      let sites =
+        List.fold_left
+          (fun seen e -> if List.mem e.site seen then seen else e.site :: seen)
+          [] ordered
+        |> List.rev
+      in
+      let terminal =
+        List.exists
+          (fun e -> match e.kind with Deliver | Drop _ -> true | _ -> false)
+          ordered
+      in
+      { a_trace = trace; a_events = ordered; a_sites = sites;
+        a_terminal = terminal }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.a_trace b.a_trace)
+
 let kind_to_string = function
   | Send -> "send"
   | Enqueue -> "enqueue"

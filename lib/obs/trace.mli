@@ -85,5 +85,31 @@ val orphans : ?started_before:id -> t -> summary list
     flight), as are traces whose first event was already evicted from the
     ring (their history is incomplete, not necessarily orphaned). *)
 
+val drain : t -> event list
+(** Events still in the ring, oldest first, emptying the ring as a side
+    effect.  Unlike {!reset} this preserves the id allocator and the
+    sampling countdown, so a collector polling {!drain} periodically sees
+    each event exactly once and never sees two packets share an id. *)
+
+(** {1 Cross-process assembly}
+
+    Every daemon in a fleet owns its own collector; a telemetry scraper
+    drains each ring over the wire and joins the concatenated events on
+    the trace id carried in the packet header (bytes 28–35,
+    [Wire.Layout.off_trace]) into one causal hop tree per packet. *)
+
+type tree = {
+  a_trace : id;
+  a_events : event list;
+      (** ordered by time (ties by kind rank then site): the packet's
+          path across the fleet *)
+  a_sites : int list;  (** distinct sites touched, in first-seen order *)
+  a_terminal : bool;  (** whether a [Deliver] or [Drop] was recorded *)
+}
+
+val assemble : event list -> tree list
+(** Group events (typically drains from several processes) by trace id,
+    ascending; untraced events ([none]) are discarded. *)
+
 val kind_to_string : kind -> string
 val reset : t -> unit

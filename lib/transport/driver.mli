@@ -28,7 +28,20 @@ val create :
 (** Registers [driver.frames] / [driver.sends] counters and a
     [wire.decode_errors] counter (labels [instance], [proto="frame"])
     in [metrics]; undecodable inbound datagrams count there and are
-    otherwise dropped, as a daemon must. *)
+    otherwise dropped, as a daemon must.
+
+    Traffic is also counted per wire kind: every inbound datagram
+    increments [driver.rx.<kind>] and every outbound one
+    [driver.tx.<kind>], where [<kind>] is [Wire.Layout.kind_name] of
+    the frame's kind byte ("data", "ping", "lookup_step", ...; inbound
+    frames too short to carry one count as "runt").  Counters appear in
+    the registry on first sight of each kind.
+
+    Step latency is measured here, not in the engine (the engine is
+    sans-IO and owns no clock): each {!step} observes its wall-clock
+    duration into a [driver.step_ms] histogram labeled by event kind
+    ([event="tick" | "frame" | "insert_trigger" | "remove_trigger" |
+    "send_packet"]). *)
 
 val engine : t -> I3.Engine.t
 

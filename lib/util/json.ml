@@ -77,8 +77,12 @@ let to_file ~path v =
   output_char oc '\n';
   close_out oc
 
-let lines_to_file ~path vs =
-  let oc = open_out path in
+let lines_to_file ?(append = false) ~path vs =
+  let oc =
+    if append then
+      open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+    else open_out path
+  in
   List.iter
     (fun v ->
       output_string oc (to_string v);

@@ -29,8 +29,10 @@ val to_string : t -> string
 val to_file : path:string -> t -> unit
 (** Write the compact rendering plus a trailing newline. *)
 
-val lines_to_file : path:string -> t list -> unit
-(** JSON-lines: one compact value per line. *)
+val lines_to_file : ?append:bool -> path:string -> t list -> unit
+(** JSON-lines: one compact value per line.  [append] (default false)
+    adds to an existing file instead of truncating — periodic telemetry
+    flushes grow one file of snapshot generations. *)
 
 (** {1 Parsing} *)
 

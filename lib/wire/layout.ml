@@ -76,6 +76,8 @@ let kind_replica = 0x17
 let kind_deliver = 0x18
 let kind_ping = 0x19
 let kind_pong = 0x1a
+let kind_stats_request = 0x1b
+let kind_stats_response = 0x1c
 
 (* Chord RPC kinds (Chord.Protocol). *)
 let kind_lookup_step = 0x20
@@ -84,12 +86,51 @@ let kind_get_state = 0x22
 let kind_state = 0x23
 let kind_notify = 0x24
 
+(* Human name of a frame's kind byte (the byte at [off_kind]); a byte
+   below [first_kind] is a data packet's flags, so the frame is data.
+   Used for per-kind traffic counters and rendered telemetry — never for
+   dispatch, which compares the numeric tags directly. *)
+let kind_name k =
+  if k < first_kind then "data"
+  else if k = kind_insert then "insert"
+  else if k = kind_remove then "remove"
+  else if k = kind_challenge then "challenge"
+  else if k = kind_insert_ack then "insert_ack"
+  else if k = kind_cache_info then "cache_info"
+  else if k = kind_cache_push then "cache_push"
+  else if k = kind_pushback then "pushback"
+  else if k = kind_replica then "replica"
+  else if k = kind_deliver then "deliver"
+  else if k = kind_ping then "ping"
+  else if k = kind_pong then "pong"
+  else if k = kind_stats_request then "stats_request"
+  else if k = kind_stats_response then "stats_response"
+  else if k = kind_lookup_step then "lookup_step"
+  else if k = kind_lookup_reply then "lookup_reply"
+  else if k = kind_get_state then "get_state"
+  else if k = kind_state then "state"
+  else if k = kind_notify then "notify"
+  else "unknown"
+
 (* Sanity bounds shared by decoders: a peer list (successor chains,
    Notify gossip) or a cache-push trigger batch may never claim more
    entries than these, whatever the length field says — a corrupted
    count must fail cleanly instead of provoking a giant allocation. *)
 let max_peer_list = 32
 let max_trigger_batch = 4096
+
+(* --- telemetry snapshot bounds (kind_stats_request / _response) ---
+
+   A stats response carries a versioned, length-prefixed snapshot of a
+   registry slice plus (optionally) a drain of the trace ring.  The
+   version byte lets a newer scraper reject a snapshot blob it does not
+   understand instead of misparsing it; the caps bound both what an
+   encoder may emit (so one response always fits a datagram) and what a
+   decoder may allocate from a corrupted count field. *)
+let stats_snapshot_version = 1
+let max_stats_samples = 512
+let max_trace_drain = 512
+let max_stats_labels = 8
 
 (* --- datagram maxima ---
 

@@ -220,7 +220,9 @@ let test_gate_default_checks_on_real_shape () =
          "codec":{"decode_errors":0,"corpus_bytes":2483,
                   "data_frame_bytes":154},
          "engine":{"loopback_events":811,"loopback_effects":411,
-                   "loopback_delivers":1,"ring_formed":1}}|}
+                   "loopback_delivers":1,"ring_formed":1},
+         "scrape":{"wire_decode_errors":0,"response_bytes":6854,
+                   "samples":28,"drained_events":256}}|}
   in
   let results =
     Eval.Gate.compare_json ~baseline:full ~current:full Eval.Gate.default_checks

@@ -69,12 +69,21 @@ let test_histogram_single_observation () =
   (* clamped to [min, max]: a lone sample is every quantile *)
   feq "p50 of one sample" 3. (Obs.Metrics.quantile h 0.5);
   feq "p99 of one sample" 3. (Obs.Metrics.quantile h 0.99);
-  Alcotest.(check bool) "empty -> nan" true
-    (Float.is_nan
-       (Obs.Metrics.quantile
-          (Obs.Metrics.histogram reg "t.h2"
-             ~buckets:(Obs.Metrics.linear_buckets ~start:1. ~width:1. ~count:2))
-          0.5))
+  (* pinned: empty histogram quantile is 0., never nan — snapshots of it
+     go over the wire and are compared structurally *)
+  let empty =
+    Obs.Metrics.histogram reg "t.h2"
+      ~buckets:(Obs.Metrics.linear_buckets ~start:1. ~width:1. ~count:2)
+  in
+  feq "empty -> 0 (p50)" 0. (Obs.Metrics.quantile empty 0.5);
+  feq "empty -> 0 (p99)" 0. (Obs.Metrics.quantile empty 0.99);
+  (match
+     Obs.Metrics.find reg "t.h2"
+   with
+  | Some (Obs.Metrics.Histogram { max; p50; _ }) ->
+      feq "empty read max = 0" 0. max;
+      feq "empty read p50 = 0" 0. p50
+  | _ -> Alcotest.fail "t.h2 missing")
 
 let test_snapshot_and_find () =
   let reg = Obs.Metrics.create () in
@@ -619,6 +628,193 @@ let test_sink_render () =
   Alcotest.(check string) "labels_to_string" "k=v"
     (Obs.Sink.labels_to_string sample.Obs.Metrics.labels)
 
+(* --- the telemetry plane: drain, assemble, ingest, scrape --- *)
+
+let test_trace_drain () =
+  let t = Obs.Trace.create ~capacity:8 () in
+  let a = Obs.Trace.start t in
+  Obs.Trace.record t a ~time:1. ~site:0 Obs.Trace.Send;
+  Obs.Trace.record t a ~time:2. ~site:1 Obs.Trace.Deliver;
+  let evs = Obs.Trace.drain t in
+  Alcotest.(check int) "drained both events" 2 (List.length evs);
+  Alcotest.(check int) "ring empty after drain" 0
+    (List.length (Obs.Trace.events t));
+  Alcotest.(check int) "second drain yields nothing" 0
+    (List.length (Obs.Trace.drain t));
+  (* unlike [reset], draining must not restart the id sequence: a
+     collector scraping periodically would otherwise see two distinct
+     packets share a trace id *)
+  let b = Obs.Trace.start t in
+  Alcotest.(check bool) "ids keep increasing across drains" true (b > a);
+  (* nor may it disturb the sampling countdown *)
+  let s = Obs.Trace.create ~sample_every:2 () in
+  Alcotest.(check bool) "first start sampled" true
+    (Obs.Trace.start s <> Obs.Trace.none);
+  ignore (Obs.Trace.drain s);
+  Alcotest.(check int) "skip countdown preserved" Obs.Trace.none
+    (Obs.Trace.start s);
+  Alcotest.(check int) "disabled drain is empty" 0
+    (List.length (Obs.Trace.drain Obs.Trace.disabled))
+
+let test_trace_assemble () =
+  let e trace time site kind = { Obs.Trace.trace; time; site; kind } in
+  (* two traces interleaved and out of order, as if drained from three
+     daemons at sites 10/20/30 *)
+  let evs =
+    [
+      e 2 5. 30 Obs.Trace.Deliver;
+      e 1 1. 10 Obs.Trace.Relay;
+      e 2 4. 20 Obs.Trace.Trigger_match;
+      e 1 1. 10 Obs.Trace.Send;
+      e 2 3. 10 Obs.Trace.Relay;
+      e 1 2. 20 (Obs.Trace.Drop "ttl");
+      e 0 9. 99 Obs.Trace.Send;  (* untraced: must be skipped *)
+    ]
+  in
+  match Obs.Trace.assemble evs with
+  | [ t1; t2 ] ->
+      Alcotest.(check int) "trees sorted by trace id" 1 t1.Obs.Trace.a_trace;
+      Alcotest.(check int) "second tree" 2 t2.Obs.Trace.a_trace;
+      Alcotest.(check (list string))
+        "time order, ties broken by kind rank"
+        [ "send"; "relay"; "drop:ttl" ]
+        (List.map
+           (fun ev -> Obs.Trace.kind_to_string ev.Obs.Trace.kind)
+           t1.Obs.Trace.a_events);
+      Alcotest.(check (list int)) "sites in first-seen order" [ 10; 20 ]
+        t1.Obs.Trace.a_sites;
+      Alcotest.(check bool) "drop is terminal" true t1.Obs.Trace.a_terminal;
+      Alcotest.(check (list int)) "cross-process hop path" [ 10; 20; 30 ]
+        t2.Obs.Trace.a_sites;
+      Alcotest.(check bool) "deliver is terminal" true t2.Obs.Trace.a_terminal
+  | l -> Alcotest.failf "expected 2 trees, got %d" (List.length l)
+
+let test_series_ingest () =
+  let st = Obs.Series.store ~capacity:8 () in
+  (* label order must not matter: ingest re-canonicalises *)
+  Obs.Series.ingest st ~time:1.
+    [
+      {
+        Obs.Metrics.name = "m";
+        labels = [ ("z", "1"); ("a", "2") ];
+        value = Obs.Metrics.Counter 3;
+      };
+    ];
+  Obs.Series.ingest st ~time:2.
+    [
+      {
+        Obs.Metrics.name = "m";
+        labels = [ ("a", "2"); ("z", "1") ];
+        value = Obs.Metrics.Counter 5;
+      };
+    ];
+  match Obs.Series.get st ~labels:[ ("z", "1"); ("a", "2") ] "m" with
+  | None -> Alcotest.fail "ingested series not found"
+  | Some s ->
+      Alcotest.(check int) "both points in one series" 2 (Obs.Series.length s);
+      feq "latest value" 5.
+        (match Obs.Series.latest s with
+        | Some p -> p.Obs.Series.value
+        | None -> nan)
+
+let test_health_ingest_and_shared_store () =
+  let store = Obs.Series.store ~capacity:16 () in
+  let rules =
+    [
+      {
+        Obs.Health.rule = "errs";
+        signal =
+          Obs.Health.Latest
+            { metric = "errs"; labels = [ ("target", "a") ] };
+        bound = Obs.Health.At_most { ok = 0.; degraded = 0. };
+      };
+    ]
+  in
+  let h = Obs.Health.create ~store ~rules (Obs.Metrics.create ()) in
+  Alcotest.(check bool) "monitor judges the shared store" true
+    (Obs.Health.store h == store);
+  (* no data yet: Ok *)
+  Alcotest.(check bool) "empty store is Ok" true
+    (Obs.Health.overall (Obs.Health.evaluate h ~time:0.) = Obs.Health.Ok);
+  (* a scraped snapshot with an error lands as Violated *)
+  let sample v =
+    {
+      Obs.Metrics.name = "errs";
+      labels = [ ("target", "a") ];
+      value = Obs.Metrics.Counter v;
+    }
+  in
+  Alcotest.(check bool) "ingest judges the snapshot" true
+    (Obs.Health.overall (Obs.Health.ingest h ~time:10. [ sample 1 ])
+    = Obs.Health.Violated);
+  (* an external writer (the scraper) feeding the store directly is
+     judged by evaluate without any local sampling *)
+  Obs.Series.ingest store ~time:20. [ sample 0 ];
+  Alcotest.(check bool) "evaluate sees external writes" true
+    (Obs.Health.overall (Obs.Health.evaluate h ~time:20.) = Obs.Health.Ok);
+  let ok, deg, vio = Obs.Health.counts h in
+  Alcotest.(check (list int)) "history counts all three" [ 2; 0; 1 ]
+    [ ok; deg; vio ]
+
+let test_scrape_state_machine () =
+  let scr =
+    Obs.Scrape.create ~interval_ms:100. ~timeout_ms:50. ~prefix:"" ~drain:true
+      [
+        { Obs.Scrape.addr = 1; instance = "a" };
+        { Obs.Scrape.addr = 2; instance = "b" };
+      ]
+  in
+  (* first tick polls every target immediately *)
+  let reqs = Obs.Scrape.tick scr ~now:0. in
+  Alcotest.(check int) "first tick polls all targets" 2 (List.length reqs);
+  Alcotest.(check int) "pending" 2 (Obs.Scrape.pending scr);
+  Alcotest.(check int) "no repoll before the interval" 0
+    (List.length (Obs.Scrape.tick scr ~now:10.));
+  (* answer target a's request *)
+  let ra = List.find (fun r -> r.Obs.Scrape.dst = 1) reqs in
+  let ev =
+    { Obs.Trace.trace = 5; time = 1.; site = 9; kind = Obs.Trace.Relay }
+  in
+  let sample =
+    {
+      Obs.Metrics.name = "m";
+      labels = [ ("instance", "x") ];
+      value = Obs.Metrics.Counter 7;
+    }
+  in
+  Alcotest.(check bool) "in-flight nonce accepted" true
+    (Obs.Scrape.on_response scr ~now:20. ~nonce:ra.Obs.Scrape.nonce
+       ~samples:[ sample ] ~events:[ ev ]);
+  Alcotest.(check bool) "duplicate nonce rejected" false
+    (Obs.Scrape.on_response scr ~now:21. ~nonce:ra.Obs.Scrape.nonce
+       ~samples:[ sample ] ~events:[]);
+  Alcotest.(check bool) "forged nonce rejected" false
+    (Obs.Scrape.on_response scr ~now:21. ~nonce:424242 ~samples:[] ~events:[]);
+  (* accepted samples are retagged with the target label *)
+  (match
+     Obs.Series.get (Obs.Scrape.store scr)
+       ~labels:[ ("instance", "x"); ("target", "a") ]
+       "m"
+   with
+  | Some _ -> ()
+  | None -> Alcotest.fail "sample not retagged with (target, instance)");
+  Alcotest.(check bool) "last_seen records the response" true
+    (Obs.Scrape.last_seen scr "a" = Some 20.);
+  Alcotest.(check bool) "unanswered target has no last_seen" true
+    (Obs.Scrape.last_seen scr "b" = None);
+  (* target b's request expires; the next interval polls again *)
+  let reqs2 = Obs.Scrape.tick scr ~now:120. in
+  Alcotest.(check int) "expired unanswered request" 1 (Obs.Scrape.timeouts scr);
+  Alcotest.(check int) "next interval repolls all" 2 (List.length reqs2);
+  Alcotest.(check (list int)) "poll/response accounting" [ 4; 1 ]
+    [ Obs.Scrape.polls scr; Obs.Scrape.responses scr ];
+  (* drained events accumulate until taken *)
+  Alcotest.(check int) "events kept" 1 (List.length (Obs.Scrape.events scr));
+  Alcotest.(check int) "take_events drains" 1
+    (List.length (Obs.Scrape.take_events scr));
+  Alcotest.(check int) "accumulator now empty" 0
+    (List.length (Obs.Scrape.events scr))
+
 let () =
   Alcotest.run "obs"
     [
@@ -671,6 +867,17 @@ let () =
             test_health_stable_rule_and_validation;
           Alcotest.test_case "missing data is ok" `Quick
             test_health_missing_data_is_ok;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "trace drain" `Quick test_trace_drain;
+          Alcotest.test_case "cross-process assembly" `Quick
+            test_trace_assemble;
+          Alcotest.test_case "series ingest" `Quick test_series_ingest;
+          Alcotest.test_case "health ingest and shared store" `Quick
+            test_health_ingest_and_shared_store;
+          Alcotest.test_case "scrape state machine" `Quick
+            test_scrape_state_machine;
         ] );
       ( "json",
         [

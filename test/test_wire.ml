@@ -59,6 +59,61 @@ let gen_trigger =
 let gen_token = QCheck2.Gen.(string_size (int_range 0 32))
 let gen_lifetime = QCheck2.Gen.(map float_of_int (int_range 0 100_000))
 
+(* Stats snapshots: all floats drawn finite (the codec carries IEEE
+   doubles bit-exactly, but [nan <> nan] would break [=] roundtrips) and
+   label lists within [Wire.Layout.max_stats_labels] (the encoder
+   rejects wider ones by design). *)
+let gen_finite = QCheck2.Gen.(map (fun n -> float_of_int n /. 16.) (int_range (-1_000_000) 1_000_000))
+let gen_label = QCheck2.Gen.(pair (string_size (int_range 0 12)) (string_size (int_range 0 12)))
+
+let gen_sample =
+  QCheck2.Gen.(
+    string_size (int_range 1 24) >>= fun name ->
+    list_size (int_range 0 Wire.Layout.max_stats_labels) gen_label
+    >>= fun labels ->
+    oneof
+      [
+        map (fun c -> Obs.Metrics.Counter c) (int_range 0 1_000_000_000);
+        map (fun g -> Obs.Metrics.Gauge g) gen_finite;
+        (int_range 0 1_000_000 >>= fun count ->
+         gen_finite >>= fun sum ->
+         gen_finite >>= fun p50 ->
+         gen_finite >>= fun p90 ->
+         gen_finite >>= fun p99 ->
+         gen_finite >>= fun max ->
+         return (Obs.Metrics.Histogram { count; sum; p50; p90; p99; max }));
+      ]
+    >>= fun value -> return { Obs.Metrics.name; labels; value })
+
+let gen_trace_event =
+  QCheck2.Gen.(
+    int_range 1 0xfff_ffff >>= fun trace ->
+    gen_finite >>= fun time ->
+    int_range 0 0xffff_ffff >>= fun site ->
+    oneof
+      [
+        oneofl
+          Obs.Trace.
+            [ Send; Enqueue; Relay; Cache_hit; Trigger_match; Deliver ];
+        map (fun c -> Obs.Trace.Drop c) (string_size (int_range 0 16));
+      ]
+    >>= fun kind -> return { Obs.Trace.trace; time; site; kind })
+
+let gen_stats_request =
+  QCheck2.Gen.(
+    int_range 0 0xffffff >>= fun nonce ->
+    string_size (int_range 0 24) >>= fun prefix ->
+    bool >>= fun drain ->
+    return (I3.Message.Stats_request { nonce; prefix; drain }))
+
+let gen_stats_response =
+  QCheck2.Gen.(
+    int_range 0 0xffffff >>= fun nonce ->
+    gen_addr >>= fun server ->
+    list_size (int_range 0 8) gen_sample >>= fun samples ->
+    list_size (int_range 0 8) gen_trace_event >>= fun events ->
+    return (I3.Message.Stats_response { nonce; server; samples; events }))
+
 let gen_message =
   QCheck2.Gen.(
     oneof
@@ -94,6 +149,8 @@ let gen_message =
          int_range 0 100_000 >>= fun triggers ->
          gen_lifetime >>= fun uptime_ms ->
          return (I3.Message.Pong { nonce; server; triggers; uptime_ms }));
+        gen_stats_request;
+        gen_stats_response;
       ])
 
 let gen_peer =
@@ -342,6 +399,112 @@ let test_codec_negatives () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "i3 kind on chord codec: expected decode error"
 
+(* --- status frames (telemetry plane) --- *)
+
+let test_stats_roundtrip =
+  qtest ~count:400 "stats frames roundtrip"
+    QCheck2.Gen.(oneof [ gen_stats_request; gen_stats_response ])
+    (fun m ->
+      match I3.Codec.decode (I3.Codec.encode m) with
+      | Ok m' -> m = m'
+      | Error _ -> false)
+
+let sample_response =
+  I3.Message.Stats_response
+    {
+      nonce = 7;
+      server = 0xCAFE;
+      samples =
+        [
+          {
+            Obs.Metrics.name = "driver.frames";
+            labels = [ ("instance", "127.0.0.1:4001") ];
+            value = Obs.Metrics.Counter 3;
+          };
+          {
+            Obs.Metrics.name = "driver.step_ms";
+            labels = [];
+            value =
+              Obs.Metrics.Histogram
+                { count = 2; sum = 3.; p50 = 1.; p90 = 2.; p99 = 2.; max = 2. };
+          };
+        ];
+      events =
+        [
+          {
+            Obs.Trace.trace = 9;
+            time = 1.5;
+            site = 4001;
+            kind = Obs.Trace.Drop "ttl";
+          };
+        ];
+    }
+
+let test_stats_negatives () =
+  let wire = I3.Codec.encode sample_response in
+  (* Every strict prefix must fail: outer fields, the u32 blob length,
+     and the blob's inner structure are all length-checked. *)
+  for cut = 0 to String.length wire - 1 do
+    match I3.Codec.decode (String.sub wire 0 cut) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "stats_response accepted a %d-byte prefix" cut
+  done;
+  (match I3.Codec.decode (wire ^ "\x00") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stats_response accepted trailing bytes");
+  (* Snapshot version byte sits after the preamble (4) + nonce (8) +
+     server (8): an unknown version must be rejected, not guessed at. *)
+  let b = Bytes.of_string wire in
+  Bytes.set b 20 '\x02';
+  (match I3.Codec.decode (Bytes.to_string b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown snapshot version accepted");
+  (* A request's drain flag is strictly 0/1. *)
+  let req =
+    I3.Codec.encode
+      (I3.Message.Stats_request { nonce = 1; prefix = "engine."; drain = true })
+  in
+  let rb = Bytes.of_string req in
+  Bytes.set rb (Bytes.length rb - 1) '\x07';
+  match I3.Codec.decode (Bytes.to_string rb) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad drain flag accepted"
+
+let test_stats_encode_caps () =
+  let sample =
+    {
+      Obs.Metrics.name = "m";
+      labels = [];
+      value = Obs.Metrics.Counter 1;
+    }
+  in
+  let too_many =
+    List.init (Wire.Layout.max_stats_samples + 1) (fun _ -> sample)
+  in
+  (match
+     I3.Codec.encode
+       (I3.Message.Stats_response
+          { nonce = 1; server = 2; samples = too_many; events = [] })
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encode accepted > max_stats_samples");
+  let wide =
+    {
+      sample with
+      Obs.Metrics.labels =
+        List.init
+          (Wire.Layout.max_stats_labels + 1)
+          (fun i -> (string_of_int i, "v"));
+    }
+  in
+  match
+    I3.Codec.encode
+      (I3.Message.Stats_response
+         { nonce = 1; server = 2; samples = [ wide ]; events = [] })
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encode accepted > max_stats_labels"
+
 let () =
   Alcotest.run "wire"
     [
@@ -363,6 +526,12 @@ let () =
           Alcotest.test_case "trailing bytes rejected" `Quick
             test_decode_rejects_trailing;
           Alcotest.test_case "codec negatives" `Quick test_codec_negatives;
+        ] );
+      ( "stats frames",
+        [
+          test_stats_roundtrip;
+          Alcotest.test_case "negatives" `Quick test_stats_negatives;
+          Alcotest.test_case "encode caps" `Quick test_stats_encode_caps;
         ] );
       ( "fuzz",
         [ Alcotest.test_case "seeded mutations" `Quick test_mutation_fuzz ] );
