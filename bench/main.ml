@@ -829,6 +829,39 @@ let section_scrape () =
         ] );
   ]
 
+(* --- substrate bakeoff: Chord variants vs Koorde over one ring ---
+
+   The gated [substrate] section: per-substrate hop/stretch/state
+   numbers from one seeded race (Eval.Bakeoff).  Smoke scales the ring
+   down, which flips the hops verdict (Koorde-8 only out-hops Chord
+   around n = 10^4 — see bin/i3_sim bakeoff for the full-scale run);
+   the state relation holds at every scale and is what Gate's
+   default_relations pin. *)
+
+let section_substrate () =
+  print_endline "=== substrate bakeoff: chord variants vs koorde ===";
+  let base = Eval.Bakeoff.default_params Topology.Model.Transit_stub in
+  let p =
+    if paper_scale then base
+    else if smoke then
+      {
+        base with
+        Eval.Bakeoff.topo_nodes = 600;
+        n_servers = 4096;
+        queries = 120;
+        state_samples = 128;
+      }
+    else
+      { base with Eval.Bakeoff.topo_nodes = 1200; n_servers = 10_000; queries = 300 }
+  in
+  let pts = Eval.Bakeoff.run ~progress:(Printf.printf "  %s\n%!") p in
+  Eval.Report.table
+    ~title:
+      (Printf.sprintf "bakeoff transit-stub (%d servers, %d queries)"
+         p.Eval.Bakeoff.n_servers p.Eval.Bakeoff.queries)
+    ~header:Eval.Bakeoff.header (Eval.Bakeoff.rows pts);
+  [ ("substrate", Eval.Bakeoff.to_json p pts) ]
+
 let write_bench_json fields =
   let json =
     Json.Obj
@@ -856,7 +889,8 @@ let () =
     let codec = section_codec () in
     let eng = section_engine () in
     let scrape = section_scrape () in
-    write_bench_json (obs @ ctl @ codec @ eng @ scrape)
+    let sub = section_substrate () in
+    write_bench_json (obs @ ctl @ codec @ eng @ scrape @ sub)
   end
   else begin
     section_micro ();
@@ -868,7 +902,8 @@ let () =
     let codec = section_codec () in
     let eng = section_engine () in
     let scrape = section_scrape () in
-    write_bench_json (obs @ ctl @ codec @ eng @ scrape);
+    let sub = section_substrate () in
+    write_bench_json (obs @ ctl @ codec @ eng @ scrape @ sub);
     section_fig8 ();
     section_fig9 ()
   end;

@@ -51,7 +51,10 @@ let () =
            else " — rerun with matching I3_BENCH_SMOKE / I3_SCALE");
         !allow_mode
   in
-  let results = Eval.Gate.compare_json ~baseline:b ~current:c Eval.Gate.default_checks in
+  let results =
+    Eval.Gate.compare_json ~baseline:b ~current:c Eval.Gate.default_checks
+    @ Eval.Gate.check_relations ~current:c Eval.Gate.default_relations
+  in
   Eval.Gate.render results;
   if mode_ok && Eval.Gate.passed results then exit 0
   else begin

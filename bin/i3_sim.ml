@@ -1,14 +1,39 @@
 (* i3_sim: command-line driver for full-scale experiment runs.
 
    Subcommands:
-     fig8   latency stretch vs. trigger samples (paper Fig. 8)
-     fig9   proximity routing stretch vs. system size (paper Fig. 9)
-     micro  trigger insertion / forwarding / routing / throughput (Sec. V-D)
-     scale  the Sec. VII scalability arithmetic
+     fig8     latency stretch vs. trigger samples (paper Fig. 8)
+     fig9     proximity routing stretch vs. system size (paper Fig. 9)
+     bakeoff  substrate race: chord variants vs koorde, hops/stretch/state
+     micro    trigger insertion / forwarding / routing / throughput (Sec. V-D)
+     scale    the Sec. VII scalability arithmetic
 
    Every run is deterministic under --seed and can dump CSV for plotting. *)
 
 open Cmdliner
+
+let substrate_conv =
+  let parse s =
+    match Koorde.Substrate.of_string s with
+    | Some spec -> Ok spec
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown substrate %S (try chord, chord-replica, \
+                 chord-finger-set, chord-pns, koorde, koorde2..koorde256)"
+                s))
+  in
+  Arg.conv (parse, fun ppf s -> Fmt.string ppf (Koorde.Substrate.label s))
+
+let substrate_arg =
+  Arg.(
+    value
+    & opt (some substrate_conv) None
+    & info [ "substrate" ] ~docv:"SUB"
+        ~doc:
+          "Route over a specific substrate (chord, chord-replica, \
+           chord-finger-set, chord-pns, koorde, koorde2..koorde256) instead \
+           of the figure's default policy set.")
 
 let kind_conv =
   let parse s =
@@ -53,9 +78,15 @@ let kinds = function
 
 (* --- fig8 --- *)
 
-let run_fig8 kind nodes servers measurements samples seed csv json =
+let run_fig8 kind nodes servers measurements samples seed csv json substrate =
   let header = "topology" :: Eval.Latency_stretch.header in
   let all_rows = ref [] in
+  Option.iter
+    (fun s ->
+      progress
+        (Printf.sprintf "first-packet path routed over %s"
+           (Koorde.Substrate.label s)))
+    substrate;
   List.iter
     (fun kind ->
       let p =
@@ -68,7 +99,7 @@ let run_fig8 kind nodes servers measurements samples seed csv json =
           seed;
         }
       in
-      let pts = Eval.Latency_stretch.run ~progress p in
+      let pts = Eval.Latency_stretch.run ~progress ?substrate p in
       let rows =
         List.map
           (fun row -> Topology.Model.kind_to_string kind :: row)
@@ -111,14 +142,15 @@ let fig8_cmd =
   let doc = "Latency stretch vs. number of trigger samples (Fig. 8)." in
   Cmd.v (Cmd.info "fig8" ~doc)
     Term.(
-      const (fun kind nodes servers measurements samples seed csv json ->
-          run_fig8 (kinds kind) nodes servers measurements samples seed csv json)
+      const (fun kind nodes servers measurements samples seed csv json substrate ->
+          run_fig8 (kinds kind) nodes servers measurements samples seed csv json
+            substrate)
       $ kind_arg $ nodes_arg $ servers $ measurements $ samples $ seed_arg
-      $ csv_arg $ json_arg)
+      $ csv_arg $ json_arg $ substrate_arg)
 
 (* --- fig9 --- *)
 
-let run_fig9 kind nodes server_counts queries replicas seed csv =
+let run_fig9 kind nodes server_counts queries replicas seed csv substrates =
   let all_rows = ref [] in
   List.iter
     (fun kind ->
@@ -132,20 +164,33 @@ let run_fig9 kind nodes server_counts queries replicas seed csv =
           seed;
         }
       in
-      let pts = Eval.Proximity_routing.run ~progress p in
       let rows =
-        List.map
-          (fun pt ->
-            [
-              Topology.Model.kind_to_string kind;
-              string_of_int pt.Eval.Proximity_routing.n_servers;
-              Format.asprintf "%a" Chord.Routing.pp_policy
-                pt.Eval.Proximity_routing.policy;
-              Printf.sprintf "%.4f" pt.Eval.Proximity_routing.p90;
-              Printf.sprintf "%.4f" pt.Eval.Proximity_routing.p50;
-              Printf.sprintf "%.2f" pt.Eval.Proximity_routing.mean_hops;
-            ])
-          pts
+        match substrates with
+        | [] ->
+            List.map
+              (fun pt ->
+                [
+                  Topology.Model.kind_to_string kind;
+                  string_of_int pt.Eval.Proximity_routing.n_servers;
+                  Format.asprintf "%a" Chord.Routing.pp_policy
+                    pt.Eval.Proximity_routing.policy;
+                  Printf.sprintf "%.4f" pt.Eval.Proximity_routing.p90;
+                  Printf.sprintf "%.4f" pt.Eval.Proximity_routing.p50;
+                  Printf.sprintf "%.2f" pt.Eval.Proximity_routing.mean_hops;
+                ])
+              (Eval.Proximity_routing.run ~progress p)
+        | specs ->
+            List.map
+              (fun pt ->
+                [
+                  Topology.Model.kind_to_string kind;
+                  string_of_int pt.Eval.Proximity_routing.sn_servers;
+                  Koorde.Substrate.label pt.Eval.Proximity_routing.spec;
+                  Printf.sprintf "%.4f" pt.Eval.Proximity_routing.sp90;
+                  Printf.sprintf "%.4f" pt.Eval.Proximity_routing.sp50;
+                  Printf.sprintf "%.2f" pt.Eval.Proximity_routing.smean_hops;
+                ])
+              (Eval.Proximity_routing.run_substrates ~progress p ~specs)
       in
       all_rows := !all_rows @ rows;
       Eval.Report.table
@@ -180,13 +225,144 @@ let fig9_cmd =
       value & opt int 10
       & info [ "replicas" ] ~docv:"R" ~doc:"Replicas per finger (paper: 10).")
   in
+  let substrates =
+    Arg.(
+      value
+      & opt (list substrate_conv) []
+      & info [ "substrate" ] ~docv:"LIST"
+          ~doc:
+            "Race these substrates (comma-separated: chord, chord-replica, \
+             chord-finger-set, chord-pns, koorde, koorde2..koorde256) \
+             instead of the paper's policy set.")
+  in
   let doc = "Proximity-routing latency stretch vs. system size (Fig. 9)." in
   Cmd.v (Cmd.info "fig9" ~doc)
     Term.(
-      const (fun kind nodes server_counts queries replicas seed csv ->
-          run_fig9 (kinds kind) nodes server_counts queries replicas seed csv)
+      const (fun kind nodes server_counts queries replicas seed csv substrates ->
+          run_fig9 (kinds kind) nodes server_counts queries replicas seed csv
+            substrates)
       $ kind_arg $ nodes_arg $ server_counts $ queries $ replicas $ seed_arg
-      $ csv_arg)
+      $ csv_arg $ substrates)
+
+(* --- bakeoff --- *)
+
+(* Read-modify-write ONLY the [substrate] key of the bench JSON, so a
+   bakeoff run refreshes the gated section without clobbering the other
+   sections a bench run produced. *)
+let merge_substrate_section ~path section =
+  let base =
+    if Sys.file_exists path then
+      try Json.of_file ~path
+      with Json.Parse_error _ | Sys_error _ -> Json.Obj []
+    else
+      Json.Obj
+        [ ("schema", Json.String "i3-bench/2"); ("mode", Json.String "tool") ]
+  in
+  let fields = match base with Json.Obj fields -> fields | _ -> [] in
+  let fields = List.remove_assoc "substrate" fields in
+  Json.to_file ~path (Json.Obj (fields @ [ ("substrate", section) ]))
+
+let run_bakeoff kind nodes servers queries state_samples seed substrates csv
+    bench_out =
+  let specs =
+    match substrates with [] -> Koorde.Substrate.bakeoff_specs | l -> l
+  in
+  let p =
+    {
+      Eval.Bakeoff.kind;
+      topo_nodes = nodes;
+      n_servers = servers;
+      queries;
+      state_samples;
+      seed;
+      specs;
+    }
+  in
+  let pts = Eval.Bakeoff.run ~progress p in
+  let header = Eval.Bakeoff.header in
+  let rows = Eval.Bakeoff.rows pts in
+  Eval.Report.table
+    ~title:
+      (Printf.sprintf "substrate bakeoff %s (%d servers, %d queries)"
+         (Topology.Model.kind_to_string kind)
+         servers queries)
+    ~header rows;
+  Option.iter
+    (fun path ->
+      Eval.Report.csv ~path ~header rows;
+      progress (Printf.sprintf "wrote %s" path))
+    csv;
+  Option.iter
+    (fun path ->
+      merge_substrate_section ~path (Eval.Bakeoff.to_json p pts);
+      progress (Printf.sprintf "merged substrate section into %s" path))
+    bench_out
+
+let bakeoff_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt kind_conv Topology.Model.Transit_stub
+      & info [ "t"; "topology" ] ~docv:"KIND"
+          ~doc:"Topology kind: plrg or transit-stub.")
+  in
+  let servers =
+    Arg.(
+      value & opt int 10_000
+      & info [ "servers" ] ~docv:"N"
+          ~doc:
+            "Ring size. Koorde degree 8 out-hops classic Chord from about \
+             10^4 servers up; below that Chord's larger finger table wins \
+             on hops (it always loses on state).")
+  in
+  let queries =
+    Arg.(
+      value & opt int 1000
+      & info [ "queries" ] ~docv:"N" ~doc:"Routing queries per substrate.")
+  in
+  let state_samples =
+    Arg.(
+      value & opt int 256
+      & info [ "state-samples" ] ~docv:"N"
+          ~doc:"Nodes sampled for the state-bytes average.")
+  in
+  let substrates =
+    Arg.(
+      value
+      & opt (list substrate_conv) []
+      & info [ "substrate" ] ~docv:"LIST"
+          ~doc:
+            "Race only these substrates (comma-separated). Default: \
+             chord:default, closest-finger-replica, prefix-pns, koorde(2), \
+             koorde(8).")
+  in
+  let bench_out =
+    Arg.(
+      value
+      & opt (some string) (Some "BENCH_i3.json")
+      & info [ "bench-out" ] ~docv:"PATH"
+          ~doc:
+            "Merge the gated [substrate] section into this bench JSON \
+             (created if missing; other sections preserved). Pass an empty \
+             value via --bench-out= to skip.")
+  in
+  let bench_out_opt =
+    Term.(
+      const (function Some "" -> None | v -> v) $ bench_out)
+  in
+  let doc =
+    "Race lookup substrates (Chord policies vs Koorde degrees) over one \
+     membership and topology: hops, first-packet stretch, routing-state \
+     bytes per node."
+  in
+  Cmd.v (Cmd.info "bakeoff" ~doc)
+    Term.(
+      const (fun kind nodes servers queries state_samples seed substrates csv
+                 bench_out ->
+          run_bakeoff kind nodes servers queries state_samples seed substrates
+            csv bench_out)
+      $ kind $ nodes_arg $ servers $ queries $ state_samples $ seed_arg
+      $ substrates $ csv_arg $ bench_out_opt)
 
 (* --- micro --- *)
 
@@ -415,4 +591,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "i3_sim" ~doc)
-          [ fig8_cmd; fig9_cmd; micro_cmd; scale_cmd; health_cmd ]))
+          [ fig8_cmd; fig9_cmd; bakeoff_cmd; micro_cmd; scale_cmd; health_cmd ]))

@@ -32,8 +32,8 @@
 
 let usage =
   "i3cluster --n N [--i3d PATH] [--seed S] [--duration-ms MS] [--triggers K]\n\
-  \          [--loss P] [--jitter MS] [--schedule SPEC] [--dir DIR]\n\
-  \          [--json] [--no-faults] [-v]\n\
+  \          [--loss P] [--jitter MS] [--daemon-loss P] [--daemon-fault-seed N]\n\
+  \          [--schedule SPEC] [--dir DIR] [--json] [--no-faults] [-v]\n\
    i3cluster top [--targets HOST:PORT,...] [--n N] [--interval-ms MS]\n\
   \          [--refresh-ms MS] [--duration-ms MS]"
 
@@ -44,6 +44,8 @@ let duration_ms = ref 12_000.
 let ntriggers = ref 3
 let loss = ref 0.1
 let jitter = ref 2.
+let daemon_loss = ref 0.
+let daemon_fault_seed = ref 0
 let schedule_spec = ref ""
 let out_dir = ref ""
 let json_out = ref false
@@ -67,6 +69,15 @@ let args =
     ( "--jitter",
       Arg.Float (fun f -> jitter := f),
       "injected send jitter in ms (default 2)" );
+    ( "--daemon-loss",
+      Arg.Float (fun f -> daemon_loss := f),
+      "forward i3d --loss: each daemon drops this fraction of its OWN \
+       sends (server->server weather, not just the client edge; default \
+       0: off)" );
+    ( "--daemon-fault-seed",
+      Arg.Set_int daemon_fault_seed,
+      "base seed for the daemons' --fault-seed (member i gets base+i; \
+       default: --seed)" );
     ( "--schedule",
       Arg.Set_string schedule_spec,
       "fault schedule: \"OFF:EVT[:ARG];...\" (default: seeded kill/restart)" );
@@ -87,6 +98,16 @@ let args =
   ]
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+(* Daemon-side faults ride in the spawn argv, so they are cluster
+   config, not schedule events. *)
+let cluster_config () =
+  {
+    Harness.Cluster.default_config with
+    Harness.Cluster.daemon_loss = !daemon_loss;
+    daemon_fault_seed =
+      (if !daemon_fault_seed <> 0 then !daemon_fault_seed else !seed);
+  }
 
 let default_i3d () =
   Filename.concat (Filename.dirname Sys.executable_name) "i3d.exe"
@@ -219,7 +240,7 @@ let run_top () =
       let i3d = if !i3d = "" then default_i3d () else !i3d in
       if not (Sys.file_exists i3d) then die "i3d binary not found at %s" i3d;
       let cluster =
-        Harness.Cluster.create
+        Harness.Cluster.create ~config:(cluster_config ())
           ?dir:(if !out_dir = "" then None else Some !out_dir)
           ~rng:(Rng.of_int !seed) ~i3d ~n:!n ()
       in
@@ -276,7 +297,7 @@ let run_chaos () =
 
   (* The fleet. *)
   let cluster =
-    Harness.Cluster.create ~metrics
+    Harness.Cluster.create ~metrics ~config:(cluster_config ())
       ?dir:(if !out_dir = "" then None else Some !out_dir)
       ~rng:(Rng.split rng) ~i3d ~n:!n ()
   in

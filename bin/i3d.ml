@@ -35,7 +35,8 @@
 
 let usage =
   "i3d --host HOST --port PORT [--join HOST:PORT,...] [--stabilize-ms N] \
-   [--rpc-timeout-ms N] [--metrics-out PATH] [--metrics-flush-ms N]"
+   [--rpc-timeout-ms N] [--metrics-out PATH] [--metrics-flush-ms N] \
+   [--loss P] [--fault-seed N]"
 
 let host = ref "127.0.0.1"
 let port = ref 0
@@ -44,6 +45,8 @@ let stabilize_ms = ref 2_000.
 let rpc_timeout_ms = ref 500.
 let metrics_out = ref ""
 let metrics_flush_ms = ref 0.
+let loss = ref 0.
+let fault_seed = ref 0
 let verbose = ref false
 
 let args =
@@ -68,6 +71,16 @@ let args =
       "also append a marker-delimited snapshot generation to --metrics-out \
        every N ms, so a SIGKILL'd daemon leaves recent samples (default 0: \
        exit dump only)" );
+    ( "--loss",
+      Arg.Set_float loss,
+      "drop this fraction of the daemon's own sends, seeded by \
+       --fault-seed (default 0: faults off).  Unlike the harness-side \
+       Faulty client wrapper, this injects loss inside the daemon, so \
+       server->server Chord RPCs and replica pushes face weather too" );
+    ( "--fault-seed",
+      Arg.Set_int fault_seed,
+      "RNG seed for --loss decisions (default: derived from --port), so \
+       a chaos run replays bit-for-bit" );
     ("-v", Arg.Set verbose, "log effects to stderr");
   ]
 
@@ -133,10 +146,32 @@ let () =
       ~join:join_addrs ~chord_config ~metrics:registry ~tracer ~site:!port ()
   in
   let udp = Transport.Udp.create ~host:!host ~port:!port () in
+  (* Send-side fault injection (ROADMAP item 5's last gap): with --loss
+     the daemon's OWN sends — Chord RPCs, replica pushes, forwarded data
+     — pass through the same seeded Faulty decorator the harness client
+     uses, so the whole mesh faces weather, not just the client edge.
+     Receive stays clean: dropping a datagram on either side of the wire
+     is the same network. *)
+  let faulty =
+    if !loss <= 0. then None
+    else begin
+      let seed = if !fault_seed <> 0 then !fault_seed else !port + 0x5eed in
+      let f =
+        Transport.Faulty.create ~metrics:registry ~rng:(Rng.of_int seed)
+          (Transport.Faulty.of_udp_lower udp)
+      in
+      Transport.Faulty.apply f (Faults.Loss !loss);
+      f |> Option.some
+    end
+  in
+  let raw_send ~dst bytes =
+    match faulty with
+    | Some f -> Transport.Faulty.send f ~dst bytes
+    | None -> Transport.Udp.send udp ~dst bytes
+  in
   let driver =
     Transport.Driver.create ~metrics:registry ~instance:self_name
-      ~send:(fun ~dst bytes -> Transport.Udp.send udp ~dst bytes)
-      engine
+      ~send:raw_send engine
   in
   if !verbose then
     Transport.Driver.on_effects driver
@@ -206,6 +241,7 @@ let () =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
     (* Drain whatever else already arrived, then fire due timers. *)
     Transport.Udp.poll udp ~now:(elapsed_ms ());
+    Option.iter (fun f -> Transport.Faulty.poll f ~now:(elapsed_ms ())) faulty;
     Transport.Driver.tick driver ~now:(elapsed_ms ());
     match flush_period with
     | Some period when elapsed_ms () >= !next_flush ->

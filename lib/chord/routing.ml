@@ -29,6 +29,7 @@ let create oracle ?latency policy =
   { oracle; latency; policy; candidates = Hashtbl.create 1024 }
 
 let oracle t = t.oracle
+let policy t = t.policy
 
 (* Distinct finger node indexes of [node] under classic Chord, self
    excluded. *)
@@ -239,3 +240,32 @@ let path_latency lat path =
   sum 0. path
 
 let candidate_count t node = Array.length (node_candidates t node)
+
+let entry_bytes = 40
+
+(* ceil (log2 n), the digit-table row count a prefix scheme needs to make
+   every key's remaining digits unique among n nodes. *)
+let log2_ceil n =
+  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
+  go 0 1
+
+let state_bytes t node =
+  let cands = Array.length (node_candidates t node) in
+  let entries =
+    match t.policy with
+    (* The candidate set already contains the immediate successor; the
+       predecessor pointer is the +1. *)
+    | Default | Closest_finger_set _ -> 1 + cands
+    (* Each finger additionally carries its [replicas] immediate
+       successors (Sec. V-B's closest finger replica table). *)
+    | Closest_finger_replica { replicas } -> 1 + (cands * (1 + replicas))
+    (* Pastry-style digit table: one row per corrected digit, up to
+       2^b - 1 off-path entries per row, on top of the fallback
+       fingers. *)
+    | Prefix_pns { digit_bits; _ } ->
+        let rows =
+          max 1 ((log2_ceil (Oracle.size t.oracle) + digit_bits - 1) / digit_bits)
+        in
+        1 + cands + (rows * ((1 lsl digit_bits) - 1))
+  in
+  entry_bytes * entries

@@ -48,6 +48,7 @@ val create :
     policy is given without a latency function. *)
 
 val oracle : t -> Oracle.t
+val policy : t -> policy
 
 val next_hop : t -> current:int -> key:Id.t -> int option
 (** One routing step: the ring index the current node forwards toward the
@@ -67,3 +68,16 @@ val path_latency : (int -> int -> float) -> int list -> float
 val candidate_count : t -> int -> int
 (** Number of next-hop candidates the policy keeps at a node
     (observability: lets tests check the equal-state claim). *)
+
+val entry_bytes : int
+(** Modeled footprint of one routing-table slot: a 32-byte id plus a
+    packed network address and a liveness stamp.  Shared with the Koorde
+    substrate so state-bytes comparisons measure table {e shape}, not
+    representation tricks. *)
+
+val state_bytes : t -> int -> int
+(** Modeled routing-state footprint of a node under the policy, in bytes:
+    [entry_bytes] times the number of table slots a real implementation of
+    the policy would keep live (predecessor + fingers, plus per-finger
+    replicas or prefix-table rows for the heuristics).  This is the
+    state axis of the substrate bakeoff. *)

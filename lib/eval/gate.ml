@@ -63,6 +63,53 @@ let compare_json ~baseline ~current checks =
       judge c ~baseline:(value_at baseline c.key) ~current:(value_at current c.key))
     checks
 
+type relation = { lesser : string; greater : string }
+
+let relation ~lesser ~greater =
+  if lesser = greater then invalid_arg "Gate.relation: keys must differ";
+  { lesser; greater }
+
+(* A relation is judged inside ONE file: the current bench run must
+   itself exhibit [lesser < greater].  Reuses [result] so relation
+   verdicts render alongside the baseline diffs: [current] carries the
+   lesser value, [baseline] the greater one. *)
+let check_relations ~current relations =
+  List.map
+    (fun r ->
+      let c =
+        {
+          key = Printf.sprintf "%s < %s" r.lesser r.greater;
+          direction = Lower_better;
+          rel_tol = 0.;
+          abs_tol = 0.;
+        }
+      in
+      let lv = value_at current r.lesser in
+      let gv = value_at current r.greater in
+      match (lv, gv) with
+      | None, _ | _, None ->
+          {
+            check = c;
+            baseline = gv;
+            current = lv;
+            ok = false;
+            note = "relation key missing from current run";
+          }
+      | Some l, Some g ->
+          if l < g then
+            { check = c; baseline = gv; current = lv; ok = true; note = "ok" }
+          else
+            {
+              check = c;
+              baseline = gv;
+              current = lv;
+              ok = false;
+              note =
+                Printf.sprintf "RELATION VIOLATED: %s = %.4g not below %s = %.4g"
+                  r.lesser l r.greater g;
+            })
+    relations
+
 let mode_mismatch ~baseline ~current =
   let mode j =
     match Json.path j "mode" with Some (Json.String s) -> s | _ -> "?"
@@ -135,4 +182,26 @@ let default_checks =
     check "scrape.response_bytes" ~direction:Exact;
     check "scrape.samples" ~direction:Exact;
     check "scrape.drained_events" ~direction:Exact;
+    (* Substrate bakeoff pins: hop means may drift a little with seeds,
+       state bytes are a deterministic function of the membership. *)
+    check "substrate.chord_default.hops_mean" ~direction:Lower_better
+      ~rel_tol:0.25 ~abs_tol:0.5;
+    check "substrate.koorde8.hops_mean" ~direction:Lower_better ~rel_tol:0.25
+      ~abs_tol:0.5;
+    check "substrate.koorde2.hops_mean" ~direction:Lower_better ~rel_tol:0.25
+      ~abs_tol:0.5;
+    check "substrate.koorde8.state_bytes_per_node" ~direction:Exact;
+    check "substrate.koorde2.state_bytes_per_node" ~direction:Exact;
+  ]
+
+(* Koorde's headline claim, checked on every run regardless of baseline:
+   both degrees hold less routing state than classic Chord's finger
+   table.  (The hops-beat-chord half only holds at full scale, so it is
+   pinned by the n = 10^4 test, not by the smoke-tolerant gate.) *)
+let default_relations =
+  [
+    relation ~lesser:"substrate.koorde8.state_bytes_per_node"
+      ~greater:"substrate.chord_default.state_bytes_per_node";
+    relation ~lesser:"substrate.koorde2.state_bytes_per_node"
+      ~greater:"substrate.chord_default.state_bytes_per_node";
   ]

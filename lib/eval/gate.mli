@@ -37,6 +37,19 @@ type result = {
 
 val compare_json : baseline:Json.t -> current:Json.t -> check list -> result list
 
+type relation = { lesser : string; greater : string }
+(** A cross-key invariant judged within one file: the value at [lesser]
+    must be strictly below the value at [greater]. *)
+
+val relation : lesser:string -> greater:string -> relation
+(** @raise Invalid_argument when the two keys are equal. *)
+
+val check_relations : current:Json.t -> relation list -> result list
+(** Judge relations against the current bench run alone (no baseline
+    needed: the invariant must hold in every run).  Results render with
+    the synthetic key ["lesser < greater"], the lesser value in
+    [current] and the greater in [baseline].  A missing key fails. *)
+
 val mode_mismatch : baseline:Json.t -> current:Json.t -> (string * string) option
 (** The two files' top-level ["mode"] fields when they differ — comparing
     a smoke run against a full baseline is meaningless and should fail
@@ -50,4 +63,9 @@ val render : ?out:out_channel -> result list -> unit
 
 val default_checks : check list
 (** Deterministic metrics only: delivery ratio, routing-hop percentiles,
-    orphan count, span-latency percentiles, health verdict counts. *)
+    orphan count, span-latency percentiles, health verdict counts, and
+    the substrate bakeoff's hop/state pins. *)
+
+val default_relations : relation list
+(** Koorde's O(1)-state claim: both bakeoff degrees hold strictly less
+    routing state per node than classic Chord. *)

@@ -30,7 +30,7 @@ let stretch_buckets =
     (Obs.Metrics.linear_buckets ~start:1. ~width:0.1 ~count:31)
     (Obs.Metrics.linear_buckets ~start:4.5 ~width:0.5 ~count:12)
 
-let run ?(progress = fun _ -> ()) ?metrics p =
+let run ?(progress = fun _ -> ()) ?metrics ?substrate p =
   let rng = Rng.of_int p.seed in
   progress
     (Printf.sprintf "building %s topology (%d nodes)..."
@@ -42,6 +42,19 @@ let run ?(progress = fun _ -> ()) ?metrics p =
     Topology.Model.place_servers (Rng.split rng) model ~count:p.n_servers
   in
   let dist = Topology.Model.oracle model in
+  let ring_latency i j =
+    if sites.(i) = sites.(j) then 0.
+    else Topology.Dijkstra.distance dist sites.(i) sites.(j)
+  in
+  let router =
+    Option.map
+      (fun spec ->
+        progress
+          (Printf.sprintf "substrate-routed first packet via %s"
+             (Koorde.Substrate.label spec));
+        Koorde.Substrate.create ~latency:ring_latency oracle spec)
+      substrate
+  in
   let max_samples = List.fold_left max 1 p.sample_counts in
   progress
     (Printf.sprintf "measuring %d sender/receiver pairs x %d samples..."
@@ -58,8 +71,17 @@ let run ?(progress = fun _ -> ()) ?metrics p =
       incr measured;
       let from_receiver = Topology.Dijkstra.distances_from dist receiver in
       let from_sender = Topology.Dijkstra.distances_from dist sender in
+      (* In substrate-routed mode the sender's first packet enters the
+         overlay at a random gateway server and is routed hop by hop to
+         the trigger's server, as before the sender learns the server's
+         address (Sec. IV-E). *)
+      let gateway =
+        match router with Some _ -> Rng.int rng p.n_servers | None -> 0
+      in
       (* Nested sampling: the best server among the first s draws. *)
       let best_site = ref (-1) in
+      let best_idx = ref (-1) in
+      let best_key = ref Id.zero in
       let best_d = ref infinity in
       let drawn = ref 0 in
       Array.iteri
@@ -67,14 +89,29 @@ let run ?(progress = fun _ -> ()) ?metrics p =
           while !drawn < target do
             incr drawn;
             let id = Id.random rng in
-            let server_site = sites.(Chord.Oracle.responsible oracle id) in
+            let idx = Chord.Oracle.responsible oracle id in
+            let server_site = sites.(idx) in
             if from_receiver.(server_site) < !best_d then begin
               best_d := from_receiver.(server_site);
-              best_site := server_site
+              best_site := server_site;
+              best_idx := idx;
+              best_key := Id.routing_key id
             end
           done;
           let s = !best_site in
-          let stretch = (from_sender.(s) +. from_receiver.(s)) /. direct in
+          let stretch =
+            match router with
+            | None -> (from_sender.(s) +. from_receiver.(s)) /. direct
+            | Some sub ->
+                let path =
+                  Koorde.Substrate.route sub ~start:gateway ~key:!best_key
+                in
+                assert (List.rev path |> List.hd = !best_idx);
+                (from_sender.(sites.(gateway))
+                +. Chord.Routing.path_latency ring_latency path
+                +. from_receiver.(s))
+                /. direct
+          in
           (match metrics with
           | Some reg ->
               let h =

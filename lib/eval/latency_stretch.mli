@@ -30,13 +30,25 @@ type point = {
   mean : float;
 }
 
-val run : ?progress:(string -> unit) -> ?metrics:Obs.Metrics.t -> params -> point list
+val run :
+  ?progress:(string -> unit) ->
+  ?metrics:Obs.Metrics.t ->
+  ?substrate:Koorde.Substrate.spec ->
+  params ->
+  point list
 (** Sampling is nested (the 32-sample choice refines the 16-sample one on
     the same draw), matching how a real host would accumulate a pool of
     sampled identifiers.  With [metrics], every individual stretch is also
     observed into the [eval.stretch] histogram (labels [topology] and
     [samples]), so registry consumers see the full distribution, not just
-    the three summary points. *)
+    the three summary points.
+
+    Without [substrate], the measured path is the paper's steady-state
+    one-overlay-hop path (sender -> trigger server -> receiver: the sender
+    has cached the server's address).  With [substrate], it is instead the
+    {e first-packet} path routed through that substrate: the sender enters
+    the overlay at a random gateway server and the packet is forwarded hop
+    by hop to the trigger's server before reaching the receiver. *)
 
 val header : string list
 (** Column names shared by {!rows} and the CLI sinks. *)

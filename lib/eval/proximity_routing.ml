@@ -34,6 +34,74 @@ let policies_for ~replicas ~n_servers:_ =
     Chord.Routing.Prefix_pns { digit_bits = 4; scan = 16 };
   ]
 
+type spoint = {
+  sn_servers : int;
+  spec : Koorde.Substrate.spec;
+  sp90 : float;
+  sp50 : float;
+  smean_hops : float;
+}
+
+(* Same experiment as [run], but raced over arbitrary substrates: used by
+   the fig9 --substrate flag.  Topology, membership, placement and the
+   query set are seeded identically per server count, so points are a
+   paired comparison. *)
+let run_substrates ?(progress = fun _ -> ()) p ~specs =
+  let rng = Rng.of_int p.seed in
+  progress
+    (Printf.sprintf "building %s topology (%d nodes)..."
+       (Topology.Model.kind_to_string p.kind)
+       p.topo_nodes);
+  let model = Topology.Model.build (Rng.split rng) p.kind ~n:p.topo_nodes in
+  let dist = Topology.Model.oracle model in
+  let points = ref [] in
+  List.iter
+    (fun n_servers ->
+      let oracle = Chord.Oracle.random (Rng.split rng) ~n:n_servers in
+      let sites =
+        Topology.Model.place_servers (Rng.split rng) model ~count:n_servers
+      in
+      let ring_latency i j =
+        if sites.(i) = sites.(j) then 0.
+        else Topology.Dijkstra.distance dist sites.(i) sites.(j)
+      in
+      let queries =
+        Array.init p.queries (fun _ -> (Rng.int rng n_servers, Id.random rng))
+      in
+      List.iter
+        (fun spec ->
+          progress
+            (Printf.sprintf "N=%d substrate=%s: %d queries..." n_servers
+               (Koorde.Substrate.label spec)
+               p.queries);
+          let sub = Koorde.Substrate.create ~latency:ring_latency oracle spec in
+          let stretches = ref [] in
+          let hops = ref [] in
+          Array.iter
+            (fun (start, key) ->
+              let target = Chord.Oracle.successor_index oracle key in
+              let direct = ring_latency start target in
+              if direct > 0. then begin
+                let path = Koorde.Substrate.route sub ~start ~key in
+                let overlay = Chord.Routing.path_latency ring_latency path in
+                stretches := (overlay /. direct) :: !stretches;
+                hops := float_of_int (List.length path - 1) :: !hops
+              end)
+            queries;
+          let xs = Array.of_list !stretches in
+          points :=
+            {
+              sn_servers = n_servers;
+              spec;
+              sp90 = Stats.percentile 90. xs;
+              sp50 = Stats.percentile 50. xs;
+              smean_hops = Stats.mean (Array.of_list !hops);
+            }
+            :: !points)
+        specs)
+    p.server_counts;
+  List.rev !points
+
 let run ?(progress = fun _ -> ()) p =
   let rng = Rng.of_int p.seed in
   progress

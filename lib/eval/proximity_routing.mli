@@ -34,3 +34,20 @@ val policies_for : replicas:int -> n_servers:int -> Chord.Routing.policy list
     gamma = r+1 — the paper's equal-state comparison. *)
 
 val run : ?progress:(string -> unit) -> params -> point list
+
+type spoint = {
+  sn_servers : int;
+  spec : Koorde.Substrate.spec;
+  sp90 : float;
+  sp50 : float;
+  smean_hops : float;
+}
+
+val run_substrates :
+  ?progress:(string -> unit) ->
+  params ->
+  specs:Koorde.Substrate.spec list ->
+  spoint list
+(** The same paired experiment raced over arbitrary substrates (the fig9
+    [--substrate] flag): [replicas] is ignored, the substrate list decides
+    what runs. *)

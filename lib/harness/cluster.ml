@@ -61,6 +61,13 @@ type config = {
   rpc_timeout_ms : float;  (* daemons' Chord RPC timeout *)
   metrics_flush_ms : float;
       (* daemons' periodic metrics-flush interval (0 = exit dump only) *)
+  daemon_loss : float;
+      (* forwarded as i3d --loss: each daemon drops this fraction of its
+         own sends (0 = off), so faults land inside the mesh, not just
+         at the client edge *)
+  daemon_fault_seed : int;
+      (* base seed for the daemons' --fault-seed; member i gets base+i,
+         so a whole-cluster chaos run replays from one number *)
 }
 
 let default_config =
@@ -77,6 +84,8 @@ let default_config =
     (* Chaos kills with SIGKILL; a 1 s flush bounds how stale a dead
        member's last metrics generation can be. *)
     metrics_flush_ms = 1_000.;
+    daemon_loss = 0.;
+    daemon_fault_seed = 1;
   }
 
 type t = {
@@ -250,6 +259,14 @@ let spawn t i =
        ]
       @ (if t.cfg.metrics_flush_ms > 0. then
            [ "--metrics-flush-ms"; Printf.sprintf "%g" t.cfg.metrics_flush_ms ]
+         else [])
+      @ (if t.cfg.daemon_loss > 0. then
+           [
+             "--loss";
+             Printf.sprintf "%g" t.cfg.daemon_loss;
+             "--fault-seed";
+             string_of_int (t.cfg.daemon_fault_seed + i);
+           ]
          else [])
       @ if join = "" then [] else [ "--join"; join ])
   in

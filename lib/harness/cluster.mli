@@ -53,6 +53,16 @@ type config = {
           each daemon appends a marker-delimited snapshot generation to
           its metrics file, so even a SIGKILL'd member leaves recent
           samples (default 1000; 0 disables — exit dump only) *)
+  daemon_loss : float;
+      (** forwarded as [i3d --loss]: each daemon drops this fraction of
+          its {e own} sends through a seeded {!Transport.Faulty}
+          decorator (default 0 — off).  This puts network weather inside
+          the mesh — server->server Chord RPCs and replica pushes — not
+          just at the harness's client edge *)
+  daemon_fault_seed : int;
+      (** base seed for the daemons' [--fault-seed]; member [i] is
+          spawned with [base + i], so a whole cluster's loss decisions
+          replay from one number (default 1) *)
 }
 
 val default_config : config

@@ -2,7 +2,7 @@
    own index cell, so one [reconverge] updates every view at once. *)
 type ring_state = {
   mutable oracle : Chord.Oracle.t;
-  mutable routing : Chord.Routing.t;
+  mutable routing : Koorde.Substrate.t;
   mutable addrs : int array; (* ring index -> endpoint address *)
 }
 
@@ -14,7 +14,7 @@ type t = {
   rng : Rng.t;
   model : Topology.Model.t option;
   latency : int -> int -> float;
-  policy : Chord.Routing.policy;
+  substrate : Koorde.Substrate.spec;
   server_config : Server.config option;
   metrics : Obs.Metrics.t;
   tracer : Obs.Trace.t;
@@ -24,11 +24,9 @@ type t = {
   mutable all_servers : Server.t array; (* creation order, incl. dead ones *)
 }
 
-let make_routing ~policy ~oracle ~latency ~(ring_sites : int array) =
+let make_routing ~substrate ~oracle ~latency ~(ring_sites : int array) =
   let ring_latency i j = latency ring_sites.(i) ring_sites.(j) in
-  match policy with
-  | Chord.Routing.Default -> Chord.Routing.create oracle policy
-  | _ -> Chord.Routing.create oracle ~latency:ring_latency policy
+  Koorde.Substrate.create ~latency:ring_latency oracle substrate
 
 let view_for state index =
   {
@@ -37,7 +35,7 @@ let view_for state index =
     next_hop =
       (fun id ->
         match
-          Chord.Routing.next_hop state.routing ~current:!index
+          Koorde.Substrate.next_hop state.routing ~current:!index
             ~key:(Id.routing_key id)
         with
         | Some n -> Some state.addrs.(n)
@@ -53,10 +51,15 @@ let view_for state index =
   }
 
 let create ?(seed = 1) ?model ?(uniform_latency_ms = 5.)
-    ?(policy = Chord.Routing.Default) ?server_config
+    ?(policy = Chord.Routing.Default) ?substrate ?server_config
     ?(metrics = Obs.Metrics.default) ?(tracer = Obs.Trace.disabled)
     ?(spans = Obs.Span.disabled) ?(wire_roundtrip = true) ~n_servers () =
   if n_servers <= 0 then invalid_arg "Deployment.create: need servers";
+  let substrate =
+    match substrate with
+    | Some s -> s
+    | None -> Koorde.Substrate.Chord policy
+  in
   let rng = Rng.of_int seed in
   let engine = Sim.Engine.create () in
   let latency =
@@ -73,7 +76,7 @@ let create ?(seed = 1) ?model ?(uniform_latency_ms = 5.)
     | Some m -> Topology.Model.place_servers (Rng.split rng) m ~count:n_servers
     | None -> Array.make n_servers 0
   in
-  let routing = make_routing ~policy ~oracle ~latency ~ring_sites:sites in
+  let routing = make_routing ~substrate ~oracle ~latency ~ring_sites:sites in
   let state = { oracle; routing; addrs = Array.make n_servers (-1) } in
   let ring =
     Array.init n_servers (fun i ->
@@ -93,7 +96,7 @@ let create ?(seed = 1) ?model ?(uniform_latency_ms = 5.)
     rng;
     model;
     latency;
-    policy;
+    substrate;
     server_config;
     metrics;
     tracer;
@@ -113,6 +116,7 @@ let run_for t d = Sim.Engine.run_for t.engine d
 
 let oracle t = t.state.oracle
 let routing t = t.state.routing
+let substrate t = t.substrate
 let servers t = t.all_servers
 let server t i = t.ring.(i).server
 let ring_size t = Array.length t.ring
@@ -135,7 +139,7 @@ let reconverge t members =
     Array.map (fun m -> Net.site t.net (Server.addr m.server)) members
   in
   let routing =
-    make_routing ~policy:t.policy ~oracle ~latency:t.latency ~ring_sites
+    make_routing ~substrate:t.substrate ~oracle ~latency:t.latency ~ring_sites
   in
   t.state.oracle <- oracle;
   t.state.routing <- routing;

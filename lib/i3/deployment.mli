@@ -14,6 +14,7 @@ val create :
   ?model:Topology.Model.t ->
   ?uniform_latency_ms:float ->
   ?policy:Chord.Routing.policy ->
+  ?substrate:Koorde.Substrate.spec ->
   ?server_config:Server.config ->
   ?metrics:Obs.Metrics.t ->
   ?tracer:Obs.Trace.t ->
@@ -35,7 +36,12 @@ val create :
     [wire_roundtrip] (default [true]) passes every simulated hop through
     {!Codec} encode→decode ({!Codec.harden}), so the whole suite
     exercises the real wire format; codec failures surface as ["codec"]
-    drops and in [wire.decode_errors]. *)
+    drops and in [wire.decode_errors].
+
+    [substrate] selects the lookup substrate the ring routes over
+    ({!Koorde.Substrate.spec}); when omitted it defaults to
+    [Chord policy], so the historical [?policy] parameter keeps
+    working.  When both are given, [substrate] wins. *)
 
 val engine : t -> Sim.Engine.t
 val net : t -> Message.t Net.t
@@ -52,7 +58,11 @@ val run_for : t -> float -> unit
 val oracle : t -> Chord.Oracle.t
 (** Current ring membership (replaced by {!fail_server}). *)
 
-val routing : t -> Chord.Routing.t
+val routing : t -> Koorde.Substrate.t
+(** The live substrate router (rebuilt by {!fail_server} /
+    {!add_server}). *)
+
+val substrate : t -> Koorde.Substrate.spec
 
 val servers : t -> Server.t array
 (** All servers ever created, in creation order (dead ones included). *)

@@ -16,6 +16,12 @@ type t = {
   metrics : Obs.Metrics.t;
   tracer : Obs.Trace.t;
   spans : Obs.Span.t;
+  substrate : Koorde.Substrate.spec option;
+  (* Membership epoch: bumped on join/kill/restart so the Koorde router
+     below rebuilds its oracle lazily instead of on every packet. *)
+  mutable generation : int;
+  mutable koorde_cache :
+    (int * Koorde.Routing.t * Packet.addr option array) option;
 }
 
 let fast_protocol_config =
@@ -30,7 +36,7 @@ let fast_protocol_config =
 let create ?(seed = 1) ?(uniform_latency_ms = 5.) ?server_config
     ?(protocol_config = fast_protocol_config)
     ?(metrics = Obs.Metrics.default) ?(tracer = Obs.Trace.disabled)
-    ?(spans = Obs.Span.disabled) ?(wire_roundtrip = true) () =
+    ?(spans = Obs.Span.disabled) ?(wire_roundtrip = true) ?substrate () =
   let rng = Rng.of_int seed in
   let engine = Sim.Engine.create () in
   let latency a b = if a = b then 0. else uniform_latency_ms in
@@ -54,6 +60,9 @@ let create ?(seed = 1) ?(uniform_latency_ms = 5.) ?server_config
     metrics;
     tracer;
     spans;
+    substrate;
+    generation = 0;
+    koorde_cache = None;
   }
 
 let engine t = t.engine
@@ -67,15 +76,70 @@ let now t = Sim.Engine.now t.engine
 let data_addr_of t (peer : Chord.Protocol.peer) =
   Hashtbl.find_opt t.directory (Id.to_raw_string peer.Chord.Protocol.id)
 
+let bump_generation t = t.generation <- t.generation + 1
+
+(* The Koorde router over the current live membership, rebuilt only when
+   the membership epoch moved.  During convergence its view (like any
+   node's) may briefly disagree with protocol-level ownership; packets
+   then take an extra hop or are dropped and repaired by soft state,
+   exactly as with stale Chord fingers. *)
+let koorde_router t ~degree =
+  match t.koorde_cache with
+  | Some (g, r, addrs) when g = t.generation -> Some (r, addrs)
+  | _ -> (
+      let live =
+        List.filter
+          (fun m ->
+            Server.is_alive m.server && Chord.Protocol.is_alive m.node)
+          t.members
+      in
+      match live with
+      | [] -> None
+      | _ ->
+          let oracle =
+            Chord.Oracle.create
+              (Array.of_list (List.map (fun m -> Server.id m.server) live))
+          in
+          let addrs =
+            Array.init (Chord.Oracle.size oracle) (fun i ->
+                Hashtbl.find_opt t.directory
+                  (Id.to_raw_string (Chord.Oracle.id oracle i)))
+          in
+          let r = Koorde.Routing.create ~degree oracle in
+          t.koorde_cache <- Some (t.generation, r, addrs);
+          Some (r, addrs))
+
+let protocol_next_hop t node key =
+  match Chord.Protocol.local_next_hop node key with
+  | Some peer -> data_addr_of t peer
+  | None -> None
+
+let substrate_next_hop t node key =
+  match t.substrate with
+  | Some (Koorde.Substrate.Koorde { degree }) -> (
+      match koorde_router t ~degree with
+      | Some (r, addrs) -> (
+          match
+            Chord.Oracle.index_of (Koorde.Routing.oracle r)
+              (Chord.Protocol.node_id node)
+          with
+          | Some current -> (
+              match Koorde.Routing.next_hop r ~current ~key with
+              | Some n -> addrs.(n)
+              | None -> None)
+          (* This node isn't in the live snapshot (e.g. mid-restart):
+             fall back to its own protocol view. *)
+          | None -> protocol_next_hop t node key)
+      | None -> protocol_next_hop t node key)
+  (* Chord specs: the live protocol's own fingers already are the
+     substrate. *)
+  | Some (Koorde.Substrate.Chord _) | None -> protocol_next_hop t node key
+
 let view_for t node =
   {
     Server.owns =
       (fun id -> Chord.Protocol.owns node (Id.routing_key id));
-    next_hop =
-      (fun id ->
-        match Chord.Protocol.local_next_hop node (Id.routing_key id) with
-        | Some peer -> data_addr_of t peer
-        | None -> None);
+    next_hop = (fun id -> substrate_next_hop t node (Id.routing_key id));
     successor_addr =
       (fun () ->
         Option.bind (Chord.Protocol.successor node) (data_addr_of t));
@@ -101,6 +165,7 @@ let add_server t ?(site = 0) () =
     (Id.to_raw_string (Chord.Protocol.node_id node))
     (Server.addr server);
   t.members <- { node; server } :: t.members;
+  bump_generation t;
   server
 
 let member_of t server =
@@ -111,7 +176,8 @@ let kill_server t server =
   | Some m ->
       Server.kill m.server;
       Chord.Protocol.kill m.node;
-      Hashtbl.remove t.directory (Id.to_raw_string (Server.id m.server))
+      Hashtbl.remove t.directory (Id.to_raw_string (Server.id m.server));
+      bump_generation t
   | None -> invalid_arg "Dynamic.kill_server: unknown server"
 
 let restart_server t server =
@@ -130,7 +196,8 @@ let restart_server t server =
       Chord.Protocol.restart ?via m.node;
       Hashtbl.replace t.directory
         (Id.to_raw_string (Server.id m.server))
-        (Server.addr m.server)
+        (Server.addr m.server);
+      bump_generation t
   | None -> invalid_arg "Dynamic.restart_server: unknown server"
 
 let live_members t =

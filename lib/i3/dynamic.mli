@@ -30,6 +30,7 @@ val create :
   ?tracer:Obs.Trace.t ->
   ?spans:Obs.Span.t ->
   ?wire_roundtrip:bool ->
+  ?substrate:Koorde.Substrate.spec ->
   unit ->
   t
 (** An empty deployment. The default protocol config is sped up
@@ -44,7 +45,16 @@ val create :
     [wire_roundtrip] (default [true]) byte-roundtrips {e both} planes —
     data hops through {!Codec}, Chord RPCs through [Chord.Codec] — so
     every chaos scenario doubles as a codec test; failures surface as
-    ["codec"] drops and in [wire.decode_errors]. *)
+    ["codec"] drops and in [wire.decode_errors].
+
+    [substrate] selects the data-plane forwarding substrate.  With
+    [Koorde {degree}], servers forward along de Bruijn hops computed over
+    a lazily rebuilt snapshot of the live membership (refreshed on every
+    join/kill/restart); ownership — and therefore trigger placement and
+    the conservation invariants — stays with the live Chord protocol's
+    successor rule, which the Koorde ring agrees with whenever the
+    membership view is converged.  [Chord _] or omitting the parameter
+    keeps the protocol's own finger-based forwarding. *)
 
 val engine : t -> Sim.Engine.t
 

@@ -127,11 +127,61 @@ let antipode t = add_pow2 t (bits - 1)
 
 let distance_cw a b = sub b a
 
+let shift_left t n =
+  if n < 0 then invalid_arg "Id.shift_left: negative shift";
+  if n = 0 then t
+  else if n >= bits then zero
+  else begin
+    let byte_shift = n / 8 and bit_shift = n mod 8 in
+    let out = Bytes.make byte_length '\x00' in
+    for i = 0 to byte_length - 1 - byte_shift do
+      let src = i + byte_shift in
+      let hi = Char.code t.[src] lsl bit_shift in
+      let lo =
+        if bit_shift > 0 && src + 1 < byte_length then
+          Char.code t.[src + 1] lsr (8 - bit_shift)
+        else 0
+      in
+      Bytes.set out i (Char.unsafe_chr ((hi lor lo) land 0xff))
+    done;
+    Bytes.to_string out
+  end
+
+let shift_right t n =
+  if n < 0 then invalid_arg "Id.shift_right: negative shift";
+  if n = 0 then t
+  else if n >= bits then zero
+  else begin
+    let byte_shift = n / 8 and bit_shift = n mod 8 in
+    let out = Bytes.make byte_length '\x00' in
+    for i = byte_length - 1 downto byte_shift do
+      let src = i - byte_shift in
+      let lo = Char.code t.[src] lsr bit_shift in
+      let hi =
+        if bit_shift > 0 && src - 1 >= 0 then
+          Char.code t.[src - 1] lsl (8 - bit_shift)
+        else 0
+      in
+      Bytes.set out i (Char.unsafe_chr ((hi lor lo) land 0xff))
+    done;
+    Bytes.to_string out
+  end
+
 (* --- bit and prefix operations --- *)
 
 let test_bit t i =
   if i < 0 || i >= bits then invalid_arg "Id.test_bit: index out of range";
   Char.code t.[i / 8] land (0x80 lsr (i mod 8)) <> 0
+
+let extract_bits t ~pos ~len =
+  if len < 0 || len > 30 then invalid_arg "Id.extract_bits: len out of range";
+  if pos < 0 || pos + len > bits then
+    invalid_arg "Id.extract_bits: window out of range";
+  let acc = ref 0 in
+  for i = pos to pos + len - 1 do
+    acc := (!acc lsl 1) lor (if test_bit t i then 1 else 0)
+  done;
+  !acc
 
 let common_prefix_len a b =
   let rec find_byte i =

@@ -84,11 +84,27 @@ val antipode : t -> t
 val distance_cw : t -> t -> t
 (** Clockwise distance from [a] to [b] on the circle: [b - a mod 2{^256}]. *)
 
+val shift_left : t -> int -> t
+(** [shift_left id n] is [id * 2{^n} mod 2{^256}]: the de Bruijn
+    shift-and-append step of Koorde routing multiplies the current
+    imaginary identifier by the graph degree (Kaashoek & Karger,
+    IPTPS 2003). [n >= 256] yields {!zero}. *)
+
+val shift_right : t -> int -> t
+(** [shift_right id n] is [id / 2{^n}] (logical shift; high bits are
+    zero-filled). [n >= 256] yields {!zero}. *)
+
 (** {1 Bit and prefix operations} *)
 
 val test_bit : t -> int -> bool
 (** [test_bit id i] reads bit [i] counting from the most significant
     (bit 0). *)
+
+val extract_bits : t -> pos:int -> len:int -> int
+(** [extract_bits id ~pos ~len] reads the [len]-bit window starting at bit
+    [pos] (counting from the most significant, as {!test_bit}) as an
+    integer: the next base-2{^b} digit a Koorde hop appends. [len] in
+    \[0, 30\]. *)
 
 val common_prefix_len : t -> t -> int
 (** Number of identical leading bits, in \[0, 256\]. *)

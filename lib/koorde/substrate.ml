@@ -1,0 +1,93 @@
+module type S = sig
+  type t
+
+  val oracle : t -> Chord.Oracle.t
+  val next_hop : t -> current:int -> key:Id.t -> int option
+  val route : t -> start:int -> key:Id.t -> int list
+  val candidate_count : t -> int -> int
+  val state_bytes : t -> int -> int
+end
+
+module Chord_routing : S with type t = Chord.Routing.t = struct
+  type t = Chord.Routing.t
+
+  let oracle = Chord.Routing.oracle
+  let next_hop = Chord.Routing.next_hop
+  let route = Chord.Routing.route
+  let candidate_count = Chord.Routing.candidate_count
+  let state_bytes = Chord.Routing.state_bytes
+end
+
+module Koorde_routing : S with type t = Routing.t = struct
+  type t = Routing.t
+
+  let oracle = Routing.oracle
+  let next_hop = Routing.next_hop
+  let route = Routing.route
+  let candidate_count = Routing.candidate_count
+  let state_bytes = Routing.state_bytes
+end
+
+type spec = Chord of Chord.Routing.policy | Koorde of { degree : int }
+
+let slug = function
+  | Chord Chord.Routing.Default -> "chord_default"
+  | Chord (Chord.Routing.Closest_finger_replica _) -> "chord_replica"
+  | Chord (Chord.Routing.Closest_finger_set _) -> "chord_finger_set"
+  | Chord (Chord.Routing.Prefix_pns _) -> "chord_pns"
+  | Koorde { degree } -> Printf.sprintf "koorde%d" degree
+
+let pp_spec ppf = function
+  | Chord p -> Format.fprintf ppf "chord:%a" Chord.Routing.pp_policy p
+  | Koorde { degree } -> Format.fprintf ppf "koorde(k=%d)" degree
+
+let label spec = Format.asprintf "%a" pp_spec spec
+
+let of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  match s with
+  | "chord" | "chord-default" | "default" -> Some (Chord Chord.Routing.Default)
+  | "chord-replica" | "closest-finger-replica" | "cfr" ->
+      Some (Chord (Chord.Routing.Closest_finger_replica { replicas = 10 }))
+  | "chord-finger-set" | "closest-finger-set" | "cfs" ->
+      Some (Chord (Chord.Routing.Closest_finger_set { gamma = 11 }))
+  | "chord-pns" | "prefix-pns" | "pns" ->
+      Some (Chord (Chord.Routing.Prefix_pns { digit_bits = 4; scan = 16 }))
+  | "koorde" -> Some (Koorde { degree = 8 })
+  | _ ->
+      if String.length s > 6 && String.sub s 0 6 = "koorde" then
+        match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+        | Some d when d >= 2 -> Some (Koorde { degree = d })
+        | _ -> None
+      else None
+
+(* The bakeoff lineup: classic Chord, its two strongest proximity
+   heuristics, and Koorde at both ends of the degree knob. *)
+let bakeoff_specs =
+  [
+    Chord Chord.Routing.Default;
+    Chord (Chord.Routing.Closest_finger_replica { replicas = 10 });
+    Chord (Chord.Routing.Prefix_pns { digit_bits = 4; scan = 16 });
+    Koorde { degree = 2 };
+    Koorde { degree = 8 };
+  ]
+
+type t = Packed : (module S with type t = 'a) * 'a * spec -> t
+
+let create ?latency oracle spec =
+  match spec with
+  | Chord policy ->
+      Packed
+        ( (module Chord_routing),
+          Chord.Routing.create oracle ?latency policy,
+          spec )
+  | Koorde { degree } ->
+      Packed ((module Koorde_routing), Routing.create ~degree oracle, spec)
+
+let spec (Packed (_, _, s)) = s
+let name t = label (spec t)
+let oracle (Packed ((module M), r, _)) = M.oracle r
+let next_hop (Packed ((module M), r, _)) ~current ~key = M.next_hop r ~current ~key
+let route (Packed ((module M), r, _)) ~start ~key = M.route r ~start ~key
+let candidate_count (Packed ((module M), r, _)) node = M.candidate_count r node
+let state_bytes (Packed ((module M), r, _)) node = M.state_bytes r node

@@ -222,7 +222,11 @@ let test_gate_default_checks_on_real_shape () =
          "engine":{"loopback_events":811,"loopback_effects":411,
                    "loopback_delivers":1,"ring_formed":1},
          "scrape":{"wire_decode_errors":0,"response_bytes":6854,
-                   "samples":28,"drained_events":256}}|}
+                   "samples":28,"drained_events":256},
+         "substrate":{
+           "chord_default":{"hops_mean":5.5,"state_bytes_per_node":534.1},
+           "koorde8":{"hops_mean":5.2,"state_bytes_per_node":427.5},
+           "koorde2":{"hops_mean":12.2,"state_bytes_per_node":199.1}}}|}
   in
   let results =
     Eval.Gate.compare_json ~baseline:full ~current:full Eval.Gate.default_checks
@@ -235,6 +239,28 @@ let test_gate_default_checks_on_real_shape () =
         true
         (r.Eval.Gate.baseline <> None && r.Eval.Gate.current <> None))
     results
+
+(* The relation API judges cross-key invariants within the current run
+   alone (no baseline): lesser < greater passes, anything else —
+   including a missing key — fails. *)
+let test_gate_relations () =
+  let current =
+    Json.of_string {|{"substrate":{"a":{"state":100.0},"b":{"state":200.0}}}|}
+  in
+  let judge ~lesser ~greater =
+    Eval.Gate.passed
+      (Eval.Gate.check_relations ~current [ Eval.Gate.relation ~lesser ~greater ])
+  in
+  Alcotest.(check bool) "a < b holds" true
+    (judge ~lesser:"substrate.a.state" ~greater:"substrate.b.state");
+  Alcotest.(check bool) "b < a violated" false
+    (judge ~lesser:"substrate.b.state" ~greater:"substrate.a.state");
+  Alcotest.(check bool) "missing key fails" false
+    (judge ~lesser:"substrate.c.state" ~greater:"substrate.b.state");
+  Alcotest.(check bool) "equal keys rejected" true
+    (match Eval.Gate.relation ~lesser:"x" ~greater:"x" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
 
 let () =
   Alcotest.run "gate"
@@ -263,5 +289,6 @@ let () =
           Alcotest.test_case "mode mismatch" `Quick test_gate_mode_mismatch;
           Alcotest.test_case "default checks resolve on real shape" `Quick
             test_gate_default_checks_on_real_shape;
+          Alcotest.test_case "cross-key relations" `Quick test_gate_relations;
         ] );
     ]
