@@ -21,6 +21,11 @@
    the paper's full scale (5000-node topologies, 2^14..2^15 servers, 1000
    measurements). *)
 
+(* The raw ns clock ([bechamel.monotonic_clock]'s top-level unit) must be
+   aliased before [open Toolkit] shadows the name with the MEASURE module
+   of the same name. *)
+module Mclock = Monotonic_clock
+
 open Bechamel
 open Toolkit
 
@@ -90,7 +95,7 @@ let micro_tests () =
 let section_micro () =
   print_endline "=== microbenchmarks (Bechamel, time per op) ===";
   print_endline
-    "paper expectations: insertion ~constant (hash table); forwarding cost";
+    "paper expectations: insertion ~constant (Patricia trie); forwarding cost";
   print_endline
     "grows ~linearly with payload (Fig. 10); routing cost grows ~linearly";
   print_endline "with the number of known nodes (Fig. 11, linear finger list).";
@@ -305,6 +310,59 @@ let trigger_table_rates () =
   in
   (insert_rate, match_rate)
 
+(* Per-probe match latency with a large resident set: the tentpole claim
+   is flat p99 at 10^6 triggers (ROADMAP item 3), so each [find_matches]
+   is timed individually with the ns monotonic clock and the tail is
+   reported — a throughput mean would hide exactly the latency spikes a
+   wholesale-scan structure produces.  Smoke mode shrinks the resident
+   set but keeps the same JSON keys; the [mode] field at the top of
+   BENCH_i3.json says which scale produced the numbers. *)
+let section_trigger_table () =
+  print_endline "=== trigger table: Patricia trie hot path ===";
+  let insert_rate, match_rate = trigger_table_rates () in
+  let resident = if smoke then 50_000 else 1_000_000 in
+  let probes = if smoke then 20_000 else 100_000 in
+  let rng = Rng.of_int 23 in
+  let tbl = I3.Trigger_table.create () in
+  let ids = Array.init resident (fun _ -> Id.random rng) in
+  Array.iteri
+    (fun i id ->
+      I3.Trigger_table.insert tbl ~now:0. ~expires:1e12
+        (I3.Trigger.to_host ~id ~owner:(i land 0xffff)))
+    ids;
+  (* Warm the path once, then probe resident ids in a large-stride walk
+     so consecutive probes do not share a trie path. *)
+  ignore (I3.Trigger_table.find_matches tbl ~now:1. ids.(0));
+  let lat = Array.make probes 0 in
+  for i = 0 to probes - 1 do
+    let id = ids.(i * 7919 mod resident) in
+    let t0 = Mclock.now () in
+    ignore (I3.Trigger_table.find_matches tbl ~now:1. id);
+    let t1 = Mclock.now () in
+    lat.(i) <- Int64.to_int (Int64.sub t1 t0)
+  done;
+  Array.sort compare lat;
+  let pct p =
+    lat.(min (probes - 1) (int_of_float (p *. float_of_int probes)))
+  in
+  let p50 = pct 0.5 and p99 = pct 0.99 in
+  Printf.printf "  rates: %.3g inserts/s, %.3g matches/s\n" insert_rate
+    match_rate;
+  Printf.printf "  match latency at %d resident: p50=%d ns  p99=%d ns\n\n"
+    resident p50 p99;
+  [
+    ( "trigger_table",
+      Json.Obj
+        [
+          ("inserts_per_sec", Json.Float insert_rate);
+          ("matches_per_sec", Json.Float match_rate);
+          ("resident_triggers", Json.Int resident);
+          ("match_probes", Json.Int probes);
+          ("match_p50_ns_1e6", Json.Float (float_of_int p50));
+          ("match_p99_ns_1e6", Json.Float (float_of_int p99));
+        ] );
+  ]
+
 (* --- control plane: spans + health over a no-fault Dynamic run --- *)
 
 let section_control_plane () =
@@ -453,15 +511,12 @@ let section_observability () =
     if started = 0 then 0. else float_of_int !delivered /. float_of_int started
   in
   let q p = Obs.Metrics.quantile hops_h p in
-  let insert_rate, match_rate = trigger_table_rates () in
   Printf.printf "  traces: %d started, %d delivered, %d dropped, %d orphaned\n"
     started !delivered !dropped orphans;
   Printf.printf "  delivery ratio %.4f at %.0f%% uniform loss\n" ratio
     (loss *. 100.);
   Printf.printf "  routing hops (transmissions/packet): p50=%.1f p90=%.1f p99=%.1f\n"
     (q 0.5) (q 0.9) (q 0.99);
-  Printf.printf "  trigger table: %.3g inserts/s, %.3g matches/s\n" insert_rate
-    match_rate;
   [
         ( "run",
           Json.Obj
@@ -494,12 +549,6 @@ let section_observability () =
                      (fun c n acc -> (c, Json.Int n) :: acc)
                      drop_causes []
                   |> List.sort compare) );
-            ] );
-        ( "trigger_table",
-          Json.Obj
-            [
-              ("inserts_per_sec", Json.Float insert_rate);
-              ("matches_per_sec", Json.Float match_rate);
             ] );
         ( "metrics",
           Json.List
@@ -885,12 +934,13 @@ let () =
     (if paper_scale then "paper" else "reduced");
   if smoke then begin
     let obs = section_observability () in
+    let tt = section_trigger_table () in
     let ctl = section_control_plane () in
     let codec = section_codec () in
     let eng = section_engine () in
     let scrape = section_scrape () in
     let sub = section_substrate () in
-    write_bench_json (obs @ ctl @ codec @ eng @ scrape @ sub)
+    write_bench_json (obs @ tt @ ctl @ codec @ eng @ scrape @ sub)
   end
   else begin
     section_micro ();
@@ -898,12 +948,13 @@ let () =
     section_ablations ();
     section_scalability ();
     let obs = section_observability () in
+    let tt = section_trigger_table () in
     let ctl = section_control_plane () in
     let codec = section_codec () in
     let eng = section_engine () in
     let scrape = section_scrape () in
     let sub = section_substrate () in
-    write_bench_json (obs @ ctl @ codec @ eng @ scrape @ sub);
+    write_bench_json (obs @ tt @ ctl @ codec @ eng @ scrape @ sub);
     section_fig8 ();
     section_fig9 ()
   end;

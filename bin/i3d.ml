@@ -181,8 +181,19 @@ let () =
            | I3.Engine.Chord_send (dst, _) -> log "send chord -> %d" dst
            | I3.Engine.Deliver { dst; _ } -> log "deliver -> %d" dst
            | I3.Engine.Set_timer _ -> ()));
+  (* The receive handler only enqueues: the loop below drains the whole
+     backlog through one batched engine step ([Driver.on_datagrams]), so
+     a burst of datagrams pays the engine's timer/metrics work once. *)
+  let backlog : (int * string) Queue.t = Queue.create () in
   Transport.Udp.set_handler udp (fun ~src bytes ->
-      Transport.Driver.on_datagram driver ~now:(elapsed_ms ()) ~src bytes);
+      Queue.add (src, bytes) backlog);
+  let drain_backlog () =
+    if not (Queue.is_empty backlog) then begin
+      let datagrams = List.of_seq (Queue.to_seq backlog) in
+      Queue.clear backlog;
+      Transport.Driver.on_datagrams driver ~now:(elapsed_ms ()) datagrams
+    end
+  in
 
   (* Graceful shutdown: the signal handler only flips a flag; the loop
      below finishes dispatching the current datagram, then falls through
@@ -239,8 +250,10 @@ let () =
     (match Transport.Udp.wait udp ~timeout with
     | (_ : bool) -> ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-    (* Drain whatever else already arrived, then fire due timers. *)
+    (* Drain whatever else already arrived, step the engine once with
+       the whole burst, then fire due timers. *)
     Transport.Udp.poll udp ~now:(elapsed_ms ());
+    drain_backlog ();
     Option.iter (fun f -> Transport.Faulty.poll f ~now:(elapsed_ms ())) faulty;
     Transport.Driver.tick driver ~now:(elapsed_ms ());
     match flush_period with

@@ -141,9 +141,13 @@ let render ?(out = stdout) results =
       (List.length results)
 
 (* Only metrics that are deterministic functions of the seeds and the
-   virtual clock are gated.  Wall-clock numbers (trigger-table rates,
-   Bechamel timings, generated_at) vary by machine and would make the
-   gate flaky. *)
+   virtual clock are gated tightly.  Wall-clock numbers (Bechamel
+   timings, generated_at) vary by machine; the trigger-table hot-path
+   rates and match p99 are wall-clock too, but they guard the data
+   plane's core structure, so they are gated with tolerances wide
+   enough to absorb machine noise while still catching an
+   order-of-magnitude collapse (e.g. the trie degenerating back to a
+   linear scan). *)
 let default_checks =
   [
     check "delivery.ratio" ~direction:Higher_better ~rel_tol:0.05;
@@ -192,6 +196,15 @@ let default_checks =
       ~abs_tol:0.5;
     check "substrate.koorde8.state_bytes_per_node" ~direction:Exact;
     check "substrate.koorde2.state_bytes_per_node" ~direction:Exact;
+    (* Trigger-table hot path: wall-clock, so only order-of-magnitude
+       drift fails.  A linear-scan regression at bench scale would blow
+       the p99 by 100x and the rates by 10x+, far past these bounds. *)
+    check "trigger_table.inserts_per_sec" ~direction:Higher_better
+      ~rel_tol:0.85;
+    check "trigger_table.matches_per_sec" ~direction:Higher_better
+      ~rel_tol:0.85;
+    check "trigger_table.match_p99_ns_1e6" ~direction:Lower_better
+      ~rel_tol:9. ~abs_tol:10_000.;
   ]
 
 (* Koorde's headline claim, checked on every run regardless of baseline:

@@ -311,8 +311,10 @@ let read_body kind r : (Message.t, string) result =
       if version = L.stats_snapshot_version then Ok ()
       else Error "unsupported stats snapshot version"
     in
-    let* blob = Io.str32 r "snapshot blob" in
-    let br = Io.reader blob in
+    (* Zero-copy: bound a sub-cursor to the blob's range of the frame
+       instead of materializing the blob as its own string. *)
+    let* blob_len = Io.u32 r "snapshot blob" in
+    let* br = Io.sub_reader r blob_len "snapshot blob" in
     let* nsamples = Io.u16 br "sample count" in
     let* samples =
       Io.list_of br ~count:nsamples ~max:L.max_stats_samples "samples"

@@ -19,6 +19,7 @@ type frame =
 
 type event =
   | Frame of { src : Packet.addr; frame : frame }
+  | Batch of event list
   | Tick
   | Insert_trigger of Trigger.t
   | Remove_trigger of Trigger.t
@@ -206,8 +207,9 @@ let handle_stats t ~src ~nonce ~prefix ~drain =
     (Send (src, Message.Stats_response { nonce; server = t.addr; samples; events }))
     t.outbox
 
-let dispatch t = function
+let rec dispatch t = function
   | Tick -> ()
+  | Batch events -> List.iter (dispatch t) events
   | Frame { src; frame = I3 (Message.Stats_request { nonce; prefix; drain }) }
     ->
       handle_stats t ~src ~nonce ~prefix ~drain
@@ -220,8 +222,15 @@ let dispatch t = function
       Server.handle_message t.server ~src:t.addr (Message.Remove { trigger })
   | Send_packet p -> Server.handle_packet t.server p
 
+(* [engine.events] counts protocol work, so a batch counts its leaves —
+   one backlog drained through one [step] must read the same as the
+   frames stepped one at a time. *)
+let rec leaf_events = function
+  | Batch events -> List.fold_left (fun n e -> n + leaf_events e) 0 events
+  | _ -> 1
+
 let step t ~now event =
-  Obs.Metrics.incr t.c_events;
+  Obs.Metrics.incr ~by:(leaf_events event) t.c_events;
   (* Fire everything due first, so a frame arriving late still sees the
      timer-driven state (expiry, suspicion) it would have seen live. *)
   Sim.Engine.run_until t.wheel now;

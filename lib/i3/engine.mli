@@ -31,6 +31,13 @@ type event =
   | Frame of { src : Packet.addr; frame : frame }
       (** A decoded datagram from [src] (its packed transport
           address). *)
+  | Batch of event list
+      (** Several events sharing one [step]: a driver draining a socket
+          backlog hands the whole burst over at once, paying the timer
+          advance, outbox drain and introspection refresh once instead
+          of per frame.  Dispatched in list order; equivalent to
+          stepping the events one at a time at the same [now] (and
+          counted as that many [engine.events]).  Nesting is allowed. *)
   | Tick  (** No input — just advance timers to [now]. *)
   | Insert_trigger of Trigger.t
       (** Local command: insert (or refresh) a trigger as if the

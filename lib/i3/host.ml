@@ -236,7 +236,7 @@ let send_packet t (p : Packet.t) =
       (* Head is already an IP address: plain IP delivery. *)
       send_msg t a
         (Message.Deliver
-           { stack = rest; payload = p.Packet.payload; trace = p.Packet.trace })
+           { stack = rest; payload = Packet.payload_string p; trace = p.Packet.trace })
   | Packet.Sid head :: _ -> (
       match cached_server_for t head with
       | Some server -> send_msg t server (Message.Data p)

@@ -24,10 +24,19 @@ type t =
       events : Obs.Trace.event list;
     }
 
+(* [Data] packets need {!Packet.equal} (payloads compare by content);
+   every other arm is plain immutable data where structural [=] is
+   exactly right. *)
+let equal a b =
+  match (a, b) with
+  | Data p, Data q -> Packet.equal p q
+  | Data _, _ | _, Data _ -> false
+  | a, b -> a = b
+
 let pp ppf = function
   | Data p ->
       Format.fprintf ppf "data %a (%d B)" Packet.pp_stack p.Packet.stack
-        (String.length p.Packet.payload)
+        (Packet.payload_length p)
   | Insert { trigger; token } ->
       Format.fprintf ppf "insert %a%s" Trigger.pp trigger
         (match token with Some _ -> " +token" | None -> "")

@@ -62,6 +62,11 @@ type t =
           [events] of many servers on the trace id with
           {!Obs.Trace.assemble} *)
 
+val equal : t -> t -> bool
+(** Structural equality, except [Data] payloads compare by content
+    (a decoded packet borrows its payload from the frame; see
+    {!Packet.equal}). *)
+
 val pp : Format.formatter -> t -> unit
 
 val trace_of : t -> int option

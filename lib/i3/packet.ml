@@ -28,9 +28,20 @@ let max_stack_depth = Wire.Layout.max_stack_depth
 let default_ttl = 32
 let header_bytes = Wire.Layout.header_bytes
 
+(* A decoded packet's payload stays a borrowed slice of the receive
+   buffer (the frame string the transport handed us) until something
+   needs the bytes as a string — delivery to a host, usually.  A
+   server-forwarded packet therefore never copies its payload: decode
+   slices, encode writes the slice straight back out.  [payload_string]
+   memoizes the materialization so repeated reads copy once. *)
+type payload_repr = P_owned of string | P_slice of Wire.Io.view
+type payload = { mutable repr : payload_repr }
+
+let payload_of_string s = { repr = P_owned s }
+
 type t = {
   stack : stack;
-  payload : string;
+  payload : payload;
   refresh : bool;
   match_required : bool;
   sender : addr option;
@@ -39,6 +50,35 @@ type t = {
   trace : int;
 }
 
+let payload_string t =
+  match t.payload.repr with
+  | P_owned s -> s
+  | P_slice v ->
+      let s = Wire.Io.view_to_string v in
+      t.payload.repr <- P_owned s;
+      s
+
+let payload_length t =
+  match t.payload.repr with
+  | P_owned s -> String.length s
+  | P_slice v -> Wire.Io.view_length v
+
+(* Structural [=] no longer means what it used to: a decoded packet
+   borrows its payload while a built one owns it, so equality must go
+   through the bytes. *)
+let equal a b =
+  stack_equal a.stack b.stack
+  && String.equal (payload_string a) (payload_string b)
+  && a.refresh = b.refresh
+  && a.match_required = b.match_required
+  && a.sender = b.sender
+  && (match (a.prev_trigger, b.prev_trigger) with
+     | None, None -> true
+     | Some (aa, ai), Some (ba, bi) -> aa = ba && Id.equal ai bi
+     | Some _, None | None, Some _ -> false)
+  && a.ttl = b.ttl
+  && a.trace = b.trace
+
 let make ?(refresh = false) ?(match_required = false) ?sender
     ?(ttl = default_ttl) ?(trace = 0) ~stack ~payload () =
   if stack = [] then invalid_arg "Packet.make: empty identifier stack";
@@ -46,7 +86,7 @@ let make ?(refresh = false) ?(match_required = false) ?sender
     invalid_arg "Packet.make: identifier stack too deep";
   {
     stack;
-    payload;
+    payload = payload_of_string payload;
     refresh;
     match_required;
     sender;
@@ -79,7 +119,7 @@ let wire_length t =
   header_bytes
   + (match t.prev_trigger with Some _ -> Id.byte_length | None -> 0)
   + stack_wire_length t.stack
-  + String.length t.payload
+  + payload_length t
 
 let put_entry buf = function
   | Sid id ->
@@ -123,7 +163,7 @@ let encode t =
   Io.put_u8 buf (List.length t.stack);
   Io.put_u8 buf (t.ttl land 0xff);
   Io.put_u16 buf 0;
-  Io.put_u32 buf (String.length t.payload);
+  Io.put_u32 buf (payload_length t);
   Io.put_u64 buf (Int64.of_int (Option.value ~default:0 t.sender));
   Io.put_u64 buf
     (Int64.of_int (match t.prev_trigger with Some (a, _) -> a | None -> 0));
@@ -133,7 +173,9 @@ let encode t =
   | Some (_, id) -> Buffer.add_string buf (Id.to_raw_string id)
   | None -> ());
   List.iter (put_entry buf) t.stack;
-  Buffer.add_string buf t.payload;
+  (match t.payload.repr with
+  | P_owned s -> Buffer.add_string buf s
+  | P_slice v -> Io.add_view buf v);
   Buffer.contents buf
 
 (* Shared by [decode] and [decoded_length]: parse the fixed header and
@@ -180,12 +222,12 @@ let decode s =
     else Ok None
   in
   let* stack = Io.list_of r ~count ~max:max_stack_depth "stack" read_entry in
-  let* payload = Io.take r payload_len "payload" in
+  let* payload = Io.take_view r payload_len "payload" in
   let* () = Io.expect_end r in
   Ok
     {
       stack;
-      payload;
+      payload = { repr = P_slice payload };
       refresh = flags land L.flag_refresh <> 0;
       match_required = flags land L.flag_match_required <> 0;
       sender =

@@ -28,9 +28,17 @@ val stack_equal : stack -> stack -> bool
 val max_stack_depth : int
 (** 4, as in the prototype. *)
 
+type payload
+(** Opaque payload bytes.  After {!decode} this is a zero-copy slice of
+    the received frame; it is materialized (once, memoized) only when
+    {!payload_string} is called — the delivery boundary.  Build one from
+    a string with {!payload_of_string}. *)
+
+val payload_of_string : string -> payload
+
 type t = {
   stack : stack;
-  payload : string;
+  payload : payload;
   refresh : bool;
       (** the header's refreshing flag [r]: ask the responsible server to
           report its address back to the sender so subsequent packets go
@@ -65,6 +73,18 @@ val make :
     stack. *)
 
 val default_ttl : int
+
+val payload_string : t -> string
+(** The payload bytes as a string, copying out of the receive buffer on
+    first use (memoized). *)
+
+val payload_length : t -> int
+(** Payload size in bytes, without materializing a slice. *)
+
+val equal : t -> t -> bool
+(** Field-wise equality comparing payloads by content — structural [=]
+    distinguishes a borrowed (just-decoded) payload from an owned one
+    even when the bytes agree. *)
 
 val header_bytes : int
 (** 48 ([Wire.Layout.header_bytes]); all offsets live in {!Wire.Layout}. *)

@@ -51,6 +51,7 @@ type counters = {
   c_drop_overflow : Obs.Metrics.counter;
   c_ins_accepted : Obs.Metrics.counter;
   c_ins_rejected : Obs.Metrics.counter;
+  c_ins_expired : Obs.Metrics.counter;
   c_challenges : Obs.Metrics.counter;
   c_pushbacks : Obs.Metrics.counter;
   c_cache_hits : Obs.Metrics.counter;
@@ -78,6 +79,7 @@ let make_counters metrics inst =
     c_drop_overflow = drop "stack_overflow";
     c_ins_accepted = insert "accepted";
     c_ins_rejected = insert "rejected";
+    c_ins_expired = insert "expired";
     c_challenges = counter "i3.challenges_sent";
     c_pushbacks = counter "i3.pushbacks_sent";
     c_cache_hits = counter "i3.cache_hits";
@@ -156,6 +158,17 @@ let trace_event t (p : Packet.t) kind =
 
 let is_responsible t i3_id = t.view.owns i3_id
 
+(* Re-insert paths (replica promotion, cache pushes, replica stores) get
+   their lifetimes off the wire or from a remaining-time subtraction, so
+   a deadline can already be past by the time it reaches the table — a
+   replicated trigger arriving after its TTL elapsed, clock skew, or the
+   [now +. remaining = now] float-rounding edge.  [Trigger_table.insert]
+   is total and drops these; count them so the soft-state loss shows up
+   in the metrics instead of vanishing. *)
+let insert_soft t table ~expires trigger =
+  if not (expires > now t) then Obs.Metrics.incr t.c.c_ins_expired
+  else Trigger_table.insert table ~now:(now t) ~expires trigger
+
 let send t dst msg = t.emit ~dst msg
 
 let forward_overlay t i3_id msg =
@@ -222,7 +235,7 @@ let rec process_packet t (p : Packet.t) =
         Obs.Metrics.incr t.c.c_deliveries;
         send t a
           (Message.Deliver
-             { stack = rest; payload = p.payload; trace = p.trace })
+             { stack = rest; payload = Packet.payload_string p; trace = p.trace })
     | Packet.Sid head :: rest ->
         if is_responsible t head then serve t ~table:t.table p head rest
         else if Trigger_table.find_matches t.cache ~now:(now t) head <> []
@@ -253,8 +266,7 @@ and serve t ~table (p : Packet.t) head rest =
         else begin
           List.iter
             (fun (tr, remaining) ->
-              Trigger_table.insert t.table ~now:(now t)
-                ~expires:(now t +. remaining) tr)
+              insert_soft t t.table ~expires:(now t +. remaining) tr)
             mirrored;
           Trigger_table.find_matches t.table ~now:(now t) head
         end
@@ -344,8 +356,7 @@ let handle_cache_push t entries =
   let time = now t in
   List.iter
     (fun ((tr : Trigger.t), remaining) ->
-      if remaining > 0. then
-        Trigger_table.insert t.cache ~now:time ~expires:(time +. remaining) tr)
+      insert_soft t t.cache ~expires:(time +. remaining) tr)
     entries
 
 let handle_pushback t ~id ~dead =
@@ -378,9 +389,7 @@ let handle t ~src (msg : Message.t) =
     | Message.Cache_push { triggers } -> handle_cache_push t triggers
     | Message.Pushback { id; dead } -> handle_pushback t ~id ~dead
     | Message.Replica { trigger; lifetime } ->
-        if lifetime > 0. then
-          Trigger_table.insert t.replicas ~now:(now t)
-            ~expires:(now t +. lifetime) trigger
+        insert_soft t t.replicas ~expires:(now t +. lifetime) trigger
     | Message.Ping { nonce } ->
         send t src
           (Message.Pong

@@ -1,175 +1,445 @@
-type entry = { trigger : Trigger.t; mutable expires : float }
+(* Compressed binary (Patricia) trie over the 256-bit identifier space.
 
-(* Bucket: groups of triggers sharing a full identifier, sorted by id. *)
-type group = { gid : Id.t; mutable entries : entry list }
+   Layout.  Internal nodes carry a critical bit index; every key stored
+   under a branch agrees on all bits before it, and the branch's two
+   subtrees split on that bit (0 left, 1 right).  Leaves hold the entry
+   list for one full identifier (a multicast group is one leaf with many
+   entries).  In-trie order is therefore numeric id order, which is what
+   the old sorted-bucket representation exposed through [bucket_of].
 
-type t = {
-  buckets : (string, group list ref) Hashtbl.t; (* key: 16-byte k-prefix *)
-  mutable count : int;
+   Matching (Sec. II-B).  Descending from the root by the packet id's
+   bits reaches a leaf L whose key has the maximal common prefix d with
+   the packet (the classic crit-bit property).  If d < k = 128 nothing
+   matches.  Otherwise the winner subtree is found by re-descending
+   while [branch.bit < d]: every key in it shares exactly d bits with
+   the packet (a key agreeing on bit d as well would contradict L's
+   maximality), and its leftmost leaf is the smallest winning id — the
+   deterministic tie-break.  If the whole winner subtree is dead, the
+   off-path siblings recorded on the way down are the fallbacks: the
+   sibling hanging off a path branch with bit b < d contains exactly the
+   keys sharing b bits with the packet, so trying them in decreasing-b
+   order (stopping below k) continues the longest-prefix search without
+   ever touching an unrelated subtree.
+
+   Expiry is lazy.  Entries carry a generation counter; every
+   insert/refresh pushes an [(expires, gen)] deadline onto a binary
+   min-heap.  [expire] pops due items and drops only entries whose
+   generation still matches — a refreshed entry's stale deadlines pop
+   harmlessly.  Branches and leaves cache a stale-high [max_expires]
+   bound (only ever raised), so a match descent prunes wholly-dead
+   subtrees in one comparison instead of walking them. *)
+
+type entry = {
+  trigger : Trigger.t;
+  mutable expires : float;
+  mutable gen : int; (* bumped on refresh; -1 once the entry is dropped *)
 }
 
-let create () = { buckets = Hashtbl.create 64; count = 0 }
+type leaf = {
+  key : string; (* 32-byte big-endian identifier *)
+  mutable entries : entry list; (* same full id; newest first *)
+  mutable lmax : float; (* stale-high bound over [entries] *)
+}
+
+type node = Leaf of leaf | Branch of branch
+
+and branch = {
+  bit : int; (* critical bit, 0 = most significant *)
+  mutable zero : node;
+  mutable one : node;
+  mutable bmax : float; (* stale-high bound over the subtree *)
+}
+
+(* Heap item: one scheduled deadline for one entry generation. *)
+type item = { at : float; igen : int; entry : entry; ileaf : leaf }
+
+type t = {
+  mutable root : node option;
+  mutable count : int;
+  mutable heap : item array; (* binary min-heap ordered by [at] *)
+  mutable heap_len : int;
+}
+
+let create () = { root = None; count = 0; heap = [||]; heap_len = 0 }
 
 let clear t =
-  Hashtbl.reset t.buckets;
-  t.count <- 0
+  t.root <- None;
+  t.count <- 0;
+  t.heap <- [||];
+  t.heap_len <- 0
 
-let prefix_key id =
-  String.sub (Id.to_raw_string id) 0 (Id.prefix_bits / 8)
+(* -- bit twiddling over raw 32-byte keys ------------------------------- *)
 
-let bucket_ref t id =
-  let key = prefix_key id in
-  match Hashtbl.find_opt t.buckets key with
-  | Some b -> b
-  | None ->
-      let b = ref [] in
-      Hashtbl.add t.buckets key b;
-      b
+let key_bit key i = Char.code key.[i lsr 3] land (0x80 lsr (i land 7)) <> 0
 
-let insert t ~now ~expires trigger =
-  if expires <= now then invalid_arg "Trigger_table.insert: already expired";
-  let b = bucket_ref t trigger.Trigger.id in
-  let rec place = function
-    | [] -> [ { gid = trigger.Trigger.id; entries = [] } ]
-    | g :: rest as groups ->
-        let c = Id.compare trigger.Trigger.id g.gid in
-        if c = 0 then groups
-        else if c < 0 then { gid = trigger.Trigger.id; entries = [] } :: groups
-        else g :: place rest
+(* Length of the common bit prefix of two equal-length raw keys. *)
+let lcp a b =
+  let n = String.length a in
+  let rec bytes i =
+    if i = n then n * 8
+    else
+      let x = Char.code a.[i] lxor Char.code b.[i] in
+      if x = 0 then bytes (i + 1)
+      else
+        let rec top j = if x land (0x80 lsr j) <> 0 then j else top (j + 1) in
+        (i * 8) + top 0
   in
-  b := place !b;
-  let g = List.find (fun g -> Id.equal g.gid trigger.Trigger.id) !b in
-  match
-    List.find_opt (fun e -> Trigger.same_binding e.trigger trigger) g.entries
-  with
-  | Some e -> e.expires <- max e.expires expires
-  | None ->
-      g.entries <- { trigger; expires } :: g.entries;
-      t.count <- t.count + 1
+  bytes 0
 
-let drop_group_if_empty t id =
-  let key = prefix_key id in
-  match Hashtbl.find_opt t.buckets key with
+let raw_key trigger = Id.to_raw_string trigger.Trigger.id
+
+(* -- expiry heap ------------------------------------------------------- *)
+
+let heap_push t item =
+  if t.heap_len = Array.length t.heap then begin
+    let grown = Array.make (max 16 (2 * t.heap_len)) item in
+    Array.blit t.heap 0 grown 0 t.heap_len;
+    t.heap <- grown
+  end;
+  let a = t.heap in
+  let i = ref t.heap_len in
+  t.heap_len <- t.heap_len + 1;
+  a.(!i) <- item;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if a.(p).at > a.(!i).at then begin
+      let tmp = a.(p) in
+      a.(p) <- a.(!i);
+      a.(!i) <- tmp;
+      i := p
+    end
+    else continue := false
+  done
+
+let heap_peek t = if t.heap_len = 0 then None else Some t.heap.(0)
+
+(* Remove the minimum; caller guarantees the heap is non-empty. *)
+let heap_drop_min t =
+  let a = t.heap in
+  t.heap_len <- t.heap_len - 1;
+  let n = t.heap_len in
+  a.(0) <- a.(n);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let s = ref !i in
+    if l < n && a.(l).at < a.(!s).at then s := l;
+    if r < n && a.(r).at < a.(!s).at then s := r;
+    if !s <> !i then begin
+      let tmp = a.(!s) in
+      a.(!s) <- a.(!i);
+      a.(!i) <- tmp;
+      i := !s
+    end
+    else continue := false
+  done
+
+(* -- structural helpers ------------------------------------------------ *)
+
+let rec leaf_toward key = function
+  | Leaf l -> l
+  | Branch b -> leaf_toward key (if key_bit key b.bit then b.one else b.zero)
+
+(* Detach the (empty) leaf holding [key], collapsing its parent branch
+   into the sibling.  A no-op if the key's descent lands elsewhere or the
+   leaf has entries again — safe to call speculatively from the heap. *)
+let unlink_empty t key =
+  match t.root with
   | None -> ()
-  | Some b ->
-      b := List.filter (fun g -> g.entries <> []) !b;
-      if !b = [] then Hashtbl.remove t.buckets key
+  | Some (Leaf l) ->
+      if l.entries = [] && String.equal l.key key then t.root <- None
+  | Some (Branch root) ->
+      let rec go replace b =
+        let child, sibling, set_child =
+          if key_bit key b.bit then (b.one, b.zero, fun n -> b.one <- n)
+          else (b.zero, b.one, fun n -> b.zero <- n)
+        in
+        match child with
+        | Leaf l ->
+            if l.entries = [] && String.equal l.key key then replace sibling
+        | Branch cb -> go set_child cb
+      in
+      go (fun n -> t.root <- Some n) root
 
-let remove t trigger =
-  let key = prefix_key trigger.Trigger.id in
-  match Hashtbl.find_opt t.buckets key with
-  | None -> false
-  | Some b -> (
-      match
-        List.find_opt (fun g -> Id.equal g.gid trigger.Trigger.id) !b
-      with
-      | None -> false
-      | Some g ->
-          let before = List.length g.entries in
-          g.entries <-
-            List.filter
-              (fun e -> not (Trigger.same_binding e.trigger trigger))
-              g.entries;
-          let removed = before - List.length g.entries in
-          t.count <- t.count - removed;
-          drop_group_if_empty t trigger.Trigger.id;
-          removed > 0)
-
-let remove_matching t ~id ~target =
-  let key = prefix_key id in
-  match Hashtbl.find_opt t.buckets key with
-  | None -> 0
-  | Some b -> (
-      match List.find_opt (fun g -> Id.equal g.gid id) !b with
-      | None -> 0
-      | Some g ->
-          let points_at e =
-            match Trigger.target_id e.trigger with
-            | Some tid -> Id.equal tid target
-            | None -> false
-          in
-          let before = List.length g.entries in
-          g.entries <- List.filter (fun e -> not (points_at e)) g.entries;
-          let removed = before - List.length g.entries in
-          t.count <- t.count - removed;
-          drop_group_if_empty t id;
-          removed)
-
-let live_entries t ~now g =
-  let live, dead = List.partition (fun e -> e.expires > now) g.entries in
+(* Drop time-dead entries from a leaf (marking their generations dead so
+   stale heap items pop as no-ops) and return the live list in stored
+   order — the single-partition pass the old [live_entries] did twice. *)
+let leaf_live t ~now l =
+  let live, dead = List.partition (fun e -> e.expires > now) l.entries in
   if dead <> [] then begin
-    g.entries <- live;
+    List.iter (fun e -> e.gen <- -1) dead;
+    l.entries <- live;
     t.count <- t.count - List.length dead
   end;
   live
 
+(* Leftmost leaf with at least one live entry, pruning via the cached
+   expiry bounds; returns its live entries (recency order preserved). *)
+let rec leftmost_live t ~now = function
+  | Leaf l -> (
+      if l.lmax <= now then None
+      else match leaf_live t ~now l with [] -> None | live -> Some live)
+  | Branch b ->
+      if b.bmax <= now then None
+      else begin
+        match leftmost_live t ~now b.zero with
+        | Some _ as r -> r
+        | None -> leftmost_live t ~now b.one
+      end
+
+(* -- insert ------------------------------------------------------------ *)
+
+let insert t ~now ~expires trigger =
+  (* Total by design (replica/cache re-inserts race the clock): an entry
+     already past its deadline — or carrying a NaN from a hostile wire
+     lifetime — is silently dropped, never stored.  [not (> )] rather
+     than [<=] so NaN fails the guard too. *)
+  if not (expires > now) then ()
+  else begin
+    let key = raw_key trigger in
+    match t.root with
+    | None ->
+        let e = { trigger; expires; gen = 0 } in
+        let l = { key; entries = [ e ]; lmax = expires } in
+        t.root <- Some (Leaf l);
+        t.count <- t.count + 1;
+        heap_push t { at = expires; igen = 0; entry = e; ileaf = l }
+    | Some root ->
+        let l0 = leaf_toward key root in
+        (* [String.equal] is a memcmp — much cheaper than the bitwise
+           scan — and an equal key is the steady state (refreshes). *)
+        if String.equal key l0.key then begin
+          (* Same identifier: refresh the binding or join the group.
+             The expiry bounds only need raising when a deadline
+             actually moves — a no-op refresh (the soft-state steady
+             state) costs one descent and a list probe, nothing more. *)
+          let raise_path () =
+            let rec go = function
+              | Leaf l -> l.lmax <- Float.max l.lmax expires
+              | Branch b ->
+                  b.bmax <- Float.max b.bmax expires;
+                  go (if key_bit key b.bit then b.one else b.zero)
+            in
+            go root
+          in
+          match
+            List.find_opt
+              (fun e -> Trigger.same_binding e.trigger trigger)
+              l0.entries
+          with
+          | Some e ->
+              if expires > e.expires then begin
+                e.expires <- expires;
+                e.gen <- e.gen + 1;
+                heap_push t { at = expires; igen = e.gen; entry = e; ileaf = l0 };
+                raise_path ()
+              end
+          | None ->
+              let e = { trigger; expires; gen = 0 } in
+              l0.entries <- e :: l0.entries;
+              t.count <- t.count + 1;
+              heap_push t { at = expires; igen = 0; entry = e; ileaf = l0 };
+              raise_path ()
+        end
+        else begin
+          (* New identifier: splice a branch at the critical bit [d],
+             raising the expiry bounds along the way down. *)
+          let d = lcp key l0.key in
+          let e = { trigger; expires; gen = 0 } in
+          let nl = { key; entries = [ e ]; lmax = expires } in
+          let node_max = function Leaf l -> l.lmax | Branch b -> b.bmax in
+          let rec place replace node =
+            match node with
+            | Branch b when b.bit < d ->
+                b.bmax <- Float.max b.bmax expires;
+                if key_bit key b.bit then place (fun n -> b.one <- n) b.one
+                else place (fun n -> b.zero <- n) b.zero
+            | old ->
+                let bmax = Float.max expires (node_max old) in
+                let nb =
+                  if key_bit key d then
+                    { bit = d; zero = old; one = Leaf nl; bmax }
+                  else { bit = d; zero = Leaf nl; one = old; bmax }
+                in
+                replace (Branch nb)
+          in
+          place (fun n -> t.root <- Some n) root;
+          t.count <- t.count + 1;
+          heap_push t { at = expires; igen = 0; entry = e; ileaf = nl }
+        end
+  end
+
+(* -- removal ----------------------------------------------------------- *)
+
+let remove_where t id pred =
+  match t.root with
+  | None -> 0
+  | Some root ->
+      let key = Id.to_raw_string id in
+      let l = leaf_toward key root in
+      if not (String.equal l.key key) then 0
+      else begin
+        let gone, keep = List.partition pred l.entries in
+        if gone = [] then 0
+        else begin
+          List.iter (fun e -> e.gen <- -1) gone;
+          l.entries <- keep;
+          let n = List.length gone in
+          t.count <- t.count - n;
+          if keep = [] then unlink_empty t key;
+          n
+        end
+      end
+
+let remove t trigger =
+  remove_where t trigger.Trigger.id (fun e ->
+      Trigger.same_binding e.trigger trigger)
+  > 0
+
+let remove_matching t ~id ~target =
+  remove_where t id (fun e ->
+      match Trigger.target_id e.trigger with
+      | Some tid -> Id.equal tid target
+      | None -> false)
+
+(* -- matching ---------------------------------------------------------- *)
+
 let find_matches t ~now pid =
-  let key = prefix_key pid in
-  match Hashtbl.find_opt t.buckets key with
+  match t.root with
   | None -> []
-  | Some b ->
-      (* Within the bucket every group already shares >= k bits with the
-         packet id; pick the group with the longest common prefix.  Groups
-         are sorted, and the first group encountered wins ties, i.e. the
-         smaller identifier. *)
-      let best = ref None in
-      List.iter
-        (fun g ->
-          if live_entries t ~now g <> [] then begin
-            let l = Id.common_prefix_len g.gid pid in
-            match !best with
-            | Some (bl, _) when bl >= l -> ()
-            | _ -> best := Some (l, g)
-          end)
-        !b;
-      (match !best with
-      | None -> []
-      | Some (_, g) -> List.map (fun e -> e.trigger) (live_entries t ~now g))
+  | Some root ->
+      let key = Id.to_raw_string pid in
+      let l0 = leaf_toward key root in
+      let d = if String.equal key l0.key then Id.bits else lcp key l0.key in
+      if d < Id.prefix_bits then []
+      else begin
+        (* Winner subtree: stop at the first branch with bit >= d (an
+           exact match means the winner is the descent leaf itself). *)
+        let winner =
+          if d = Id.bits then Leaf l0
+          else
+            let rec go = function
+              | Branch b when b.bit < d ->
+                  go (if key_bit key b.bit then b.one else b.zero)
+              | n -> n
+            in
+            go root
+        in
+        match leftmost_live t ~now winner with
+        | Some live -> List.map (fun e -> e.trigger) live
+        | None ->
+            (* Winner subtree wholly dead: fall back to the off-path
+               siblings above it.  The sibling at a path branch with bit
+               b < d holds exactly the keys sharing b bits with the
+               packet, so trying them deepest-first continues the
+               longest-prefix search in decreasing-prefix order,
+               stopping below the k-bit threshold.  Rare (needs a whole
+               subtree expired-but-uncollected), so the sibling list is
+               only built here, off the fast path. *)
+            let rec descend sibs = function
+              | Leaf _ -> sibs
+              | Branch b ->
+                  if key_bit key b.bit then
+                    descend ((b.bit, b.zero) :: sibs) b.one
+                  else descend ((b.bit, b.one) :: sibs) b.zero
+            in
+            let sibs = descend [] root in
+            let rec first_live = function
+              | [] -> []
+              | (b, n) :: rest ->
+                  if b >= d || b < Id.prefix_bits then first_live rest
+                  else (
+                    match leftmost_live t ~now n with
+                    | Some live -> List.map (fun e -> e.trigger) live
+                    | None -> first_live rest)
+            in
+            first_live sibs
+      end
+
+(* -- bucket views ------------------------------------------------------ *)
+
+(* The subtree holding every id that shares the k-bit prefix of [pid]:
+   descend through branches splitting above bit k, then confirm with any
+   resident key (all keys below the stop point share its k-bit prefix). *)
+let prefix_subtree t pid =
+  match t.root with
+  | None -> None
+  | Some root ->
+      let key = Id.to_raw_string pid in
+      let rec go = function
+        | Branch b when b.bit < Id.prefix_bits ->
+            go (if key_bit key b.bit then b.one else b.zero)
+        | n -> n
+      in
+      let n = go root in
+      let rec any_leaf = function Leaf l -> l | Branch b -> any_leaf b.zero in
+      if lcp key (any_leaf n).key >= Id.prefix_bits then Some n else None
+
+let rec fold_leaves f acc = function
+  | Leaf l -> f acc l
+  | Branch b -> fold_leaves f (fold_leaves f acc b.zero) b.one
 
 let bucket_of t ~now pid =
-  let key = prefix_key pid in
-  match Hashtbl.find_opt t.buckets key with
+  match prefix_subtree t pid with
   | None -> []
-  | Some b ->
-      List.concat_map
-        (fun g -> List.map (fun e -> e.trigger) (live_entries t ~now g))
-        !b
+  | Some n ->
+      fold_leaves
+        (fun acc l ->
+          List.fold_left (fun acc e -> e.trigger :: acc) acc (leaf_live t ~now l))
+        [] n
+      |> List.rev
 
 let bucket_entries t ~now pid =
-  let key = prefix_key pid in
-  match Hashtbl.find_opt t.buckets key with
+  match prefix_subtree t pid with
   | None -> []
-  | Some b ->
-      List.concat_map
-        (fun g ->
-          ignore (live_entries t ~now g);
-          List.map (fun e -> (e.trigger, e.expires -. now)) g.entries)
-        !b
+  | Some n ->
+      fold_leaves
+        (fun acc l ->
+          List.fold_left
+            (fun acc e -> (e.trigger, e.expires -. now) :: acc)
+            acc (leaf_live t ~now l))
+        [] n
+      |> List.rev
+
+(* -- expiry ------------------------------------------------------------ *)
 
 let expire t ~now =
   let dropped = ref 0 in
-  let empty_keys = ref [] in
-  Hashtbl.iter
-    (fun key b ->
-      List.iter
-        (fun g ->
-          let live = List.filter (fun e -> e.expires > now) g.entries in
-          dropped := !dropped + (List.length g.entries - List.length live);
-          g.entries <- live)
-        !b;
-      b := List.filter (fun g -> g.entries <> []) !b;
-      if !b = [] then empty_keys := key :: !empty_keys)
-    t.buckets;
-  List.iter (Hashtbl.remove t.buckets) !empty_keys;
-  t.count <- t.count - !dropped;
+  let continue = ref true in
+  while !continue do
+    match heap_peek t with
+    | None -> continue := false
+    | Some item when item.at > now -> continue := false
+    | Some item ->
+        heap_drop_min t;
+        let e = item.entry in
+        if e.gen = item.igen then begin
+          (* Current deadline: the entry really is past due (its expiry
+             only moves with a generation bump, so [at] is exact). *)
+          e.gen <- -1;
+          let l = item.ileaf in
+          l.entries <- List.filter (fun x -> x != e) l.entries;
+          t.count <- t.count - 1;
+          incr dropped;
+          if l.entries = [] then unlink_empty t l.key
+        end
+        else if item.ileaf.entries = [] then
+          (* Stale deadline (refreshed or already dropped elsewhere):
+             still a chance to collect a leaf emptied by a match-time
+             prune. *)
+          unlink_empty t item.ileaf.key
+  done;
   !dropped
 
 let size t = t.count
 
 let iter t f =
-  Hashtbl.iter
-    (fun _ b ->
-      List.iter
-        (fun g -> List.iter (fun e -> f e.trigger ~expires:e.expires) g.entries)
-        !b)
-    t.buckets
+  match t.root with
+  | None -> ()
+  | Some root ->
+      fold_leaves
+        (fun () l ->
+          List.iter (fun e -> f e.trigger ~expires:e.expires) l.entries)
+        () root

@@ -4,14 +4,19 @@
     (1) they share at least k = 128 leading bits and (2) no stored trigger
     has a longer prefix match with [p].  Because all identifiers sharing a
     k-bit prefix live on the same server (Sec. IV-A), the longest-prefix
-    search is local: the table is a hash map from the k-bit prefix to a
-    bucket of trigger groups sorted by full identifier, and the best match
-    is found inside a single bucket.  All triggers with the *winning
-    identifier* match — that is what makes multicast "many triggers with
-    the same id" (Sec. II-D2) work with no special casing.
+    search is local: the table is a compressed binary (Patricia) trie over
+    the full 256-bit identifiers, so insert, remove and longest-prefix
+    match are O(key length) with no per-bucket list walks — sized for 10^6
+    resident triggers.  All triggers with the *winning identifier* match
+    (one trie leaf holds the whole group) — that is what makes multicast
+    "many triggers with the same id" (Sec. II-D2) work with no special
+    casing.
 
     Entries are soft state with absolute expiry timestamps (virtual-time
-    ms); refreshing re-inserts the same binding with a later deadline. *)
+    ms); refreshing re-inserts the same binding with a later deadline.
+    Expiry is lazy: deadlines sit in a min-heap with per-entry generation
+    counters, so [expire] touches only due entries instead of sweeping the
+    whole table. *)
 
 type t
 
@@ -22,7 +27,10 @@ val clear : t -> unit
 
 val insert : t -> now:float -> expires:float -> Trigger.t -> unit
 (** Insert or refresh a binding. If an entry with the same id, stack and
-    owner exists, only its expiry is extended. *)
+    owner exists, only its expiry is extended.  Total: an already-expired
+    deadline ([expires <= now], or NaN from a hostile wire lifetime) is
+    silently dropped — replica and cache re-insert paths race the clock
+    and must never crash the engine step. *)
 
 val remove : t -> Trigger.t -> bool
 (** Remove an exact binding; [false] if absent. *)

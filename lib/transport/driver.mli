@@ -40,8 +40,8 @@ val create :
     Step latency is measured here, not in the engine (the engine is
     sans-IO and owns no clock): each {!step} observes its wall-clock
     duration into a [driver.step_ms] histogram labeled by event kind
-    ([event="tick" | "frame" | "insert_trigger" | "remove_trigger" |
-    "send_packet"]). *)
+    ([event="tick" | "frame" | "batch" | "insert_trigger" |
+    "remove_trigger" | "send_packet"]). *)
 
 val engine : t -> I3.Engine.t
 
@@ -49,6 +49,15 @@ val on_datagram : t -> now:float -> src:int -> string -> unit
 (** Decode one inbound datagram and step the engine with it — install
     [fun ~src bytes -> on_datagram d ~now:(clock ()) ~src bytes] as
     the transport's receive handler. *)
+
+val on_datagrams : t -> now:float -> (int * string) list -> unit
+(** Drain a receive backlog of [(src, bytes)] datagrams through one
+    engine step: each datagram is counted and decoded exactly as
+    {!on_datagram} would ([driver.frames], [driver.rx.<kind>],
+    [wire.decode_errors]), then the decodable frames are dispatched as
+    a single [I3.Engine.Batch] (bare [Frame] for a single frame; no
+    step at all if none decode), amortizing the engine's timer advance
+    and outbox drain over the burst. *)
 
 val tick : t -> now:float -> unit
 (** Step the engine with [Tick]: fires due timers, spends the

@@ -35,16 +35,39 @@ let put_str16 buf s =
   Buffer.add_string buf s
 
 let put_str32 buf s =
+  (* The u32 prefix could technically carry 4 GiB, but nothing legal
+     can: every frame must fit one UDP datagram, so anything beyond the
+     datagram-derived payload cap is an encoder bug — reject it like
+     [put_str16] does instead of silently truncating the length prefix
+     on 64-bit. *)
+  if String.length s > Layout.max_data_payload then
+    invalid_arg "Wire.Io.put_str32: too long";
   put_u32 buf (String.length s);
   Buffer.add_string buf s
 
 (* --- reading --- *)
 
-type reader = { src : string; mutable pos : int }
+(* [limit] (≤ length of [src]) bounds the cursor instead of the string
+   end so a sub-reader can expose a slice of the receive buffer — the
+   zero-copy path — while keeping every bounds check identical. *)
+type reader = { src : string; mutable pos : int; limit : int }
 
-let reader src = { src; pos = 0 }
+let reader src = { src; pos = 0; limit = String.length src }
 let pos r = r.pos
-let remaining r = String.length r.src - r.pos
+let remaining r = r.limit - r.pos
+
+(* A borrowed slice of a reader's backing buffer: what [take_view]
+   returns instead of copying.  Materialize with [view_to_string] or
+   write straight out of it with [add_view]. *)
+type view = { base : string; off : int; len : int }
+
+let view_of_string s = { base = s; off = 0; len = String.length s }
+let view_length v = v.len
+let view_to_string v =
+  if v.off = 0 && v.len = String.length v.base then v.base
+  else String.sub v.base v.off v.len
+
+let add_view buf v = Buffer.add_substring buf v.base v.off v.len
 
 let need r n what =
   if remaining r >= n then Ok () else Error ("truncated " ^ what)
@@ -95,6 +118,23 @@ let take r n what =
     let s = String.sub r.src r.pos n in
     r.pos <- r.pos + n;
     Ok s
+
+(* Zero-copy [take]: consume [n] bytes but hand back a borrowed slice of
+   the backing buffer instead of a fresh string. *)
+let take_view r n what =
+  if n < 0 then Error ("negative length for " ^ what)
+  else
+    let* () = need r n what in
+    let v = { base = r.src; off = r.pos; len = n } in
+    r.pos <- r.pos + n;
+    Ok v
+
+(* Zero-copy sub-reader: consume [n] bytes and return a fresh cursor
+   bounded to exactly that range of the same backing buffer, for
+   decoding an embedded length-prefixed blob without materializing it. *)
+let sub_reader r n what =
+  let* v = take_view r n what in
+  Ok { src = v.base; pos = v.off; limit = v.off + v.len }
 
 let str16 r what =
   let* n = u16 r what in

@@ -20,13 +20,32 @@ val put_str16 : Buffer.t -> string -> unit
 (** u16 length prefix + bytes. @raise Invalid_argument beyond 65535. *)
 
 val put_str32 : Buffer.t -> string -> unit
-(** u32 length prefix + bytes. *)
+(** u32 length prefix + bytes.
+    @raise Invalid_argument beyond {!Layout.max_data_payload} — nothing
+    legal exceeds one datagram, so a longer string is an encoder bug. *)
 
 (** {1 Reading} *)
 
 type reader
 
 val reader : string -> reader
+
+type view
+(** A borrowed slice of a reader's backing buffer — the zero-copy
+    alternative to {!take}.  Valid as long as the backing string (which
+    is immutable) is alive; materialize with {!view_to_string} or write
+    it out with {!add_view}. *)
+
+val view_of_string : string -> view
+val view_length : view -> int
+
+val view_to_string : view -> string
+(** Copy the slice out (no copy if the view spans its whole backing
+    string). *)
+
+val add_view : Buffer.t -> view -> unit
+(** Append the viewed bytes to a buffer without an intermediate
+    string. *)
 
 val pos : reader -> int
 (** Bytes consumed so far. *)
@@ -45,6 +64,16 @@ val f64 : reader -> string -> (float, string) result
 
 val take : reader -> int -> string -> (string, string) result
 (** [take r n what] consumes exactly [n] raw bytes. *)
+
+val take_view : reader -> int -> string -> (view, string) result
+(** Like {!take}, but returns a borrowed slice instead of copying. *)
+
+val sub_reader : reader -> int -> string -> (reader, string) result
+(** [sub_reader r n what] consumes [n] bytes and returns a cursor
+    bounded to exactly those bytes (sharing the backing buffer), for
+    decoding embedded length-prefixed blobs without materializing
+    them.  {!expect_end} on the sub-reader checks the blob was fully
+    consumed. *)
 
 val str16 : reader -> string -> (string, string) result
 val str32 : reader -> string -> (string, string) result

@@ -134,6 +134,118 @@ let test_insert_then_deliver () =
       Alcotest.(check int) "trace carried" 7 trace
   | _ -> Alcotest.fail "matched packet must produce a Deliver effect"
 
+(* --- totality: no decodable frame may crash the engine --- *)
+
+let test_step_total =
+  let open QCheck2.Gen in
+  let gen =
+    let* seed = int_range 1 1_000_000 in
+    let* ops = list_size (int_range 1 40) (int_range 0 99) in
+    return (seed, ops)
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:120
+       ~name:"step never raises on decoded frames" gen
+       (fun (seed, ops) ->
+         let rng = Rng.create (Int64.of_int seed) in
+         let e =
+           I3.Engine.create ~seed ~addr:1 ~chord_config:fast_chord
+             ~metrics:(Obs.Metrics.create ())
+             ()
+         in
+         let now = ref 0. in
+         (* lifetimes a remote peer could put on the wire: zero, negative,
+            NaN, absurd — none may reach the trigger table as a crash *)
+         let hostile_float () =
+           match Rng.int rng 5 with
+           | 0 -> 0.
+           | 1 -> -5.
+           | 2 -> Float.nan
+           | 3 -> Float.infinity
+           | _ -> float_of_int (Rng.int rng 10_000)
+         in
+         let trigger () =
+           let id = Id.random rng in
+           if Rng.bool rng then
+             I3.Trigger.to_host ~id ~owner:(Rng.int rng 0xffff)
+           else
+             I3.Trigger.make ~id
+               ~stack:[ I3.Packet.Sid (Id.random rng) ]
+               ~owner:(Rng.int rng 0xffff)
+         in
+         let msg () =
+           match Rng.int rng 8 with
+           | 0 ->
+               I3.Message.Replica
+                 { trigger = trigger (); lifetime = hostile_float () }
+           | 1 ->
+               I3.Message.Cache_push
+                 {
+                   triggers =
+                     List.init
+                       (1 + Rng.int rng 3)
+                       (fun _ -> (trigger (), hostile_float ()));
+                 }
+           | 2 -> I3.Message.Insert { trigger = trigger (); token = None }
+           | 3 -> I3.Message.Remove { trigger = trigger () }
+           | 4 ->
+               I3.Message.Data
+                 (I3.Packet.make
+                    ~stack:[ I3.Packet.Sid (Id.random rng) ]
+                    ~payload:"p" ~ttl:(Rng.int rng 2) ())
+           | 5 ->
+               I3.Message.Pushback { id = Id.random rng; dead = Id.random rng }
+           | 6 -> I3.Message.Ping { nonce = Rng.int rng 1000 }
+           | _ -> I3.Message.Insert_ack { trigger = trigger (); server = 9 }
+         in
+         let frame () =
+           (* half direct, half pushed through the codec with byte flips:
+              only frames that still decode reach the engine, exactly the
+              filtering a [Transport.Driver] performs *)
+           let m = msg () in
+           if Rng.bool rng then Some (I3.Engine.I3 m)
+           else begin
+             let bytes = Bytes.of_string (I3.Codec.encode m) in
+             for _ = 1 to Rng.int rng 4 do
+               let i = Rng.int rng (Bytes.length bytes) in
+               Bytes.set bytes i (Char.chr (Rng.int rng 256))
+             done;
+             match I3.Engine.decode (Bytes.to_string bytes) with
+             | Ok f -> Some f
+             | Error _ -> None
+           end
+         in
+         (try
+            List.iter
+              (fun op ->
+                now := !now +. float_of_int (Rng.int rng 200);
+                if op < 10 then
+                  ignore (I3.Engine.step e ~now:!now I3.Engine.Tick)
+                else if op < 80 then (
+                  match frame () with
+                  | Some f ->
+                      ignore
+                        (I3.Engine.step e ~now:!now
+                           (I3.Engine.Frame { src = Rng.int rng 10; frame = f }))
+                  | None -> ())
+                else
+                  (* burst arrival, as Driver.on_datagrams dispatches it *)
+                  let events =
+                    List.filter_map
+                      (fun _ ->
+                        Option.map
+                          (fun f ->
+                            I3.Engine.Frame { src = Rng.int rng 10; frame = f })
+                          (frame ()))
+                      (List.init (1 + Rng.int rng 5) Fun.id)
+                  in
+                  ignore (I3.Engine.step e ~now:!now (I3.Engine.Batch events)))
+              ops
+          with exn ->
+            QCheck2.Test.fail_reportf "engine.step raised %s"
+              (Printexc.to_string exn));
+         true))
+
 (* --- dual-driver parity --- *)
 
 let test_driver_parity () =
@@ -282,6 +394,7 @@ let () =
             test_decode_dispatch;
           Alcotest.test_case "insert then deliver (Fig. 3)" `Quick
             test_insert_then_deliver;
+          test_step_total;
         ] );
       ( "drivers",
         [

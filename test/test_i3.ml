@@ -36,7 +36,8 @@ let gen_packet =
 
 let packet_equal (a : I3.Packet.t) (b : I3.Packet.t) =
   I3.Packet.stack_equal a.stack b.stack
-  && a.payload = b.payload && a.refresh = b.refresh
+  && I3.Packet.payload_string a = I3.Packet.payload_string b
+  && a.refresh = b.refresh
   && a.match_required = b.match_required
   && a.sender = b.sender && a.prev_trigger = b.prev_trigger && a.ttl = b.ttl
 

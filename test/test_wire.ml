@@ -195,7 +195,7 @@ let gen_chord_msg =
 let test_message_roundtrip =
   qtest ~count:500 "i3 message roundtrip" gen_message (fun m ->
       match I3.Codec.decode (I3.Codec.encode m) with
-      | Ok m' -> m = m'
+      | Ok m' -> I3.Message.equal m m'
       | Error _ -> false)
 
 let test_chord_roundtrip =
@@ -274,6 +274,30 @@ let fuzz_iters =
   | Some s -> (try max 1000 (int_of_string s) with _ -> 2_000)
   | None -> 2_000
 
+(* Adversarial-but-valid frames a hostile peer could send: zero-TTL
+   data, zero / negative / NaN lifetimes.  They must decode cleanly
+   here (and the engine must survive them — see test_engine), so the
+   fuzzer also mutates around these shapes. *)
+let hostile rng =
+  let tr () =
+    I3.Trigger.to_host ~id:(Id.random rng) ~owner:(Rng.int rng 0xffff)
+  in
+  [
+    I3.Codec.encode
+      (I3.Message.Data
+         (I3.Packet.make
+            ~stack:[ I3.Packet.Sid (Id.random rng) ]
+            ~payload:"z" ~ttl:0 ()));
+    I3.Codec.encode (I3.Message.Replica { trigger = tr (); lifetime = 0. });
+    I3.Codec.encode
+      (I3.Message.Replica { trigger = tr (); lifetime = -30_000. });
+    I3.Codec.encode
+      (I3.Message.Replica { trigger = tr (); lifetime = Float.nan });
+    I3.Codec.encode
+      (I3.Message.Cache_push
+         { triggers = [ (tr (), 0.); (tr (), -1.); (tr (), Float.nan) ] });
+  ]
+
 let corpus rng =
   let gen g = QCheck2.Gen.generate1 ~rand:(Random.State.make [| Rng.int rng 1_000_000 |]) g in
   List.concat
@@ -281,6 +305,7 @@ let corpus rng =
       List.init 20 (fun _ -> I3.Codec.encode (gen gen_message));
       List.init 20 (fun _ -> Chord.Codec.encode (gen gen_chord_msg));
       List.init 10 (fun _ -> I3.Packet.encode (gen gen_packet));
+      hostile rng;
     ]
 
 let mutate rng s =
@@ -303,6 +328,15 @@ let mutate rng s =
       Bytes.set s (Rng.int rng (min 16 n)) (if Rng.int rng 2 = 0 then '\xff' else '\x00');
       Bytes.to_string s
   | _ -> Bytes.to_string s
+
+let test_hostile_corpus_decodes () =
+  let rng = Rng.of_int 424242 in
+  List.iteri
+    (fun i bytes ->
+      match I3.Codec.decode bytes with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "hostile frame %d rejected: %s" i e)
+    (hostile rng)
 
 let test_mutation_fuzz () =
   let rng = Rng.of_int 20260807 in
@@ -505,6 +539,16 @@ let test_stats_encode_caps () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "encode accepted > max_stats_labels"
 
+let test_put_str32_guard () =
+  let buf = Buffer.create 16 in
+  let too_long = String.make (Wire.Layout.max_data_payload + 1) 'x' in
+  (try
+     Wire.Io.put_str32 buf too_long;
+     Alcotest.fail "oversized put_str32 accepted"
+   with Invalid_argument _ -> ());
+  Wire.Io.put_str32 buf (String.make 8 'y');
+  Alcotest.(check int) "in-range write lands" (4 + 8) (Buffer.length buf)
+
 let () =
   Alcotest.run "wire"
     [
@@ -534,11 +578,17 @@ let () =
           Alcotest.test_case "encode caps" `Quick test_stats_encode_caps;
         ] );
       ( "fuzz",
-        [ Alcotest.test_case "seeded mutations" `Quick test_mutation_fuzz ] );
+        [
+          Alcotest.test_case "hostile corpus decodes" `Quick
+            test_hostile_corpus_decodes;
+          Alcotest.test_case "seeded mutations" `Quick test_mutation_fuzz;
+        ] );
       ( "io",
         [
           Alcotest.test_case "bounds" `Quick test_io_bounds;
           Alcotest.test_case "list cap" `Quick test_io_list_cap;
+          Alcotest.test_case "put_str32 payload cap" `Quick
+            test_put_str32_guard;
         ] );
       ( "transport",
         [ Alcotest.test_case "sim bytes" `Quick test_sim_transport ] );
